@@ -1,0 +1,40 @@
+"""Benchmark: Fig. 5(a) — FP-ADC transient simulation of the worked example.
+
+Regenerates the paper's transient conversion (5.38 uA column current, two
+range adaptations, digital output ``1001001``) and times the circuit-level
+simulation.
+"""
+
+import pytest
+
+from repro.analysis.fig5a import (
+    PAPER_EXPECTED_EXPONENT,
+    PAPER_EXPECTED_MANTISSA,
+    run_fig5a,
+)
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_fig5a_transient_example(benchmark):
+    result = benchmark(run_fig5a)
+    print("\n" + result.render())
+    assert result.matches_paper
+    assert result.exponent_code == PAPER_EXPECTED_EXPONENT
+    assert result.mantissa_code == PAPER_EXPECTED_MANTISSA
+    assert result.digital_output() == "1001001"
+    assert result.value == pytest.approx(5.125)
+    assert len(result.adaptation_times_ns) == 2
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_fig5a_functional_model_speed(benchmark):
+    """The fast functional ADC model used for network-level studies."""
+    import numpy as np
+
+    from repro.core import ADCConfig, FPADC
+
+    adc = FPADC(ADCConfig(), channels=256)
+    currents = np.abs(np.random.default_rng(0).standard_normal((64, 256))) * 5e-6
+
+    readout = benchmark(adc.convert, currents)
+    assert readout.value.shape == (64, 256)

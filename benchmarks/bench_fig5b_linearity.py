@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 5(b) — FP-DAC / cell-current linearity sweep.
+
+Sweeps the full 7-bit input pattern for the paper's four example
+conductances (20 / 18 / 15 / 12 uS) and checks the per-exponent-group
+linearity and the slope doubling between groups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fig5b import PAPER_CONDUCTANCES, run_fig5b
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_fig5b_linearity_sweep(benchmark):
+    result = benchmark(run_fig5b)
+    print("\n" + result.render())
+    assert tuple(result.conductances) == PAPER_CONDUCTANCES
+    # Within every exponent group the cell current is linear in the mantissa.
+    assert result.max_linearity_error < 0.01
+    # Between groups the slope doubles (the 2^E gain of the FP-DAC).
+    for ratios in result.slope_ratios.values():
+        np.testing.assert_allclose(ratios, 2.0, rtol=0.01)
+    # Currents scale with the programmed conductance.
+    maxima = [float(np.max(result.currents[g])) for g in PAPER_CONDUCTANCES]
+    assert maxima == sorted(maxima, reverse=True)

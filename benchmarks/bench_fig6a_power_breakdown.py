@@ -1,0 +1,36 @@
+"""Benchmark: Fig. 6(a) + Section IV-B — module power breakdown per format.
+
+Regenerates the INT8 / FP8 E3M4 / FP8 E2M5 module-level energy breakdown and
+checks the two percentages the paper quotes: the FP-ADC saves ~56.4 % of the
+ADC power and the complete E2M5 design saves ~46.5 % of the total power
+versus the conventional INT8 design, whose conversion takes 2.5x longer.
+"""
+
+import pytest
+
+from repro.analysis.fig6_power import (
+    PAPER_ADC_POWER_REDUCTION,
+    PAPER_INT_CONVERSION_TIME_FACTOR,
+    PAPER_TOTAL_POWER_REDUCTION,
+    run_fig6_power,
+)
+
+
+@pytest.mark.benchmark(group="fig6-power")
+def test_fig6a_module_breakdown(benchmark):
+    result = benchmark(run_fig6_power)
+    print("\n" + result.render())
+
+    assert result.adc_energy_reduction == pytest.approx(PAPER_ADC_POWER_REDUCTION, abs=0.05)
+    assert result.total_energy_reduction == pytest.approx(PAPER_TOTAL_POWER_REDUCTION, abs=0.03)
+    assert result.int_conversion_time_factor == pytest.approx(PAPER_INT_CONVERSION_TIME_FACTOR)
+
+    # Module-level structure: the ADC dominates every design's budget, the
+    # E3M4 ADC is more expensive than the E2M5 ADC despite being faster
+    # (exponentially larger capacitor bank), and the array energy is format
+    # independent.
+    int8, e3m4, e2m5 = result.breakdowns
+    for breakdown in (int8, e3m4, e2m5):
+        assert breakdown.adc_energy == max(breakdown.module_energies.values())
+    assert e3m4.adc_energy > e2m5.adc_energy
+    assert e3m4.array_energy == pytest.approx(e2m5.array_energy)

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 6(b) — total macro power / energy for the three formats.
+
+Checks the total-power ordering of Fig. 6(b) (E2M5 lowest) and the derived
+peak energy efficiency of each design (Table I columns for the two AFPR
+variants and the INT8 reference).
+"""
+
+import pytest
+
+from repro.analysis.fig6_power import run_fig6_power
+
+
+@pytest.mark.benchmark(group="fig6-power")
+def test_fig6b_total_power(benchmark):
+    result = benchmark(run_fig6_power)
+    int8, e3m4, e2m5 = result.breakdowns
+
+    # Energy per conversion: E2M5 < E3M4 < INT8 (Fig. 6(b)).
+    assert e2m5.total_energy < e3m4.total_energy < int8.total_energy
+
+    # Derived efficiency: E2M5 ~19.89 TFLOPS/W, E3M4 between INT8 and E2M5,
+    # matching the paper's Table I AFPR columns (19.89 / 14.12).
+    assert e2m5.energy_efficiency_tops_per_watt == pytest.approx(19.89, rel=0.02)
+    assert e2m5.throughput_gops == pytest.approx(1474.56)
+    assert e3m4.throughput_gops == pytest.approx(1966.08)
+    assert e3m4.energy_efficiency_tops_per_watt == pytest.approx(14.12, rel=0.15)
+    assert int8.energy_efficiency_tops_per_watt < e3m4.energy_efficiency_tops_per_watt
+
+    print("\nTotal energy per conversion (nJ): "
+          f"INT8={int8.total_energy * 1e9:.2f}, "
+          f"E3M4={e3m4.total_energy * 1e9:.2f}, "
+          f"E2M5={e2m5.total_energy * 1e9:.2f}")

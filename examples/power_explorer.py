@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the macro power model.
+
+Reproduces the paper's architecture-level comparisons and lets you poke at
+the knobs the authors discuss in Sections III/IV:
+
+* the Fig. 6 module power breakdown for INT8 / FP8 E3M4 / FP8 E2M5,
+* the Table I comparison against published and modelled baselines,
+* a format sweep (how would E4M3 or a hypothetical E2M6 macro do?),
+* the sparsity head-room of the paper's "high-density mode" numbers.
+
+Run with::
+
+    python examples/power_explorer.py
+"""
+
+from repro.analysis import (
+    run_fig6_power,
+    run_sparsity_ablation,
+    run_table1,
+)
+from repro.analysis.report import render_table
+from repro.core import macro_config_for_format
+from repro.power import MacroPowerModel
+
+
+def format_sweep_table() -> str:
+    """Macro-level consequences of alternative FP bit assignments."""
+    rows = []
+    for exponent_bits, mantissa_bits in ((2, 5), (3, 4), (4, 3), (2, 6), (1, 6)):
+        config = macro_config_for_format(exponent_bits, mantissa_bits)
+        breakdown = MacroPowerModel(config).breakdown()
+        rows.append((
+            config.format_name,
+            f"{breakdown.conversion_time * 1e9:.1f}",
+            f"{breakdown.adc_energy * 1e9:.2f}",
+            f"{breakdown.total_energy * 1e9:.2f}",
+            f"{breakdown.throughput_gops:.0f}",
+            f"{breakdown.energy_efficiency_tops_per_watt:.2f}",
+        ))
+    return render_table(
+        ["format", "T_conv (ns)", "ADC energy (nJ)", "total energy (nJ)",
+         "GFLOPS", "TFLOPS/W"],
+        rows,
+        title="Format design-space sweep (AFPR-CIM macro power model)",
+    )
+
+
+def main() -> None:
+    print(run_fig6_power().render())
+    print()
+    print(run_table1().render())
+    print()
+    print(format_sweep_table())
+    print()
+    print(run_sparsity_ablation().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's experiments from a shell.
+
+``python -m repro <experiment>`` runs one (or all) of the experiment runners
+and prints its rendered report, so the figures and tables can be regenerated
+without writing any Python::
+
+    python -m repro fig5a
+    python -m repro fig6-power
+    python -m repro table1
+    python -m repro ablations
+    python -m repro all            # everything except the slow fig6c
+    python -m repro fig6c --quick  # the accuracy study (quick variant)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List
+
+from repro.analysis.ablations import (
+    run_adaptive_vs_fixed_ablation,
+    run_cap_ladder_ablation,
+    run_format_ablation,
+    run_sparsity_ablation,
+)
+from repro.analysis.fig5a import run_fig5a
+from repro.analysis.fig5b import run_fig5b
+from repro.analysis.fig6_power import run_fig6_power
+from repro.analysis.fig6c import quick_fig6c, run_fig6c
+from repro.analysis.table1 import run_table1
+
+
+def _render_ablations() -> str:
+    parts = [
+        run_cap_ladder_ablation().render(),
+        run_adaptive_vs_fixed_ablation().render(),
+        run_sparsity_ablation().render(),
+        run_format_ablation().render(),
+    ]
+    return "\n\n".join(parts)
+
+
+#: Experiment name -> callable returning the rendered report.
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig5a": lambda: run_fig5a().render(),
+    "fig5b": lambda: run_fig5b().render(),
+    "fig6-power": lambda: run_fig6_power().render(),
+    "table1": lambda: run_table1().render(),
+    "ablations": _render_ablations,
+}
+
+
+def available_experiments() -> List[str]:
+    """Names accepted by the command line (plus ``fig6c`` and ``all``)."""
+    return sorted(EXPERIMENTS) + ["fig6c", "all"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the AFPR-CIM paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=available_experiments(),
+                        help="which experiment to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced workload for the fig6c accuracy study")
+    return parser
+
+
+def run_experiment(name: str, quick: bool = False) -> str:
+    """Run one experiment by name and return its rendered report."""
+    if name == "all":
+        reports = [EXPERIMENTS[key]() for key in sorted(EXPERIMENTS)]
+        return "\n\n".join(reports)
+    if name == "fig6c":
+        result = quick_fig6c() if quick else run_fig6c()
+        return result.render()
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown experiment {name!r}; "
+                         f"choose from {available_experiments()}") from exc
+    return runner()
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(run_experiment(args.experiment, quick=args.quick))
+    return 0

@@ -1,0 +1,99 @@
+"""Fig. 5(b): FP-DAC linearity / cell-current sweep.
+
+The paper sweeps the full 7-bit FP-DAC input pattern (0000000 to 1111111) and
+plots the current through a single RRAM cell for four example conductances
+(20, 18, 15 and 12 µS), grouped by the 2-bit exponent.  Within one exponent
+group the current is linear in the mantissa code; across groups the slope
+doubles — "showing good computing linearity of multiplication and MAC".
+
+The runner reproduces the sweep, fits a straight line per exponent group and
+reports the worst-case deviation from linearity and the slope doubling
+ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.config import DACConfig
+from repro.core.fp_dac import FPDAC
+
+#: The example conductances of the paper, in siemens.
+PAPER_CONDUCTANCES = (20e-6, 18e-6, 15e-6, 12e-6)
+
+
+@dataclasses.dataclass
+class Fig5bResult:
+    """Outcome of the FP-DAC linearity sweep."""
+
+    conductances: Sequence[float]
+    codes: np.ndarray
+    currents: Dict[float, np.ndarray]
+    max_linearity_error: float
+    slope_ratios: Dict[float, List[float]]
+
+    def render(self) -> str:
+        """ASCII summary of per-conductance linearity."""
+        rows = []
+        for g in self.conductances:
+            ratios = ", ".join(f"{r:.3f}" for r in self.slope_ratios[g])
+            max_current = float(np.max(self.currents[g]))
+            rows.append((f"{g * 1e6:.0f} uS", f"{max_current * 1e6:.2f} uA", ratios))
+        table = render_table(
+            ["conductance", "max cell current", "slope ratios between exponent groups"],
+            rows,
+            title="Fig. 5(b) FP-DAC linearity sweep",
+        )
+        return table + f"\nworst-case in-group linearity error: {self.max_linearity_error:.3%}"
+
+
+def _group_slopes(codes: np.ndarray, currents: np.ndarray, mantissa_bits: int,
+                  exponent_levels: int) -> List[float]:
+    """Least-squares slope of current vs mantissa code within each exponent group."""
+    mantissa_levels = 1 << mantissa_bits
+    slopes = []
+    for exponent in range(exponent_levels):
+        mask = (codes >> mantissa_bits) == exponent
+        mantissa = (codes[mask] & (mantissa_levels - 1)).astype(np.float64)
+        slope, _intercept = np.polyfit(mantissa, currents[mask], 1)
+        slopes.append(float(slope))
+    return slopes
+
+
+def run_fig5b(conductances: Sequence[float] = PAPER_CONDUCTANCES,
+              config: DACConfig = DACConfig()) -> Fig5bResult:
+    """Sweep all input codes for each conductance and analyse linearity."""
+    dac = FPDAC(config)
+    levels = config.exponent_levels * config.mantissa_levels
+    codes = np.arange(levels)
+
+    currents: Dict[float, np.ndarray] = {}
+    slope_ratios: Dict[float, List[float]] = {}
+    max_error = 0.0
+    for g in conductances:
+        cell_currents = dac.cell_current(codes, g)
+        currents[g] = cell_currents
+        slopes = _group_slopes(codes, cell_currents, config.mantissa_bits,
+                               config.exponent_levels)
+        slope_ratios[g] = [slopes[i + 1] / slopes[i] for i in range(len(slopes) - 1)]
+
+        # In-group linearity error: deviation of each point from its group fit,
+        # relative to the group's current span.
+        for exponent in range(config.exponent_levels):
+            mask = (codes >> config.mantissa_bits) == exponent
+            mantissa = (codes[mask] & (config.mantissa_levels - 1)).astype(np.float64)
+            fit = np.polyval(np.polyfit(mantissa, cell_currents[mask], 1), mantissa)
+            span = float(np.ptp(cell_currents[mask])) or 1.0
+            max_error = max(max_error, float(np.max(np.abs(fit - cell_currents[mask])) / span))
+
+    return Fig5bResult(
+        conductances=tuple(conductances),
+        codes=codes,
+        currents=currents,
+        max_linearity_error=max_error,
+        slope_ratios=slope_ratios,
+    )

@@ -1,0 +1,92 @@
+"""Fig. 6(a)/(b) and Section IV-B: module power breakdown and total power.
+
+The paper compares the INT8 reference design, FP8 E3M4 and FP8 E2M5 at the
+module level (ADC / DAC+array / digital) and in total, and quotes two
+percentages: the FP-ADC cuts ADC power by 56.4 % versus the conventional
+INT-ADC, and the complete E2M5 design cuts total power by 46.5 % versus
+INT8.  The runner regenerates the breakdown from the power model and reports
+the measured percentages next to the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.analysis.report import render_table
+from repro.power.components import PowerCalibration, DEFAULT_CALIBRATION
+from repro.power.macro_power import PowerBreakdown, format_power_comparison
+
+#: The reductions quoted in Section IV-B of the paper.
+PAPER_ADC_POWER_REDUCTION = 0.564
+PAPER_TOTAL_POWER_REDUCTION = 0.465
+#: The conversion-time increase of the INT reference (200 ns -> 500 ns).
+PAPER_INT_CONVERSION_TIME_FACTOR = 2.5
+
+
+@dataclasses.dataclass
+class Fig6PowerResult:
+    """Outcome of the power-breakdown comparison."""
+
+    breakdowns: List[PowerBreakdown]
+    adc_energy_reduction: float
+    total_energy_reduction: float
+    int_conversion_time_factor: float
+
+    @property
+    def int8(self) -> PowerBreakdown:
+        """The INT8 reference breakdown."""
+        return self.breakdowns[0]
+
+    @property
+    def e3m4(self) -> PowerBreakdown:
+        """The FP8 E3M4 breakdown."""
+        return self.breakdowns[1]
+
+    @property
+    def e2m5(self) -> PowerBreakdown:
+        """The FP8 E2M5 breakdown."""
+        return self.breakdowns[2]
+
+    def render(self) -> str:
+        """ASCII rendering of the Fig. 6(a)/(b) comparison."""
+        rows = []
+        for b in self.breakdowns:
+            rows.append((
+                b.label,
+                f"{b.adc_energy * 1e9:.2f}",
+                f"{b.dac_energy * 1e9:.2f}",
+                f"{b.array_energy * 1e9:.2f}",
+                f"{b.digital_energy * 1e9:.2f}",
+                f"{b.total_energy * 1e9:.2f}",
+                f"{b.total_power * 1e3:.1f}",
+                f"{b.conversion_time * 1e9:.0f}",
+            ))
+        table = render_table(
+            ["design", "ADC (nJ)", "DAC (nJ)", "array (nJ)", "digital (nJ)",
+             "total (nJ)", "power (mW)", "T_conv (ns)"],
+            rows,
+            title="Fig. 6(a)/(b) module energy breakdown per conversion",
+        )
+        summary = (
+            f"\nADC reduction (E2M5 vs INT8):   measured {self.adc_energy_reduction:.1%}"
+            f"  / paper {PAPER_ADC_POWER_REDUCTION:.1%}"
+            f"\ntotal reduction (E2M5 vs INT8): measured {self.total_energy_reduction:.1%}"
+            f"  / paper {PAPER_TOTAL_POWER_REDUCTION:.1%}"
+            f"\nINT conversion-time factor:     measured {self.int_conversion_time_factor:.2f}x"
+            f" / paper {PAPER_INT_CONVERSION_TIME_FACTOR:.2f}x"
+        )
+        return table + summary
+
+
+def run_fig6_power(sparsity: float = 0.0,
+                   calibration: PowerCalibration = DEFAULT_CALIBRATION) -> Fig6PowerResult:
+    """Regenerate the Fig. 6 power comparison from the power model."""
+    breakdowns = format_power_comparison(sparsity=sparsity, calibration=calibration)
+    int8, _e3m4, e2m5 = breakdowns
+    return Fig6PowerResult(
+        breakdowns=breakdowns,
+        adc_energy_reduction=1.0 - e2m5.adc_energy / int8.adc_energy,
+        total_energy_reduction=1.0 - e2m5.total_energy / int8.total_energy,
+        int_conversion_time_factor=int8.conversion_time / e2m5.conversion_time,
+    )

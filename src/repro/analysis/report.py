@@ -1,0 +1,69 @@
+"""Small ASCII rendering helpers shared by the experiment runners.
+
+The benchmarks print the same rows and series the paper's tables and figures
+contain; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_quantity(value: Optional[float], unit: str = "", precision: int = 3) -> str:
+    """Format a number with a unit, using '-' for missing values."""
+    if value is None:
+        return "-"
+    formatted = f"{value:.{precision}g}"
+    return f"{formatted} {unit}".strip()
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a list of rows as a fixed-width ASCII table."""
+    headers = [str(h) for h in headers]
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 20) -> str:
+    """Render an (x, y) series as a compact ASCII listing.
+
+    Long series are downsampled to ``max_points`` evenly spaced points so the
+    benchmark output stays readable.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty series)"
+    if n > max_points:
+        step = max(1, n // max_points)
+        indices = list(range(0, n, step))
+        if indices[-1] != n - 1:
+            indices.append(n - 1)
+    else:
+        indices = list(range(n))
+    lines = [f"{name} ({x_label} -> {y_label}):"]
+    for i in indices:
+        lines.append(f"  {xs[i]:.6g} -> {ys[i]:.6g}")
+    return "\n".join(lines)

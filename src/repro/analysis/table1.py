@@ -1,0 +1,110 @@
+"""Table I: CIM macro comparison.
+
+The table compares the AFPR-CIM macro (E2M5 and E3M4 variants) with five
+published designs on architecture, technology, precision, latency,
+throughput and energy efficiency, and the paper's abstract condenses it into
+four headline ratios: 4.135x / 5.376x / 2.841x energy-efficiency improvement
+over the FP8 accelerator, the digital FP-CIM and the analog INT8 CIM
+respectively, plus a 5.382x throughput improvement over the analog INT8 CIM.
+
+The runner rebuilds the AFPR-CIM rows from the reproduction's power model,
+keeps the published rows verbatim, recomputes the four ratios from the
+reproduced numbers, and additionally reports the ratios against the
+*modelled* baselines (own analytical models of the three baseline classes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.analysis.report import format_quantity, render_table
+from repro.baselines.digital_fp_cim import DigitalFPCIM
+from repro.baselines.fp8_accelerator import FP8Accelerator
+from repro.baselines.int8_cim import AnalogInt8CIM
+from repro.baselines.published import (
+    PAPER_AFPR_RESULTS,
+    PUBLISHED_MACROS,
+    paper_claimed_ratios,
+    recomputed_ratios,
+)
+from repro.core.config import e2m5_macro_config, e3m4_macro_config
+from repro.power.efficiency import MacroSpecification, afpr_specification
+
+
+@dataclasses.dataclass
+class Table1Result:
+    """Outcome of the Table I reproduction."""
+
+    afpr_rows: List[MacroSpecification]
+    published_rows: List[MacroSpecification]
+    modelled_baseline_rows: List[MacroSpecification]
+    measured_ratios: Dict[str, float]
+    claimed_ratios: Dict[str, float]
+    modelled_ratios: Dict[str, float]
+
+    @property
+    def e2m5(self) -> MacroSpecification:
+        """The reproduced AFPR-CIM E2M5 row."""
+        return self.afpr_rows[0]
+
+    def render(self) -> str:
+        """ASCII rendering of the full comparison table plus the ratios."""
+        def row(spec: MacroSpecification):
+            return (
+                spec.name,
+                spec.architecture,
+                spec.activation_precision,
+                format_quantity(spec.latency_us, "us"),
+                f"{spec.throughput_gops:.1f}",
+                f"{spec.energy_efficiency_tops_per_watt:.2f}",
+            )
+
+        all_rows = [row(s) for s in self.afpr_rows]
+        all_rows += [row(s) for s in self.published_rows]
+        all_rows += [row(s) for s in self.modelled_baseline_rows]
+        table = render_table(
+            ["design", "architecture", "precision", "latency", "GOPS", "TOPS/W"],
+            all_rows,
+            title="Table I: CIM macro comparison (reproduced AFPR rows + references)",
+        )
+        ratio_rows = []
+        for key, claimed in self.claimed_ratios.items():
+            ratio_rows.append((
+                key,
+                f"{claimed:.3f}x",
+                f"{self.measured_ratios[key]:.3f}x",
+                f"{self.modelled_ratios[key]:.3f}x",
+            ))
+        ratios = render_table(
+            ["ratio", "paper", "reproduced vs published", "reproduced vs modelled"],
+            ratio_rows,
+            title="Headline comparison factors",
+        )
+        return table + "\n\n" + ratios
+
+
+def run_table1(sparsity: float = 0.0) -> Table1Result:
+    """Rebuild Table I from the power model and the baseline records."""
+    e2m5 = afpr_specification(e2m5_macro_config(), sparsity=sparsity)
+    e3m4 = afpr_specification(e3m4_macro_config(), sparsity=sparsity)
+
+    analog_int8 = AnalogInt8CIM().specification()
+    digital_fp_cim = DigitalFPCIM().specification()
+    fp8_accelerator = FP8Accelerator().specification()
+
+    measured = recomputed_ratios(e2m5)
+    modelled = {
+        "energy_efficiency_vs_fp8_accelerator": e2m5.efficiency_ratio_to(fp8_accelerator),
+        "energy_efficiency_vs_digital_fp_cim": e2m5.efficiency_ratio_to(digital_fp_cim),
+        "energy_efficiency_vs_analog_int8_cim": e2m5.efficiency_ratio_to(analog_int8),
+        "throughput_vs_analog_int8_cim": e2m5.throughput_ratio_to(analog_int8),
+    }
+    return Table1Result(
+        afpr_rows=[e2m5, e3m4],
+        published_rows=list(PAPER_AFPR_RESULTS.values()) + list(PUBLISHED_MACROS.values()),
+        modelled_baseline_rows=[analog_int8, digital_fp_cim, fp8_accelerator],
+        measured_ratios=measured,
+        claimed_ratios=paper_claimed_ratios(),
+        modelled_ratios=modelled,
+    )

@@ -1,0 +1,52 @@
+"""Baseline designs the paper compares against (Table I, Fig. 6).
+
+Two kinds of baselines are provided:
+
+* **Modelled baselines** — analytical energy / throughput models of the three
+  architecture classes the paper compares with, built from the same component
+  style as the AFPR-CIM power model:
+
+  - :class:`~repro.baselines.int8_cim.AnalogInt8CIM` — an analog RRAM CIM
+    macro with a fixed-range ADC and bit-serial (sequential) inputs,
+  - :class:`~repro.baselines.digital_fp_cim.DigitalFPCIM` — a digital
+    SRAM-based FP compute-in-memory macro with exponent alignment and an
+    adder tree,
+  - :class:`~repro.baselines.fp8_accelerator.FP8Accelerator` — a conventional
+    Von Neumann FP8 accelerator (MAC array + SRAM traffic).
+
+* **Published records** — the literature numbers quoted in Table I
+  (:mod:`repro.baselines.published`), used to recompute the paper's claimed
+  4.135x / 5.376x / 2.841x energy-efficiency ratios.
+
+The conventional INT single-slope ADC used in the Fig. 6 comparison lives in
+:mod:`repro.baselines.int_adc` (functional converter model; its energy model
+is :class:`repro.power.macro_power.Int8ReferencePowerModel`).
+"""
+
+from repro.baselines.int_adc import IntSingleSlopeADC, IntADCConfig
+from repro.baselines.int8_cim import AnalogInt8CIM, AnalogCIMParameters
+from repro.baselines.digital_fp_cim import DigitalFPCIM, DigitalCIMParameters
+from repro.baselines.fp8_accelerator import FP8Accelerator, AcceleratorParameters
+from repro.baselines.published import (
+    PUBLISHED_MACROS,
+    PAPER_AFPR_RESULTS,
+    published_table,
+    paper_claimed_ratios,
+    recomputed_ratios,
+)
+
+__all__ = [
+    "IntSingleSlopeADC",
+    "IntADCConfig",
+    "AnalogInt8CIM",
+    "AnalogCIMParameters",
+    "DigitalFPCIM",
+    "DigitalCIMParameters",
+    "FP8Accelerator",
+    "AcceleratorParameters",
+    "PUBLISHED_MACROS",
+    "PAPER_AFPR_RESULTS",
+    "published_table",
+    "paper_claimed_ratios",
+    "recomputed_ratios",
+]

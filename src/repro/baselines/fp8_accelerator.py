@@ -1,0 +1,90 @@
+"""Analytical model of a conventional (Von Neumann) FP8 accelerator.
+
+The paper's third comparison class (its ref [3]) is a digital FP8 training /
+inference processor: a MAC array fed from on-chip SRAM.  Its energy per
+operation is dominated by the FP8 multiply + wider accumulate, the operand
+fetches from SRAM, and the product alignment pipeline stage — all of which
+the analog CIM approach folds into the array read.  The defaults land the
+model near the published ~4.8 TFLOPS/W of 40 nm FP8 accelerators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.power.efficiency import MacroSpecification
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorParameters:
+    """Energy / throughput parameters of the conventional FP8 accelerator."""
+
+    mac_units: int = 512
+    clock_hz: float = 550e6
+    fp8_multiply_energy: float = 0.12e-12
+    accumulate_energy: float = 0.06e-12
+    alignment_energy: float = 0.05e-12
+    weight_sram_energy: float = 0.12e-12
+    activation_sram_energy: float = 0.06e-12
+    technology_nm: float = 40
+    name: str = "FP8 accelerator (modelled)"
+
+    def __post_init__(self) -> None:
+        if self.mac_units < 1 or self.clock_hz <= 0:
+            raise ValueError("mac_units and clock_hz must be positive")
+
+
+class FP8Accelerator:
+    """Energy / throughput model of a conventional digital FP8 accelerator."""
+
+    def __init__(self, params: AcceleratorParameters = AcceleratorParameters()) -> None:
+        self.params = params
+
+    def energy_per_mac(self) -> float:
+        """Energy of one FP8 multiply-accumulate in joules."""
+        p = self.params
+        return (
+            p.fp8_multiply_energy
+            + p.accumulate_energy
+            + p.alignment_energy
+            + p.weight_sram_energy
+            + p.activation_sram_energy
+        )
+
+    def energy_per_op(self) -> float:
+        """Energy per operation (2 ops per MAC) in joules."""
+        return self.energy_per_mac() / 2.0
+
+    def memory_share(self) -> float:
+        """Fraction of the MAC energy spent moving operands from SRAM.
+
+        Data movement is the structural cost a compute-in-memory design
+        removes; the Table I benchmark reports this share.
+        """
+        p = self.params
+        return (p.weight_sram_energy + p.activation_sram_energy) / self.energy_per_mac()
+
+    def throughput_gops(self) -> float:
+        """Peak throughput in GOPS."""
+        return 2.0 * self.params.mac_units * self.params.clock_hz / 1e9
+
+    def energy_efficiency_tops_per_watt(self) -> float:
+        """Peak energy efficiency in TFLOPS/W."""
+        return 1.0 / self.energy_per_op() / 1e12
+
+    def specification(self) -> MacroSpecification:
+        """Table-I style record of the modelled baseline."""
+        p = self.params
+        return MacroSpecification(
+            name=p.name,
+            architecture="Digital Accelerator",
+            memory="SRAM",
+            array_size=f"{p.mac_units} MACs",
+            technology_nm=p.technology_nm,
+            supply_voltage="0.75-1.1",
+            adc_type="-",
+            activation_precision="FP8",
+            latency_us=None,
+            throughput_gops=self.throughput_gops(),
+            energy_efficiency_tops_per_watt=self.energy_efficiency_tops_per_watt(),
+        )

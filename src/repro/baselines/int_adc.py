@@ -1,0 +1,133 @@
+"""Conventional INT single-slope integrating ADC (the Fig. 6 reference).
+
+Paper Section IV-B: "In order to show the performance of the dynamic range
+adaptive idea proposed in this paper more fairly, we designed a conventional
+INT single-slope integral ADC in the same process."  That reference design
+integrates the column current onto a *fixed* capacitor for the same 100 ns
+and then runs an 8-bit counter over the full 2 V range, which takes 4x the
+counting time of the 5-bit mantissa conversion — a 500 ns total conversion.
+
+This module provides the *functional* converter (code behaviour, for
+accuracy comparisons against the FP-ADC); its energy model is
+:class:`repro.power.macro_power.Int8ReferencePowerModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class IntADCConfig:
+    """Configuration of the fixed-range single-slope reference ADC.
+
+    Parameters
+    ----------
+    bits:
+        Output resolution (8 for the paper's reference).
+    v_full_scale:
+        Voltage at the top of the conversion range (2 V).
+    capacitance:
+        Fixed integration capacitance.  To cover the same maximum current as
+        the adaptive design without ranging, this equals the FP-ADC's *total*
+        bank capacitance (8 unit capacitors by default).
+    integration_time:
+        Integration phase duration (100 ns, same as the FP-ADC).
+    slope_clock_period:
+        Counter clock period; the counting phase lasts ``2^bits`` periods.
+    noise_rms:
+        Input-referred comparator noise in volts.
+    seed:
+        Seed of the noise generator.
+    """
+
+    bits: int = 8
+    v_full_scale: float = 2.0
+    capacitance: float = 8 * 105e-15
+    integration_time: float = 100e-9
+    slope_clock_period: float = 100e-9 / 64
+    noise_rms: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if self.v_full_scale <= 0 or self.capacitance <= 0:
+            raise ValueError("v_full_scale and capacitance must be positive")
+        if self.integration_time <= 0 or self.slope_clock_period <= 0:
+            raise ValueError("times must be positive")
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes."""
+        return 1 << self.bits
+
+    @property
+    def conversion_time(self) -> float:
+        """Total conversion time (integration + full counter sweep)."""
+        return self.integration_time + self.levels * self.slope_clock_period
+
+    @property
+    def full_scale_current(self) -> float:
+        """Input current mapping to the top code."""
+        return self.v_full_scale * self.capacitance / self.integration_time
+
+    @property
+    def lsb_current(self) -> float:
+        """Current corresponding to one LSB."""
+        return self.full_scale_current / self.levels
+
+
+class IntSingleSlopeADC:
+    """Functional model of the fixed-range INT single-slope ADC.
+
+    The converter has a *uniform* quantisation characteristic across its
+    whole range — which is exactly why it wastes resolution on large MAC
+    results and loses small ones, the motivation for the adaptive FP-ADC.
+    """
+
+    def __init__(self, config: IntADCConfig = IntADCConfig(),
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng(config.seed)
+
+    @property
+    def conversion_time(self) -> float:
+        """Total conversion time in seconds."""
+        return self.config.conversion_time
+
+    @property
+    def full_scale_current(self) -> float:
+        """Input current mapping to the top code."""
+        return self.config.full_scale_current
+
+    def convert(self, currents: np.ndarray) -> np.ndarray:
+        """Convert currents into integer codes (0 .. 2^bits - 1)."""
+        currents = np.asarray(currents, dtype=np.float64)
+        cfg = self.config
+        v_out = np.clip(currents, 0.0, None) * cfg.integration_time / cfg.capacitance
+        if cfg.noise_rms > 0:
+            v_out = v_out + cfg.noise_rms * self._rng.standard_normal(v_out.shape)
+        lsb = cfg.v_full_scale / cfg.levels
+        codes = np.rint(v_out / lsb)
+        return np.clip(codes, 0, cfg.levels - 1).astype(np.int64)
+
+    def convert_value(self, currents: np.ndarray) -> np.ndarray:
+        """Convert currents and return the reconstructed current estimate."""
+        codes = self.convert(currents)
+        lsb = self.config.full_scale_current / self.config.levels
+        return codes * lsb
+
+    def relative_quantisation_error(self, currents: np.ndarray) -> np.ndarray:
+        """Per-sample relative error of the uniform quantisation.
+
+        For small inputs this error blows up (a fixed LSB is a large fraction
+        of a small current), which is the effect the adaptive FP-ADC removes;
+        the ablation benchmark compares both.
+        """
+        currents = np.asarray(currents, dtype=np.float64)
+        estimate = self.convert_value(currents)
+        return np.abs(estimate - currents) / np.maximum(np.abs(currents), 1e-18)

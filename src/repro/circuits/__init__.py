@@ -1,0 +1,50 @@
+"""Behavioural models of the mixed-signal circuit blocks of AFPR-CIM.
+
+These classes replace the paper's transistor-level / Verilog-A circuit
+simulation.  Each block captures the transfer function plus the dominant
+non-idealities that matter at the system level:
+
+* :mod:`repro.circuits.opamp` — op-amp macromodel (finite gain, slew, GBW),
+* :mod:`repro.circuits.integrator` — the active integrator that converts the
+  source-line current into a voltage ramp,
+* :mod:`repro.circuits.comparator` — latched comparator with offset, noise
+  and correlated-double-sampling (CCDS) offset cancellation,
+* :mod:`repro.circuits.capbank` — the reconfigurable capacitor bank whose
+  charge sharing implements the dynamic-range adaptation (paper Eq. 2–5),
+* :mod:`repro.circuits.single_slope` — single-slope (ramp + counter) A/D
+  conversion of the residual mantissa voltage,
+* :mod:`repro.circuits.pga` — programmable-gain amplifier providing the
+  2^E gain of the FP-DAC,
+* :mod:`repro.circuits.reference` — resistor-string reference DAC shared by
+  the FP-DAC mantissa network,
+* :mod:`repro.circuits.noise` — thermal / kT-C / quantisation noise helpers,
+* :mod:`repro.circuits.transient` — a light-weight waveform recorder and
+  fixed-step transient loop used to regenerate Fig. 5(a).
+"""
+
+from repro.circuits.opamp import OpAmpModel
+from repro.circuits.integrator import ActiveIntegrator
+from repro.circuits.comparator import Comparator
+from repro.circuits.capbank import CapacitorBank, charge_share_voltage
+from repro.circuits.single_slope import SingleSlopeConverter
+from repro.circuits.pga import ProgrammableGainAmplifier
+from repro.circuits.reference import ResistorStringReference
+from repro.circuits.noise import thermal_noise_rms, ktc_noise_rms, NoiseBudget
+from repro.circuits.transient import Waveform, TransientRecorder, TransientResult
+
+__all__ = [
+    "OpAmpModel",
+    "ActiveIntegrator",
+    "Comparator",
+    "CapacitorBank",
+    "charge_share_voltage",
+    "SingleSlopeConverter",
+    "ProgrammableGainAmplifier",
+    "ResistorStringReference",
+    "thermal_noise_rms",
+    "ktc_noise_rms",
+    "NoiseBudget",
+    "Waveform",
+    "TransientRecorder",
+    "TransientResult",
+]

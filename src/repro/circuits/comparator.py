@@ -1,0 +1,100 @@
+"""Latched comparator with offset, noise and CCDS offset cancellation.
+
+The FP-ADC uses one comparator per column for two purposes: during the
+adaptive phase it detects the integrator output crossing ``V_th`` (which
+triggers a capacitor-bank expansion), and during the single-slope phase it
+detects the ramp crossing the held mantissa voltage.  The paper notes that a
+correlated-double-sampling (CCDS) network "compensates for the comparator and
+integrator offset voltages during reset" — modelled here as a large reduction
+of the static offset, leaving only residual offset and thermal noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Comparator:
+    """Behavioural clocked comparator.
+
+    Parameters
+    ----------
+    offset_voltage:
+        Raw input-referred offset in volts (before CCDS).
+    noise_rms:
+        Input-referred rms noise in volts, drawn fresh at every decision.
+    hysteresis:
+        Hysteresis width in volts (0 disables it).
+    ccds_enabled:
+        Whether correlated double sampling cancels the static offset.
+    ccds_rejection:
+        Fraction of the static offset removed by CCDS (0.99 → 1 % residual).
+    rng:
+        Random generator for the noise draws (seeded for reproducibility).
+    """
+
+    offset_voltage: float = 0.0
+    noise_rms: float = 0.0
+    hysteresis: float = 0.0
+    ccds_enabled: bool = True
+    ccds_rejection: float = 0.99
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.noise_rms < 0 or self.hysteresis < 0:
+            raise ValueError("noise_rms and hysteresis must be non-negative")
+        if not 0.0 <= self.ccds_rejection <= 1.0:
+            raise ValueError("ccds_rejection must lie in [0, 1]")
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+        self._last_output = False
+        self._decisions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_offset(self) -> float:
+        """Offset remaining after (optional) CCDS cancellation."""
+        if self.ccds_enabled:
+            return self.offset_voltage * (1.0 - self.ccds_rejection)
+        return self.offset_voltage
+
+    @property
+    def decision_count(self) -> int:
+        """Number of comparisons made since construction (drives energy model)."""
+        return self._decisions
+
+    def reset_statistics(self) -> None:
+        """Clear the decision counter and hysteresis state."""
+        self._decisions = 0
+        self._last_output = False
+
+    # ------------------------------------------------------------------
+    def compare(self, v_positive: float, v_negative: float) -> bool:
+        """One clocked decision: is ``v_positive`` above ``v_negative``?
+
+        The effective threshold is perturbed by the residual offset, a fresh
+        noise sample, and hysteresis around the previous decision.
+        """
+        self._decisions += 1
+        noise = self.noise_rms * float(self.rng.standard_normal()) if self.noise_rms else 0.0
+        threshold_shift = self.effective_offset + noise
+        if self.hysteresis > 0.0:
+            # The comparator is harder to flip away from its previous state.
+            threshold_shift += (-0.5 if self._last_output else 0.5) * self.hysteresis
+        result = (v_positive - v_negative) > threshold_shift
+        self._last_output = result
+        return bool(result)
+
+    def crossing_error(self) -> float:
+        """A single sample of the effective decision-level error in volts.
+
+        Used by the functional ADC model, which does not simulate individual
+        clock edges but still wants the statistical effect of comparator
+        non-idealities on the output code.
+        """
+        noise = self.noise_rms * float(self.rng.standard_normal()) if self.noise_rms else 0.0
+        return self.effective_offset + noise

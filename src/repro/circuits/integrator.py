@@ -1,0 +1,121 @@
+"""Active integrator (current → voltage ramp) used by the FP-ADC front end.
+
+The source-line current of the crossbar flows into the virtual ground of an
+op-amp integrator and charges the connected capacitance of the
+:class:`~repro.circuits.capbank.CapacitorBank`, producing a rising output
+voltage::
+
+    dV_O / dt = I_MAC / C_connected
+
+The behavioural model adds the op-amp's finite-gain error, slew-rate limit
+and output clipping, plus an optional leakage current, and exposes both a
+step-wise interface (used by the transient simulation) and a closed-form
+``integrate`` for the functional ADC model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.opamp import OpAmpModel
+
+
+@dataclasses.dataclass
+class ActiveIntegrator:
+    """Op-amp integrator with a reconfigurable feedback capacitance.
+
+    Parameters
+    ----------
+    opamp:
+        The op-amp macromodel (swing limits, slew rate, finite gain).
+    v_initial:
+        The voltage the output resets to (the paper's ``V_r``).
+    leakage_current:
+        Constant parasitic current (A) added to the input current, modelling
+        switch and junction leakage.
+    """
+
+    opamp: OpAmpModel = dataclasses.field(default_factory=OpAmpModel)
+    v_initial: float = 0.0
+    leakage_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._v_output = float(self.v_initial)
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    @property
+    def output_voltage(self) -> float:
+        """The current integrator output voltage."""
+        return self._v_output
+
+    @property
+    def saturated(self) -> bool:
+        """True if the output hit the op-amp swing limit since the last reset."""
+        return self._saturated
+
+    def reset(self, v_initial: Optional[float] = None) -> None:
+        """Reset the output to the initial voltage (the reset phase)."""
+        if v_initial is not None:
+            self.v_initial = float(v_initial)
+        self._v_output = float(self.v_initial)
+        self._saturated = False
+
+    def force_output(self, v_output: float) -> None:
+        """Set the output voltage directly (used right after charge sharing)."""
+        self._v_output = float(self.opamp.clip_output(v_output))
+
+    # ------------------------------------------------------------------
+    def slope(self, current: float, capacitance: float) -> float:
+        """Output ramp rate ``dV/dt`` for a given current and capacitance.
+
+        The slope is limited by the op-amp slew rate and reduced by the
+        finite-gain error of the closed loop.
+        """
+        if capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+        ideal = (current + self.leakage_current) / capacitance
+        gain_factor = 1.0 + self.opamp.closed_loop_gain_error(ideal_gain=1.0)
+        limited = np.clip(ideal * gain_factor, -self.opamp.slew_rate, self.opamp.slew_rate)
+        return float(limited)
+
+    def step(self, current: float, capacitance: float, dt: float) -> float:
+        """Advance the integrator by ``dt`` seconds and return the new output."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        new_v = self._v_output + self.slope(current, capacitance) * dt
+        clipped = float(self.opamp.clip_output(new_v))
+        if clipped != new_v:
+            self._saturated = True
+        self._v_output = clipped
+        return self._v_output
+
+    def integrate(self, current: float, capacitance: float, duration: float) -> float:
+        """Closed-form integration of a constant current for ``duration`` seconds.
+
+        Used by the fast functional ADC model; returns the final output
+        voltage (clipped to the swing) without mutating internal state.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        v = self._v_output + self.slope(current, capacitance) * duration
+        return float(self.opamp.clip_output(v))
+
+    def time_to_reach(
+        self, current: float, capacitance: float, v_target: float
+    ) -> float:
+        """Time needed to ramp from the present output to ``v_target``.
+
+        Returns ``inf`` if the ramp never reaches the target (zero or
+        wrong-sign current).
+        """
+        rate = self.slope(current, capacitance)
+        delta = v_target - self._v_output
+        if delta == 0.0:
+            return 0.0
+        if rate == 0.0 or np.sign(rate) != np.sign(delta):
+            return float("inf")
+        return float(delta / rate)

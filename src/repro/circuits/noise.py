@@ -1,0 +1,90 @@
+"""Noise helpers: thermal, kT/C, shot and quantisation noise.
+
+The functional ADC/DAC models perturb their outputs with lumped noise terms
+rather than simulating each physical source.  This module provides the
+standard formulas used to size those terms and a :class:`NoiseBudget` that
+combines independent contributors in the RMS sense, as an analog designer
+would when budgeting an ADC's input-referred noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+BOLTZMANN = 1.380649e-23
+ELECTRON_CHARGE = 1.602176634e-19
+ROOM_TEMPERATURE_K = 300.0
+
+
+def thermal_noise_rms(resistance: float, bandwidth_hz: float,
+                      temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """RMS thermal (Johnson) noise voltage of a resistor: ``sqrt(4kTRB)``."""
+    if resistance < 0 or bandwidth_hz < 0 or temperature_k <= 0:
+        raise ValueError("resistance/bandwidth must be >= 0 and temperature > 0")
+    return float(np.sqrt(4.0 * BOLTZMANN * temperature_k * resistance * bandwidth_hz))
+
+
+def ktc_noise_rms(capacitance: float,
+                  temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """RMS sampled (kT/C) noise voltage on a capacitor: ``sqrt(kT/C)``.
+
+    This is the fundamental noise floor of the charge-sharing capacitor bank
+    and of the integrator's hold operation.
+    """
+    if capacitance <= 0 or temperature_k <= 0:
+        raise ValueError("capacitance and temperature must be positive")
+    return float(np.sqrt(BOLTZMANN * temperature_k / capacitance))
+
+
+def shot_noise_rms(current: float, bandwidth_hz: float) -> float:
+    """RMS shot-noise current of a DC current: ``sqrt(2qIB)``."""
+    if current < 0 or bandwidth_hz < 0:
+        raise ValueError("current and bandwidth must be non-negative")
+    return float(np.sqrt(2.0 * ELECTRON_CHARGE * current * bandwidth_hz))
+
+
+def quantization_noise_rms(lsb: float) -> float:
+    """RMS quantisation noise of a uniform quantiser: ``LSB / sqrt(12)``."""
+    if lsb <= 0:
+        raise ValueError("lsb must be positive")
+    return float(lsb / np.sqrt(12.0))
+
+
+@dataclasses.dataclass
+class NoiseBudget:
+    """RMS combination of independent noise contributors.
+
+    Contributors are added with :meth:`add` and combined as the square root
+    of the sum of squares; the budget can then report the total and check it
+    against an LSB target (the usual "noise below half an LSB" criterion).
+    """
+
+    contributors: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def add(self, name: str, rms: float) -> None:
+        """Add (or replace) a contributor's RMS value in volts."""
+        if rms < 0:
+            raise ValueError("rms must be non-negative")
+        self.contributors[name] = float(rms)
+
+    def total_rms(self) -> float:
+        """Root-sum-square of all contributors."""
+        if not self.contributors:
+            return 0.0
+        values = np.asarray(list(self.contributors.values()))
+        return float(np.sqrt(np.sum(values ** 2)))
+
+    def dominant(self) -> str:
+        """Name of the largest contributor (empty string if none)."""
+        if not self.contributors:
+            return ""
+        return max(self.contributors, key=self.contributors.get)
+
+    def meets_lsb_target(self, lsb: float, fraction: float = 0.5) -> bool:
+        """Whether total noise stays below ``fraction`` of an LSB."""
+        if lsb <= 0:
+            raise ValueError("lsb must be positive")
+        return self.total_rms() <= fraction * lsb

@@ -1,0 +1,112 @@
+"""Resistor-string reference DAC for the FP-DAC mantissa network.
+
+The FP-DAC's "reference module provides a 5-bit reference voltage for the DAC
+through a resistor network, which can be shared by multiple rows in the array
+to save power and area."  The mantissa switch network then selects one tap as
+the analog mantissa value ``M_analog`` corresponding to ``1.M``.
+
+The model produces the tap voltages of an N-bit resistor string between a
+bottom voltage (representing mantissa 1.0, i.e. ``1.00000``) and a top
+voltage (representing ``1.11111``), with optional static resistor mismatch
+(INL) drawn once at construction, and a static power estimate for the ladder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class ResistorStringReference:
+    """Shared N-bit resistor-string voltage reference.
+
+    Parameters
+    ----------
+    bits:
+        Resolution of the tap ladder (5 for the E2M5 mantissa).
+    v_bottom / v_top:
+        Voltages at the two ends of the string.  Tap ``k`` nominally sits at
+        ``v_bottom + k * (v_top - v_bottom) / 2**bits``.
+    unit_resistance:
+        Resistance of one ladder segment in ohms (drives static power).
+    mismatch_sigma:
+        Relative sigma of each unit resistor; accumulating mismatch along the
+        string produces integral non-linearity on the taps.
+    shared_rows:
+        How many DAC rows share this reference (power amortisation).
+    rng:
+        Random generator for the mismatch draw.
+    """
+
+    bits: int = 5
+    v_bottom: float = 0.0
+    v_top: float = 1.0
+    unit_resistance: float = 10e3
+    mismatch_sigma: float = 0.0
+    shared_rows: int = 576
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if self.v_top <= self.v_bottom:
+            raise ValueError("v_top must exceed v_bottom")
+        if self.unit_resistance <= 0:
+            raise ValueError("unit_resistance must be positive")
+        if self.shared_rows < 1:
+            raise ValueError("shared_rows must be >= 1")
+        rng = self.rng if self.rng is not None else np.random.default_rng(0)
+        segments = np.ones(self.levels, dtype=np.float64)
+        if self.mismatch_sigma > 0:
+            segments = segments * (
+                1.0 + self.mismatch_sigma * rng.standard_normal(self.levels)
+            )
+            segments = np.clip(segments, 0.01, None)
+        # Tap 0 sits exactly at v_bottom and the (virtual) top of the string at
+        # v_top; mismatch only perturbs the intermediate taps.
+        cumulative = np.concatenate([[0.0], np.cumsum(segments)])
+        self._taps = self.v_bottom + (self.v_top - self.v_bottom) * (
+            cumulative[:-1] / cumulative[-1]
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of selectable taps."""
+        return 1 << self.bits
+
+    @property
+    def tap_voltages(self) -> np.ndarray:
+        """All tap voltages (index = mantissa code)."""
+        return self._taps.copy()
+
+    @property
+    def lsb(self) -> float:
+        """Nominal voltage difference between adjacent taps."""
+        return (self.v_top - self.v_bottom) / self.levels
+
+    def voltage(self, code: np.ndarray) -> np.ndarray:
+        """Tap voltage(s) for the given mantissa code(s)."""
+        code = np.asarray(code, dtype=np.int64)
+        if np.any((code < 0) | (code >= self.levels)):
+            raise ValueError(f"mantissa code out of range 0..{self.levels - 1}")
+        return self._taps[code]
+
+    def inl(self) -> np.ndarray:
+        """Integral non-linearity of each tap in LSBs."""
+        ideal = self.v_bottom + np.arange(self.levels) * self.lsb
+        return (self._taps - ideal) / self.lsb
+
+    # ------------------------------------------------------------------
+    def static_power(self) -> float:
+        """Static power of the ladder in watts (V^2 / R_total)."""
+        r_total = self.unit_resistance * self.levels
+        v_span = self.v_top - self.v_bottom
+        return v_span ** 2 / r_total
+
+    def power_per_row(self) -> float:
+        """Ladder power amortised over the rows sharing the reference."""
+        return self.static_power() / self.shared_rows

@@ -1,0 +1,124 @@
+"""Single-slope (ramp + counter) mantissa conversion.
+
+After the adaptive phase of the FP-ADC, the integrator output is held at a
+voltage ``V_M`` in the normalised range ``[V_low, V_high)`` (1 V to 2 V in
+the paper, representing the mantissa ``1.M``).  A linear ramp sweeps the
+comparator threshold across that range while a counter runs; the count at
+the crossing instant is the mantissa code.  The same block, run over the
+full dynamic range with an 8-bit counter, is the paper's conventional
+INT-ADC baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.comparator import Comparator
+
+
+@dataclasses.dataclass
+class SingleSlopeConverter:
+    """Ramp + counter A/D converter.
+
+    Parameters
+    ----------
+    bits:
+        Counter resolution (5 for the E2M5 mantissa, 4 for E3M4, 8 for the
+        INT-ADC baseline).
+    v_low / v_high:
+        Conversion range.  Codes map the range uniformly: code ``k``
+        corresponds to ``v_low + (k + 0.5) * LSB`` at the ramp's mid-step with
+        nearest rounding (the paper example converts 1.271 V to code 9, i.e.
+        nearest rather than truncating).
+    clock_period:
+        Counter clock period in seconds; total conversion time is
+        ``2**bits * clock_period``.
+    comparator:
+        Comparator used for the crossing detection (adds offset/noise to the
+        effective code).
+    truncate:
+        If True, behave like an ideal truncating counter instead of
+        half-LSB-offset nearest rounding.
+    """
+
+    bits: int = 5
+    v_low: float = 1.0
+    v_high: float = 2.0
+    clock_period: float = 3.125e-9
+    comparator: Optional[Comparator] = None
+    truncate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if self.v_high <= self.v_low:
+            raise ValueError("v_high must exceed v_low")
+        if self.clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+        if self.comparator is None:
+            self.comparator = Comparator()
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of output codes."""
+        return 1 << self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Voltage width of one code."""
+        return (self.v_high - self.v_low) / self.levels
+
+    @property
+    def conversion_time(self) -> float:
+        """Worst-case conversion time (full counter sweep)."""
+        return self.levels * self.clock_period
+
+    @property
+    def max_code(self) -> int:
+        """Largest output code."""
+        return self.levels - 1
+
+    # ------------------------------------------------------------------
+    def convert(self, v_input: float) -> int:
+        """Convert a held voltage to a counter code.
+
+        The input is perturbed by the comparator's crossing error, then
+        mapped to the nearest (or truncated) code and clamped to the code
+        range.
+        """
+        v_eff = v_input - self.comparator.crossing_error()
+        position = (v_eff - self.v_low) / self.lsb
+        if self.truncate:
+            code = int(np.floor(position))
+        else:
+            code = int(np.rint(position))
+        code = max(0, min(self.max_code, code))
+        return code
+
+    def convert_with_time(self, v_input: float) -> Tuple[int, float]:
+        """Convert and also return the time at which the comparator fired.
+
+        The crossing time is ``(code + 1) * clock_period`` — the counter stops
+        one clock after the ramp passes the held voltage.  Saturated inputs
+        take the full conversion time.
+        """
+        code = self.convert(v_input)
+        fired_at = min((code + 1) * self.clock_period, self.conversion_time)
+        return code, fired_at
+
+    def code_to_voltage(self, code: int) -> float:
+        """Nominal mid-level voltage of a code (used to reconstruct values)."""
+        if not 0 <= code <= self.max_code:
+            raise ValueError(f"code {code} out of range 0..{self.max_code}")
+        return self.v_low + code * self.lsb
+
+    def ramp_voltage(self, time: float) -> float:
+        """The ramp (threshold) voltage at a given time into the conversion."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        frac = min(time / self.conversion_time, 1.0)
+        return self.v_low + frac * (self.v_high - self.v_low)

@@ -1,0 +1,142 @@
+"""Light-weight transient waveform recording.
+
+The Fig. 5(a) reproduction runs a fixed-step time-domain simulation of one
+FP-ADC column.  Rather than pull in a full circuit simulator, the ADC model
+advances its own state and records named waveforms through the classes here,
+which provide the minimal "scope" functionality the experiment and its tests
+need: time/value storage, interpolation, crossing detection and summary
+statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Waveform:
+    """A single named signal sampled over time."""
+
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same shape")
+        if self.times.ndim != 1:
+            raise ValueError("waveforms are one-dimensional")
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at an arbitrary time."""
+        if len(self) == 0:
+            raise ValueError(f"waveform {self.name!r} is empty")
+        return float(np.interp(time, self.times, self.values))
+
+    def final_value(self) -> float:
+        """The last recorded sample."""
+        if len(self) == 0:
+            raise ValueError(f"waveform {self.name!r} is empty")
+        return float(self.values[-1])
+
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        return float(np.max(self.values))
+
+    def minimum(self) -> float:
+        """Smallest recorded value."""
+        return float(np.min(self.values))
+
+    def rising_crossings(self, threshold: float) -> List[float]:
+        """Times at which the signal crosses ``threshold`` going upward."""
+        if len(self) < 2:
+            return []
+        below = self.values[:-1] < threshold
+        above = self.values[1:] >= threshold
+        idx = np.nonzero(below & above)[0]
+        crossings = []
+        for i in idx:
+            v0, v1 = self.values[i], self.values[i + 1]
+            t0, t1 = self.times[i], self.times[i + 1]
+            if v1 == v0:
+                crossings.append(float(t1))
+            else:
+                frac = (threshold - v0) / (v1 - v0)
+                crossings.append(float(t0 + frac * (t1 - t0)))
+        return crossings
+
+    def falling_steps(self, min_drop: float) -> List[float]:
+        """Times of abrupt downward steps of at least ``min_drop`` volts.
+
+        Used to locate the charge-sharing (range-adaptation) events in the
+        integrator output waveform.
+        """
+        if len(self) < 2:
+            return []
+        drops = self.values[:-1] - self.values[1:]
+        idx = np.nonzero(drops >= min_drop)[0]
+        return [float(self.times[i + 1]) for i in idx]
+
+
+class TransientRecorder:
+    """Accumulates samples for several named signals during a simulation."""
+
+    def __init__(self, signal_names: Sequence[str]) -> None:
+        if not signal_names:
+            raise ValueError("at least one signal name is required")
+        self._names = list(signal_names)
+        self._times: List[float] = []
+        self._samples: Dict[str, List[float]] = {name: [] for name in self._names}
+
+    @property
+    def signal_names(self) -> List[str]:
+        """Names of the recorded signals."""
+        return list(self._names)
+
+    def record(self, time: float, **values: float) -> None:
+        """Record one time point; every registered signal must be supplied."""
+        missing = [n for n in self._names if n not in values]
+        if missing:
+            raise ValueError(f"missing values for signals: {missing}")
+        self._times.append(float(time))
+        for name in self._names:
+            self._samples[name].append(float(values[name]))
+
+    def to_result(self, metadata: Optional[Dict[str, float]] = None) -> "TransientResult":
+        """Freeze the recording into an immutable :class:`TransientResult`."""
+        times = np.asarray(self._times, dtype=np.float64)
+        waveforms = {
+            name: Waveform(name=name, times=times, values=np.asarray(samples))
+            for name, samples in self._samples.items()
+        }
+        return TransientResult(waveforms=waveforms, metadata=dict(metadata or {}))
+
+
+@dataclasses.dataclass
+class TransientResult:
+    """The output of a transient run: named waveforms plus scalar metadata."""
+
+    waveforms: Dict[str, Waveform]
+    metadata: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Waveform:
+        return self.waveforms[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.waveforms
+
+    @property
+    def duration(self) -> float:
+        """Simulated time span in seconds."""
+        any_wave = next(iter(self.waveforms.values()))
+        if len(any_wave) == 0:
+            return 0.0
+        return float(any_wave.times[-1] - any_wave.times[0])

@@ -1,0 +1,194 @@
+"""System-level AFPR-CIM accelerator model.
+
+The accelerator groups several mapped layers, tracks how many macro
+conversions an inference needs, and turns those counts into latency, energy
+and throughput figures using the macro power model.  It is the piece that
+connects the circuit-level models to the network-level experiments: the
+Fig. 6(c) study runs networks through it (or through its fast noise-model
+shortcut) and Table I's throughput / energy-efficiency numbers come from its
+performance report for a fully utilised macro.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import MacroConfig
+from repro.core.mapping import MappedLayer
+
+
+@dataclasses.dataclass
+class PerformanceReport:
+    """Latency / energy / throughput summary of a workload on the accelerator.
+
+    Attributes
+    ----------
+    conversions:
+        Total number of macro conversions performed.
+    macro_count:
+        Number of physical macros assumed available (conversions on different
+        macros overlap in time).
+    latency_seconds:
+        End-to-end analog latency with that much parallel hardware.
+    energy_joules:
+        Total energy consumed by the conversions.
+    operations:
+        Total MAC operations (2 ops per multiply-accumulate).
+    throughput_gops:
+        Achieved throughput in giga-operations per second.
+    energy_efficiency_tops_per_watt:
+        Achieved energy efficiency in TOPS/W.
+    """
+
+    conversions: int
+    macro_count: int
+    latency_seconds: float
+    energy_joules: float
+    operations: int
+    throughput_gops: float
+    energy_efficiency_tops_per_watt: float
+
+
+class AFPRAccelerator:
+    """A pool of AFPR-CIM macros executing a sequence of mapped layers.
+
+    Parameters
+    ----------
+    macro_config:
+        Configuration shared by every macro in the pool.
+    num_macros:
+        Number of physical macros available; layers whose tiles exceed this
+        count are time-multiplexed.
+    macro_power_watts:
+        Average power of one active macro.  If omitted the analytical power
+        model of :mod:`repro.power` is used.
+    """
+
+    def __init__(self, macro_config: MacroConfig = MacroConfig(), num_macros: int = 8,
+                 macro_power_watts: Optional[float] = None) -> None:
+        if num_macros < 1:
+            raise ValueError("num_macros must be >= 1")
+        self.macro_config = macro_config
+        self.num_macros = num_macros
+        self._layers: List[MappedLayer] = []
+        self._layer_names: List[str] = []
+        if macro_power_watts is None:
+            # Imported lazily so the core package does not hard-depend on the
+            # power package at import time.
+            from repro.power.macro_power import MacroPowerModel
+
+            macro_power_watts = MacroPowerModel(macro_config).total_power()
+        self.macro_power_watts = float(macro_power_watts)
+
+    # ------------------------------------------------------------------
+    # Layer management
+    # ------------------------------------------------------------------
+    @property
+    def layers(self) -> List[MappedLayer]:
+        """The mapped layers registered so far (in execution order)."""
+        return list(self._layers)
+
+    def add_layer(self, weights: np.ndarray, name: Optional[str] = None,
+                  ideal_programming: bool = False) -> MappedLayer:
+        """Map a weight matrix onto macros and append it to the pipeline."""
+        layer = MappedLayer(
+            weights, macro_config=self.macro_config, ideal_programming=ideal_programming
+        )
+        self._layers.append(layer)
+        self._layer_names.append(name or f"layer{len(self._layers)}")
+        return layer
+
+    def calibrate(self, activations: Sequence[np.ndarray]) -> None:
+        """Calibrate every layer with its own representative input batch."""
+        if len(activations) != len(self._layers):
+            raise ValueError(
+                f"need one calibration batch per layer "
+                f"({len(self._layers)}), got {len(activations)}"
+            )
+        for layer, acts in zip(self._layers, activations):
+            layer.calibrate(acts)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the registered layers in sequence (matrix products only).
+
+        Nonlinearities between layers belong to the network model, not the
+        accelerator; use :mod:`repro.nn.cim_backend` for complete networks.
+        """
+        x = np.asarray(inputs, dtype=np.float64)
+        for layer in self._layers:
+            x = layer.forward(x)
+        return x
+
+    # ------------------------------------------------------------------
+    # Performance accounting
+    # ------------------------------------------------------------------
+    def total_conversions(self) -> int:
+        """Macro conversions executed so far across all layers."""
+        return sum(layer.total_conversions() for layer in self._layers)
+
+    def total_operations(self) -> int:
+        """MAC operations executed so far across all layers."""
+        total = 0
+        for layer in self._layers:
+            for macro in layer.macros:
+                total += macro.stats.mac_operations
+        return total
+
+    def performance_report(self) -> PerformanceReport:
+        """Summarise the work done so far into latency / energy / efficiency."""
+        conversions = self.total_conversions()
+        operations = self.total_operations()
+        conversion_time = self.macro_config.conversion_time
+        # Conversions are spread over the available macros; the pool is the
+        # unit of time-multiplexing.
+        serial_rounds = int(np.ceil(conversions / self.num_macros)) if conversions else 0
+        latency = serial_rounds * conversion_time
+        energy = conversions * self.macro_power_watts * conversion_time
+        throughput = operations / latency / 1e9 if latency > 0 else 0.0
+        efficiency = operations / energy / 1e12 if energy > 0 else 0.0
+        return PerformanceReport(
+            conversions=conversions,
+            macro_count=self.num_macros,
+            latency_seconds=latency,
+            energy_joules=energy,
+            operations=operations,
+            throughput_gops=throughput,
+            energy_efficiency_tops_per_watt=efficiency,
+        )
+
+    def peak_performance(self) -> Dict[str, float]:
+        """Peak (fully utilised) figures of one macro, as reported in Table I.
+
+        Returns a dictionary with the macro latency in microseconds, the peak
+        throughput in GOPS and the peak energy efficiency in TOPS/W.
+        """
+        conversion_time = self.macro_config.conversion_time
+        ops = self.macro_config.ops_per_conversion
+        throughput_gops = ops / conversion_time / 1e9
+        energy_per_conversion = self.macro_power_watts * conversion_time
+        efficiency = ops / energy_per_conversion / 1e12
+        return {
+            "latency_us": conversion_time * 1e6,
+            "throughput_gops": throughput_gops,
+            "energy_efficiency_tops_per_watt": efficiency,
+        }
+
+    def layer_summary(self) -> List[Dict[str, float]]:
+        """Per-layer mapping summary (macros used, conversions, operations)."""
+        summary = []
+        for name, layer in zip(self._layer_names, self._layers):
+            ops = sum(macro.stats.mac_operations for macro in layer.macros)
+            summary.append(
+                {
+                    "name": name,
+                    "in_features": float(layer.in_features),
+                    "out_features": float(layer.out_features),
+                    "macros": float(layer.num_macros),
+                    "conversions": float(layer.total_conversions()),
+                    "operations": float(ops),
+                }
+            )
+        return summary

@@ -1,0 +1,266 @@
+"""Network-to-macro mapping (paper Section III-D and Fig. 4).
+
+Convolutional kernels of shape ``C_out x C_in x k x k`` are flattened into a
+``(C_in * k * k) x C_out`` weight matrix and the layer input is expanded into
+matching ``C_in * k * k`` patches (im2col), so both convolutions and fully
+connected layers become the same matrix product that a crossbar computes.
+
+A weight matrix larger than one macro is tiled:
+
+* the row dimension is cut into chunks of at most 576 (the paper: "when the
+  weight matrix exceeds 576, the result of the MAC operation in the CIM
+  column is a partial sum" which "the inter-core routing adder" accumulates),
+* the column dimension is cut into chunks of at most the macro's signed
+  column capacity (128 for a 256-wide differential array).
+
+:class:`MappedLayer` owns one :class:`~repro.core.macro.AFPRMacro` per tile
+and performs the partial-sum accumulation digitally through
+:class:`RoutingAdder`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import MacroConfig
+from repro.core.macro import AFPRMacro
+from repro.formats.fp8 import FP16, FloatFormat
+
+
+# ----------------------------------------------------------------------
+# im2col and weight reshaping
+# ----------------------------------------------------------------------
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    if size < 1 or kernel < 1 or stride < 1 or padding < 0:
+        raise ValueError("invalid convolution geometry")
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError("convolution produces an empty output")
+    return out
+
+
+def im2col(inputs: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Expand NCHW inputs into convolution patches.
+
+    Returns an array of shape ``(N * H_out * W_out, C * kernel * kernel)``
+    whose rows are the flattened receptive fields, ready to be multiplied by
+    a ``(C * k * k, C_out)`` weight matrix.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 4:
+        raise ValueError("inputs must be NCHW")
+    n, c, h, w = inputs.shape
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        inputs = np.pad(
+            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    # Gather patches with stride tricks-free indexing (clear over clever).
+    patches = np.empty((n, h_out, w_out, c, kernel, kernel), dtype=np.float64)
+    for i in range(kernel):
+        i_end = i + stride * h_out
+        for j in range(kernel):
+            j_end = j + stride * w_out
+            patches[:, :, :, :, i, j] = inputs[:, :, i:i_end:stride, j:j_end:stride].transpose(0, 2, 3, 1)
+    return patches.reshape(n * h_out * w_out, c * kernel * kernel)
+
+
+def col2im_output(columns: np.ndarray, batch: int, out_channels: int,
+                  h_out: int, w_out: int) -> np.ndarray:
+    """Reshape the matrix-product result back into NCHW feature maps."""
+    columns = np.asarray(columns, dtype=np.float64)
+    expected = batch * h_out * w_out
+    if columns.shape[0] != expected or columns.shape[1] != out_channels:
+        raise ValueError(
+            f"result shape {columns.shape} does not match "
+            f"({expected}, {out_channels})"
+        )
+    return columns.reshape(batch, h_out, w_out, out_channels).transpose(0, 3, 1, 2)
+
+
+def conv_weights_to_matrix(weights: np.ndarray) -> np.ndarray:
+    """Flatten ``(C_out, C_in, k, k)`` kernels into a ``(C_in*k*k, C_out)`` matrix."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4:
+        raise ValueError("convolution weights must be 4-D (C_out, C_in, k, k)")
+    c_out = weights.shape[0]
+    return weights.reshape(c_out, -1).T
+
+
+# ----------------------------------------------------------------------
+# Tiling
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class TileSpec:
+    """One rectangular weight tile assigned to one macro."""
+
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def rows(self) -> int:
+        """Number of input features covered by the tile."""
+        return self.row_stop - self.row_start
+
+    @property
+    def cols(self) -> int:
+        """Number of output features covered by the tile."""
+        return self.col_stop - self.col_start
+
+
+def tile_weight_matrix(in_features: int, out_features: int,
+                       max_rows: int, max_cols: int) -> List[TileSpec]:
+    """Cut an ``in_features x out_features`` matrix into macro-sized tiles."""
+    if in_features < 1 or out_features < 1:
+        raise ValueError("weight matrix must be non-empty")
+    if max_rows < 1 or max_cols < 1:
+        raise ValueError("tile limits must be positive")
+    tiles = []
+    for row_start in range(0, in_features, max_rows):
+        row_stop = min(row_start + max_rows, in_features)
+        for col_start in range(0, out_features, max_cols):
+            col_stop = min(col_start + max_cols, out_features)
+            tiles.append(TileSpec(row_start, row_stop, col_start, col_stop))
+    return tiles
+
+
+class RoutingAdder:
+    """Digital partial-sum accumulator between macros.
+
+    The inter-core routing adder of the paper accumulates the partial sums of
+    row tiles.  Accumulation happens in a wider floating-point format (FP16
+    by default) so the adder itself does not become the precision bottleneck;
+    passing ``accumulate_format=None`` keeps full float64 accumulation.
+    """
+
+    def __init__(self, accumulate_format: Optional[FloatFormat] = FP16) -> None:
+        self.accumulate_format = accumulate_format
+        self.additions = 0
+
+    def accumulate(self, partials: Sequence[np.ndarray]) -> np.ndarray:
+        """Sum a sequence of partial results elementwise."""
+        partials = list(partials)
+        if not partials:
+            raise ValueError("need at least one partial result")
+        total = np.zeros_like(np.asarray(partials[0], dtype=np.float64))
+        for partial in partials:
+            total = total + np.asarray(partial, dtype=np.float64)
+            self.additions += total.size
+            if self.accumulate_format is not None:
+                scale = float(np.max(np.abs(total))) or 1.0
+                norm = self.accumulate_format.max_value
+                total = self.accumulate_format.quantize(total / scale * norm) / norm * scale
+        return total
+
+
+# ----------------------------------------------------------------------
+# A layer mapped onto one or more macros
+# ----------------------------------------------------------------------
+class MappedLayer:
+    """A weight matrix mapped onto as many AFPR-CIM macros as needed.
+
+    Parameters
+    ----------
+    weights:
+        Signed weight matrix of shape ``(in_features, out_features)``.
+    macro_config:
+        Configuration used for every tile macro.
+    routing_adder:
+        Adder used to combine row-tile partial sums (a fresh FP16 adder is
+        created if omitted).
+    ideal_programming:
+        Program conductances without write noise (useful for debugging and
+        golden-model comparisons).
+    """
+
+    def __init__(self, weights: np.ndarray, macro_config: MacroConfig = MacroConfig(),
+                 routing_adder: Optional[RoutingAdder] = None,
+                 ideal_programming: bool = False,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be 2-D (in_features, out_features)")
+        self.weights = weights
+        self.macro_config = macro_config
+        self.routing_adder = routing_adder if routing_adder is not None else RoutingAdder()
+        self._rng = rng if rng is not None else np.random.default_rng(macro_config.seed)
+
+        in_features, out_features = weights.shape
+        probe = AFPRMacro(macro_config, rng=self._rng)
+        self.tiles = tile_weight_matrix(
+            in_features, out_features, probe.max_in_features, probe.max_out_features
+        )
+        self.macros: List[AFPRMacro] = []
+        for tile in self.tiles:
+            macro = AFPRMacro(macro_config, rng=self._rng)
+            macro.program_weights(
+                weights[tile.row_start:tile.row_stop, tile.col_start:tile.col_stop],
+                ideal=ideal_programming,
+            )
+            self.macros.append(macro)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_features(self) -> int:
+        """Input feature count of the mapped layer."""
+        return self.weights.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        """Output feature count of the mapped layer."""
+        return self.weights.shape[1]
+
+    @property
+    def num_macros(self) -> int:
+        """Number of macros this layer occupies."""
+        return len(self.macros)
+
+    def calibrate(self, calibration_activations: np.ndarray) -> None:
+        """Calibrate every tile macro with the matching slice of the inputs."""
+        acts = np.atleast_2d(np.asarray(calibration_activations, dtype=np.float64))
+        if acts.shape[1] != self.in_features:
+            raise ValueError(
+                f"calibration activations have {acts.shape[1]} features, "
+                f"expected {self.in_features}"
+            )
+        for tile, macro in zip(self.tiles, self.macros):
+            macro.calibrate(acts[:, tile.row_start:tile.row_stop])
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        """Compute ``activations @ weights`` through the mapped macros."""
+        acts = np.asarray(activations, dtype=np.float64)
+        squeeze = acts.ndim == 1
+        acts = np.atleast_2d(acts)
+        if acts.shape[1] != self.in_features:
+            raise ValueError(
+                f"activation length {acts.shape[1]} does not match {self.in_features}"
+            )
+        output = np.zeros((acts.shape[0], self.out_features), dtype=np.float64)
+        # Group tiles by column range so row tiles of the same columns are
+        # accumulated through the routing adder.
+        col_ranges = sorted({(t.col_start, t.col_stop) for t in self.tiles})
+        for col_start, col_stop in col_ranges:
+            partials = []
+            for tile, macro in zip(self.tiles, self.macros):
+                if (tile.col_start, tile.col_stop) != (col_start, col_stop):
+                    continue
+                partials.append(macro.matvec(acts[:, tile.row_start:tile.row_stop]))
+            output[:, col_start:col_stop] = self.routing_adder.accumulate(partials)
+        return output[0] if squeeze else output
+
+    __call__ = forward
+
+    def total_conversions(self) -> int:
+        """Macro conversions performed so far (across all tiles)."""
+        return sum(macro.stats.conversions for macro in self.macros)
+
+    def ideal_forward(self, activations: np.ndarray) -> np.ndarray:
+        """Digital floating-point reference of the mapped computation."""
+        return np.asarray(activations, dtype=np.float64) @ self.weights

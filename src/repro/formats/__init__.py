@@ -1,0 +1,94 @@
+"""Number-format substrate for the AFPR-CIM reproduction.
+
+This package implements the digital number formats the paper builds on:
+
+* generic low-bit floating-point formats (``ExMy``), in particular the two
+  FP8 candidates the paper studies — **E2M5** (chosen) and **E3M4** — plus
+  reference formats (FP16, BF16, FP32 passthrough),
+* symmetric / asymmetric integer quantisation (INT8 and generic widths),
+* rounding modes (nearest-even, nearest-away, truncation, stochastic),
+* tensor quantisers with calibration (absolute-max, percentile, MSE search)
+  used by the post-training-quantisation flow of Fig. 6(c),
+* quantisation-error metrics.
+
+Everything operates on numpy arrays and is vectorised; scalar convenience
+wrappers are provided where they aid readability in tests and examples.
+"""
+
+from repro.formats.rounding import (
+    RoundingMode,
+    round_to_grid,
+    round_nearest_even,
+    round_nearest_away,
+    round_stochastic,
+    round_truncate,
+)
+from repro.formats.fp8 import (
+    FloatFormat,
+    E2M5,
+    E3M4,
+    E4M3,
+    E5M2,
+    FP16,
+    BF16,
+    decompose,
+    fp8_value_table,
+)
+from repro.formats.intq import (
+    IntFormat,
+    INT8,
+    INT4,
+    UINT8,
+    quantize_int,
+    dequantize_int,
+    fake_quant_int,
+)
+from repro.formats.quantizer import (
+    CalibrationMethod,
+    TensorQuantizer,
+    FloatQuantizer,
+    IntQuantizer,
+    calibrate_scale,
+)
+from repro.formats.metrics import (
+    quantization_mse,
+    quantization_sqnr_db,
+    cosine_similarity,
+    max_abs_error,
+    relative_error,
+)
+
+__all__ = [
+    "RoundingMode",
+    "round_to_grid",
+    "round_nearest_even",
+    "round_nearest_away",
+    "round_stochastic",
+    "round_truncate",
+    "FloatFormat",
+    "E2M5",
+    "E3M4",
+    "E4M3",
+    "E5M2",
+    "FP16",
+    "BF16",
+    "decompose",
+    "fp8_value_table",
+    "IntFormat",
+    "INT8",
+    "INT4",
+    "UINT8",
+    "quantize_int",
+    "dequantize_int",
+    "fake_quant_int",
+    "CalibrationMethod",
+    "TensorQuantizer",
+    "FloatQuantizer",
+    "IntQuantizer",
+    "calibrate_scale",
+    "quantization_mse",
+    "quantization_sqnr_db",
+    "cosine_similarity",
+    "max_abs_error",
+    "relative_error",
+]

@@ -1,0 +1,348 @@
+"""Low-bit floating-point formats (FP8 E2M5 / E3M4 and friends).
+
+The paper's central format choice is **FP8 E2M5** — one sign bit, two exponent
+bits and five mantissa bits — against the alternative **E3M4** and the
+integer baseline INT8.  The AFPR-CIM macro stores and communicates activations
+in this format; the FP-DAC reconstructs it into an analog voltage
+(``V = 2^E × 1.M``) and the FP-ADC produces it back from the analog MAC
+result.
+
+:class:`FloatFormat` implements a generic ``ExMy`` format with
+
+* configurable exponent bias (defaults to the IEEE-style ``2^(E-1) - 1``),
+* gradual underflow (subnormals) that can be switched off,
+* saturation to the largest finite value instead of infinities (the usual
+  choice for inference-oriented FP8, and what a saturating analog readout
+  does physically),
+* bit-exact encode/decode to integer code words, so hardware-level tests can
+  compare digital codes rather than real values.
+
+All array operations are vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.formats.rounding import RoundingMode, round_integer
+
+
+@dataclasses.dataclass(frozen=True)
+class FloatFormat:
+    """A generic sign + exponent + mantissa floating-point format.
+
+    Parameters
+    ----------
+    exponent_bits:
+        Number of exponent bits (``E`` in ``ExMy``).
+    mantissa_bits:
+        Number of stored mantissa bits (``M`` in ``ExMy``).
+    bias:
+        Exponent bias.  ``None`` selects the IEEE convention
+        ``2**(exponent_bits - 1) - 1``.
+    signed:
+        Whether a sign bit is present.  The AFPR-CIM activation path is
+        signed (differential crossbar columns handle weight sign).
+    subnormals:
+        Enable gradual underflow.  Disabled formats flush small values to 0.
+    saturate:
+        Clamp out-of-range magnitudes to the largest finite value instead of
+        producing infinities.  FP8 inference formats (and analog readout)
+        saturate.
+    name:
+        Cosmetic name used in reports.
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+    bias: Optional[int] = None
+    signed: bool = True
+    subnormals: bool = True
+    saturate: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 1:
+            raise ValueError("exponent_bits must be >= 1")
+        if self.mantissa_bits < 1:
+            raise ValueError("mantissa_bits must be >= 1")
+        if self.bias is None:
+            object.__setattr__(self, "bias", (1 << (self.exponent_bits - 1)) - 1)
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"E{self.exponent_bits}M{self.mantissa_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived characteristics
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits (including the sign bit if present)."""
+        return int(self.signed) + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def exponent_levels(self) -> int:
+        """Number of distinct exponent field values."""
+        return 1 << self.exponent_bits
+
+    @property
+    def mantissa_levels(self) -> int:
+        """Number of distinct mantissa field values."""
+        return 1 << self.mantissa_bits
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest *unbiased* exponent of a normal number."""
+        first_normal_field = 1 if self.subnormals else 0
+        return first_normal_field - self.bias
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent (no field value is reserved for inf/NaN)."""
+        return (self.exponent_levels - 1) - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        frac = (self.mantissa_levels - 1) / self.mantissa_levels
+        return (1.0 + frac) * 2.0 ** self.max_exponent
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0 ** self.min_exponent
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive representable magnitude (subnormal if enabled)."""
+        if self.subnormals:
+            return 2.0 ** self.min_exponent / self.mantissa_levels
+        return self.min_normal
+
+    @property
+    def code_count(self) -> int:
+        """Number of distinct non-negative code words."""
+        return self.exponent_levels * self.mantissa_levels
+
+    def dynamic_range_db(self) -> float:
+        """Dynamic range (max over min representable magnitude) in dB."""
+        return 20.0 * np.log10(self.max_value / self.min_subnormal)
+
+    # ------------------------------------------------------------------
+    # Quantisation of real values
+    # ------------------------------------------------------------------
+    def quantize(
+        self,
+        x: np.ndarray,
+        rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Return the nearest representable value for every element of ``x``.
+
+        This is the "fake quantisation" operation used throughout the PTQ
+        flow: the output is a float64 array whose values all lie on the
+        format's grid.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        sign = np.sign(x)
+        mag = np.abs(x)
+        if not self.signed:
+            sign = np.ones_like(x)
+            mag = np.where(x < 0, 0.0, mag)
+
+        out = np.zeros_like(mag)
+        finite = np.isfinite(mag) & (mag > 0)
+
+        # Exponent of each magnitude, clamped to the representable window.
+        with np.errstate(divide="ignore"):
+            exp = np.floor(np.log2(mag, where=finite, out=np.zeros_like(mag)))
+        exp = np.clip(exp, self.min_exponent, self.max_exponent)
+
+        scale = 2.0 ** exp
+        # Mantissa step at this exponent; subnormals share the min-normal step.
+        step = scale / self.mantissa_levels
+        quantized = round_integer(mag / step, mode=rounding, rng=rng) * step
+
+        # Values whose rounding pushed them to the next binade are still on
+        # the grid (2.0 * 2^e == 1.0 * 2^(e+1)); only the very top can exceed
+        # the max value.
+        if self.saturate:
+            quantized = np.minimum(quantized, self.max_value)
+        else:
+            quantized = np.where(quantized > self.max_value, np.inf, quantized)
+
+        if not self.subnormals:
+            quantized = np.where(quantized < self.min_normal, 0.0, quantized)
+
+        out = np.where(finite, quantized, mag)
+        if self.saturate:
+            out = np.where(np.isinf(out), self.max_value, out)
+        return sign * out
+
+    def quantization_step(self, x: np.ndarray) -> np.ndarray:
+        """Local quantisation step (ULP) at the magnitude of each element."""
+        mag = np.abs(np.asarray(x, dtype=np.float64))
+        mag = np.maximum(mag, self.min_subnormal)
+        exp = np.clip(np.floor(np.log2(mag)), self.min_exponent, self.max_exponent)
+        return 2.0 ** exp / self.mantissa_levels
+
+    # ------------------------------------------------------------------
+    # Bit-level encode / decode
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        x: np.ndarray,
+        rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> np.ndarray:
+        """Encode real values into integer code words.
+
+        Layout (MSB → LSB): ``[sign | exponent | mantissa]``.  Returns an
+        ``int64`` array of the same shape as ``x``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        q = self.quantize(x, rounding=rounding)
+        sign_bit = (q < 0).astype(np.int64) if self.signed else np.zeros(x.shape, np.int64)
+        mag = np.abs(q)
+
+        exp_field = np.zeros(x.shape, dtype=np.int64)
+        man_field = np.zeros(x.shape, dtype=np.int64)
+
+        nonzero = mag > 0
+        if np.any(nonzero):
+            m = mag[nonzero]
+            e = np.clip(np.floor(np.log2(m)), self.min_exponent, self.max_exponent)
+            normal = m >= self.min_normal
+            # Normal numbers: mantissa is the fraction beyond the implicit 1.
+            frac = m / (2.0 ** e) - 1.0
+            man = np.rint(frac * self.mantissa_levels).astype(np.int64)
+            ef = (e + self.bias).astype(np.int64)
+            # Mantissa overflow onto the next exponent (frac rounded to 1.0).
+            overflow = man >= self.mantissa_levels
+            man = np.where(overflow, 0, man)
+            ef = np.where(overflow, ef + 1, ef)
+            if self.subnormals:
+                # Subnormal numbers: exponent field 0, value = man/2^M * 2^min_exp.
+                sub = ~normal
+                sub_man = np.rint(
+                    m / (2.0 ** self.min_exponent) * self.mantissa_levels
+                ).astype(np.int64)
+                sub_man = np.minimum(sub_man, self.mantissa_levels - 1)
+                man = np.where(sub, sub_man, man)
+                ef = np.where(sub, 0, ef)
+            ef = np.clip(ef, 0, self.exponent_levels - 1)
+            exp_field[nonzero] = ef
+            man_field[nonzero] = man
+
+        code = man_field | (exp_field << self.mantissa_bits)
+        if self.signed:
+            code = code | (sign_bit << (self.mantissa_bits + self.exponent_bits))
+        return code
+
+    def decode(self, code: np.ndarray) -> np.ndarray:
+        """Decode integer code words back into real values (float64)."""
+        code = np.asarray(code, dtype=np.int64)
+        man_mask = self.mantissa_levels - 1
+        exp_mask = self.exponent_levels - 1
+        man = code & man_mask
+        exp = (code >> self.mantissa_bits) & exp_mask
+        if self.signed:
+            sign = 1.0 - 2.0 * ((code >> (self.mantissa_bits + self.exponent_bits)) & 1)
+        else:
+            sign = np.ones(code.shape, dtype=np.float64)
+
+        if self.subnormals:
+            is_sub = exp == 0
+            normal_val = (1.0 + man / self.mantissa_levels) * 2.0 ** (exp - self.bias)
+            sub_val = (man / self.mantissa_levels) * 2.0 ** self.min_exponent
+            mag = np.where(is_sub, sub_val, normal_val)
+        else:
+            mag = (1.0 + man / self.mantissa_levels) * 2.0 ** (exp - self.bias)
+            mag = np.where((exp == 0) & (man == 0), 0.0, mag)
+        # All-zero code is exactly zero regardless of subnormal support.
+        mag = np.where((exp == 0) & (man == 0), 0.0, mag)
+        return sign * mag
+
+    def fields(self, code: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split code words into ``(sign, exponent_field, mantissa_field)``."""
+        code = np.asarray(code, dtype=np.int64)
+        man = code & (self.mantissa_levels - 1)
+        exp = (code >> self.mantissa_bits) & (self.exponent_levels - 1)
+        if self.signed:
+            sign = (code >> (self.mantissa_bits + self.exponent_bits)) & 1
+        else:
+            sign = np.zeros_like(code)
+        return sign, exp, man
+
+    def compose(
+        self, sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray
+    ) -> np.ndarray:
+        """Assemble code words from separate fields (inverse of :meth:`fields`)."""
+        sign = np.asarray(sign, dtype=np.int64)
+        exponent = np.asarray(exponent, dtype=np.int64)
+        mantissa = np.asarray(mantissa, dtype=np.int64)
+        if np.any((exponent < 0) | (exponent >= self.exponent_levels)):
+            raise ValueError("exponent field out of range")
+        if np.any((mantissa < 0) | (mantissa >= self.mantissa_levels)):
+            raise ValueError("mantissa field out of range")
+        code = mantissa | (exponent << self.mantissa_bits)
+        if self.signed:
+            code = code | ((sign & 1) << (self.mantissa_bits + self.exponent_bits))
+        return code
+
+    # ------------------------------------------------------------------
+    def all_values(self, include_negative: bool = False) -> np.ndarray:
+        """Every representable value, sorted ascending.
+
+        Useful for exhaustive tests and for plotting the non-uniform grid.
+        """
+        codes = np.arange(self.code_count)
+        vals = self.decode(codes)
+        vals = np.unique(vals)
+        if include_negative and self.signed:
+            vals = np.unique(np.concatenate([-vals, vals]))
+        return np.sort(vals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FloatFormat({self.name}, bias={self.bias}, "
+            f"max={self.max_value:g}, min_sub={self.min_subnormal:g})"
+        )
+
+
+def decompose(x: np.ndarray, fmt: FloatFormat) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose real values into ``(sign, exponent_field, mantissa_field)``.
+
+    Convenience wrapper combining :meth:`FloatFormat.encode` and
+    :meth:`FloatFormat.fields`; this is exactly what the FP-DAC front end does
+    with an incoming FP8 activation word.
+    """
+    return fmt.fields(fmt.encode(x))
+
+
+def fp8_value_table(fmt: FloatFormat) -> np.ndarray:
+    """Return a ``(code, value)`` table for all non-negative codes of ``fmt``."""
+    codes = np.arange(fmt.code_count)
+    return np.stack([codes, fmt.decode(codes)], axis=1)
+
+
+# ----------------------------------------------------------------------
+# Canonical format instances used across the repository
+# ----------------------------------------------------------------------
+
+#: The paper's chosen activation format: 1 sign + 2 exponent + 5 mantissa bits.
+E2M5 = FloatFormat(exponent_bits=2, mantissa_bits=5, name="FP8-E2M5")
+
+#: The alternative FP8 bit assignment studied in Fig. 6.
+E3M4 = FloatFormat(exponent_bits=3, mantissa_bits=4, name="FP8-E3M4")
+
+#: Standard FP8 variants included for completeness / comparison studies.
+E4M3 = FloatFormat(exponent_bits=4, mantissa_bits=3, name="FP8-E4M3")
+E5M2 = FloatFormat(exponent_bits=5, mantissa_bits=2, name="FP8-E5M2")
+
+#: Reference half-precision formats.
+FP16 = FloatFormat(exponent_bits=5, mantissa_bits=10, name="FP16")
+BF16 = FloatFormat(exponent_bits=8, mantissa_bits=7, name="BF16")

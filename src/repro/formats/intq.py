@@ -1,0 +1,135 @@
+"""Integer quantisation formats (the paper's INT8 baseline).
+
+The AFPR-CIM paper compares its FP8 (E2M5) data path against an INT8 data
+path realised on the same analog crossbar with a conventional single-slope
+ADC.  This module provides the integer quantisation primitives used both by
+that baseline and by the internal INT-domain representation of the crossbar
+(weights are programmed as multi-level conductances, i.e. small unsigned
+integers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.formats.rounding import RoundingMode, round_integer
+
+
+@dataclasses.dataclass(frozen=True)
+class IntFormat:
+    """A fixed-point integer format described by bit width and signedness."""
+
+    bits: int
+    signed: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if not self.name:
+            prefix = "INT" if self.signed else "UINT"
+            object.__setattr__(self, "name", f"{prefix}{self.bits}")
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable integer."""
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable integer."""
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    @property
+    def levels(self) -> int:
+        """Number of representable levels."""
+        return 1 << self.bits
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width (mirrors :class:`FloatFormat.total_bits`)."""
+        return self.bits
+
+    def dynamic_range_db(self) -> float:
+        """Dynamic range (max magnitude over one LSB) in dB."""
+        return 20.0 * np.log10(max(abs(self.qmin), self.qmax))
+
+    def clamp(self, q: np.ndarray) -> np.ndarray:
+        """Clamp integer values into the representable range."""
+        return np.clip(q, self.qmin, self.qmax)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntFormat({self.name}, [{self.qmin}, {self.qmax}])"
+
+
+#: The paper's integer baseline format.
+INT8 = IntFormat(bits=8, signed=True)
+
+#: Low-precision variant used for multi-level RRAM conductance levels.
+INT4 = IntFormat(bits=4, signed=False, name="UINT4")
+
+#: Unsigned 8-bit, used for crossbar input voltage codes.
+UINT8 = IntFormat(bits=8, signed=False)
+
+
+def quantize_int(
+    x: np.ndarray,
+    scale: float,
+    fmt: IntFormat = INT8,
+    zero_point: int = 0,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Quantise real values to integers: ``q = clamp(round(x / scale) + zp)``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    x = np.asarray(x, dtype=np.float64)
+    q = round_integer(x / scale, mode=rounding, rng=rng) + zero_point
+    return fmt.clamp(q).astype(np.int64)
+
+
+def dequantize_int(q: np.ndarray, scale: float, zero_point: int = 0) -> np.ndarray:
+    """Reconstruct real values from integers: ``x = (q - zp) * scale``."""
+    q = np.asarray(q, dtype=np.float64)
+    return (q - zero_point) * scale
+
+
+def fake_quant_int(
+    x: np.ndarray,
+    scale: float,
+    fmt: IntFormat = INT8,
+    zero_point: int = 0,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Quantise and immediately dequantise (the PTQ "fake quant" op)."""
+    q = quantize_int(x, scale, fmt=fmt, zero_point=zero_point, rounding=rounding, rng=rng)
+    return dequantize_int(q, scale, zero_point=zero_point)
+
+
+def symmetric_scale(x: np.ndarray, fmt: IntFormat = INT8) -> float:
+    """Absolute-max symmetric scale so that ``max|x|`` maps to ``qmax``."""
+    amax = float(np.max(np.abs(np.asarray(x, dtype=np.float64))))
+    if amax == 0.0:
+        return 1.0
+    scale = amax / fmt.qmax
+    # Guard against underflow to zero for denormal-only inputs.
+    return scale if scale > 0.0 else 1.0
+
+
+def asymmetric_scale_zero_point(
+    x: np.ndarray, fmt: IntFormat = UINT8
+) -> Tuple[float, int]:
+    """Min/max asymmetric scale and zero point covering the full range of ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    lo = float(np.min(x))
+    hi = float(np.max(x))
+    if hi == lo:
+        return 1.0, 0
+    scale = (hi - lo) / (fmt.qmax - fmt.qmin)
+    zero_point = int(round(fmt.qmin - lo / scale))
+    zero_point = int(np.clip(zero_point, fmt.qmin, fmt.qmax))
+    return scale, zero_point

@@ -1,0 +1,66 @@
+"""Quantisation-error metrics.
+
+Small helpers used by the accuracy experiments (Fig. 6(c)) and by tests to
+quantify how well a quantised tensor approximates its full-precision
+reference.  All functions accept arbitrary-shape numpy arrays and return
+floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantization_mse(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean squared error between the reference and quantised tensors."""
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    if reference.shape != quantized.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {quantized.shape}"
+        )
+    return float(np.mean((reference - quantized) ** 2))
+
+
+def quantization_sqnr_db(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Signal-to-quantisation-noise ratio in dB (higher is better).
+
+    Returns ``inf`` for a perfect match and ``-inf`` for a zero-power signal
+    with non-zero error.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    signal = float(np.mean(reference ** 2))
+    noise = quantization_mse(reference, quantized)
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        return float("-inf")
+    return 10.0 * float(np.log10(signal / noise))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two flattened tensors (1.0 = identical direction)."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 1.0 if na == nb else 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def max_abs_error(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Worst-case absolute error."""
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    if reference.size == 0:
+        return 0.0
+    return float(np.max(np.abs(reference - quantized)))
+
+
+def relative_error(reference: np.ndarray, quantized: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean relative error ``|ref - q| / (|ref| + eps)``."""
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    return float(np.mean(np.abs(reference - quantized) / (np.abs(reference) + eps)))

@@ -1,0 +1,113 @@
+"""Rounding primitives shared by the floating-point and integer quantisers.
+
+The AFPR-CIM data path quantises values in several places: the FP-DAC
+reference ladder (5-bit mantissa), the FP-ADC single-slope counter (5-bit
+mantissa), and the digital PTQ flow (weights and activations).  All of them
+reduce a real value to a discrete grid; the only difference is which grid and
+which tie-breaking rule.  This module centralises those rules so every
+quantiser in the repository behaves identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+
+class RoundingMode(enum.Enum):
+    """Tie-breaking / direction rule used when snapping a value to a grid."""
+
+    NEAREST_EVEN = "nearest_even"
+    NEAREST_AWAY = "nearest_away"
+    TRUNCATE = "truncate"
+    STOCHASTIC = "stochastic"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def round_nearest_even(x: np.ndarray) -> np.ndarray:
+    """Round to the nearest integer, ties to even (IEEE-754 default).
+
+    ``numpy.rint`` already implements banker's rounding, we simply expose it
+    under a name that states the intent.
+    """
+    return np.rint(np.asarray(x, dtype=np.float64))
+
+
+def round_nearest_away(x: np.ndarray) -> np.ndarray:
+    """Round to the nearest integer, ties away from zero (classic rounding)."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.sign(x) * np.floor(np.abs(x) + 0.5)
+
+
+def round_truncate(x: np.ndarray) -> np.ndarray:
+    """Round toward zero (drop the fractional part)."""
+    return np.trunc(np.asarray(x, dtype=np.float64))
+
+
+def round_stochastic(
+    x: np.ndarray, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Stochastic rounding: round up with probability equal to the fraction.
+
+    Stochastic rounding is unbiased in expectation, which matters for
+    accumulating small gradients or repeated analog conversions.  A dedicated
+    ``rng`` can be passed for reproducibility; otherwise a fresh default
+    generator is used.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if rng is None:
+        rng = np.random.default_rng()
+    floor = np.floor(x)
+    frac = x - floor
+    return floor + (rng.random(x.shape) < frac)
+
+
+_INTEGER_ROUNDERS = {
+    RoundingMode.NEAREST_EVEN: round_nearest_even,
+    RoundingMode.NEAREST_AWAY: round_nearest_away,
+    RoundingMode.TRUNCATE: round_truncate,
+}
+
+
+def round_integer(
+    x: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Round ``x`` to integers using the requested :class:`RoundingMode`."""
+    if mode is RoundingMode.STOCHASTIC:
+        return round_stochastic(x, rng=rng)
+    try:
+        rounder = _INTEGER_ROUNDERS[mode]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unsupported rounding mode: {mode!r}") from exc
+    return rounder(x)
+
+
+def round_to_grid(
+    x: np.ndarray,
+    step: float,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Snap ``x`` to a uniform grid with spacing ``step``.
+
+    Parameters
+    ----------
+    x:
+        Values to round (any shape).
+    step:
+        Grid spacing; must be positive.
+    mode:
+        Tie-breaking rule.
+    rng:
+        Random generator, only used for stochastic rounding.
+    """
+    if step <= 0:
+        raise ValueError(f"grid step must be positive, got {step}")
+    x = np.asarray(x, dtype=np.float64)
+    return round_integer(x / step, mode=mode, rng=rng) * step

@@ -1,0 +1,188 @@
+"""Hardware-in-the-loop execution: run network layers on AFPR-CIM macros.
+
+Where :mod:`repro.nn.quantize` injects *lumped* CIM noise for fast
+network-level studies, this module actually routes every Conv2d / Linear
+matrix product through :class:`~repro.core.mapping.MappedLayer` macros —
+FP-DAC, crossbar, FP-ADC and routing adder included.  It is much slower, so
+it is used for small networks and for validating that the lumped noise model
+is faithful to the real pipeline (an integration test compares the two).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import MacroConfig
+from repro.core.mapping import MappedLayer, conv_weights_to_matrix, im2col
+from repro.nn.layers import Conv2d, Layer, Linear
+from repro.nn.model import Model
+from repro.nn.training import evaluate_model
+from repro.nn.data import iterate_minibatches
+from repro.nn.functional import accuracy
+
+
+class CIMExecutionAdapter:
+    """A ``quantization``-hook adapter that delegates the matmul to macros.
+
+    Unlike :class:`~repro.nn.quantize.FakeQuantAdapter`, this adapter does
+    not touch the inputs or weights (the macro quantises internally); instead
+    it intercepts the *output*: the hook contract only lets us post-process,
+    so the adapter recomputes the layer's matrix product on the macro and
+    replaces the digital result.
+    """
+
+    def __init__(self, layer: Layer, macro_config: MacroConfig,
+                 calibration_inputs: np.ndarray) -> None:
+        self.layer = layer
+        self.macro_config = macro_config
+        if isinstance(layer, Conv2d):
+            weight_matrix = conv_weights_to_matrix(layer.weight.value)
+        elif isinstance(layer, Linear):
+            weight_matrix = layer.weight.value
+        else:
+            raise TypeError(f"unsupported layer type: {type(layer)!r}")
+        self.mapped = MappedLayer(weight_matrix, macro_config=macro_config)
+        self.mapped.calibrate(calibration_inputs)
+        self._pending_input: Optional[np.ndarray] = None
+
+    # -- quantization-hook protocol ------------------------------------
+    def process_input(self, x: np.ndarray) -> np.ndarray:
+        """Remember the incoming activations for the macro recomputation."""
+        self._pending_input = np.asarray(x, dtype=np.float64)
+        return x
+
+    def process_weight(self, weight: np.ndarray) -> np.ndarray:
+        """Weights are not modified digitally (the macro holds them)."""
+        return weight
+
+    def process_output(self, out: np.ndarray) -> np.ndarray:
+        """Replace the digital matmul result with the macro's result."""
+        if self._pending_input is None:
+            return out
+        x = self._pending_input
+        self._pending_input = None
+        layer = self.layer
+        if isinstance(layer, Linear):
+            result = self.mapped.forward(x)
+            if layer.bias is not None:
+                result = result + layer.bias.value
+            return result
+        # Conv2d: expand patches exactly as the digital forward does, push
+        # them through the macros, and fold back into NCHW.
+        n = x.shape[0]
+        h_out, w_out = out.shape[2], out.shape[3]
+        cols = im2col(x, layer.kernel_size, layer.stride, layer.padding)
+        result = self.mapped.forward(cols)
+        result = result.reshape(n, h_out, w_out, layer.out_channels).transpose(0, 3, 1, 2)
+        if layer.bias is not None:
+            result = result + layer.bias.value[None, :, None, None]
+        return result
+
+
+class CIMMappedNetwork:
+    """A trained network whose matmul layers execute on AFPR-CIM macros.
+
+    Parameters
+    ----------
+    model:
+        The trained FP32 network (modified in place while mapped; call
+        :meth:`unmap` to restore it).
+    macro_config:
+        Macro configuration shared by all mapped layers.
+    calibration_images:
+        A small batch used to calibrate activation scales and ADC ranges of
+        every mapped layer (propagated layer by layer through the network).
+    max_mapped_layers:
+        Map at most this many matmul layers (the rest stay digital); keeps
+        runtimes manageable for larger models.  ``None`` maps everything.
+    """
+
+    def __init__(self, model: Model, macro_config: MacroConfig = MacroConfig(),
+                 calibration_images: Optional[np.ndarray] = None,
+                 max_mapped_layers: Optional[int] = None) -> None:
+        self.model = model
+        self.macro_config = macro_config
+        self.adapters: List[CIMExecutionAdapter] = []
+        self._mapped_layers: List[Layer] = []
+        calibration = (
+            np.asarray(calibration_images, dtype=np.float64)
+            if calibration_images is not None
+            else None
+        )
+        self._map_layers(calibration, max_mapped_layers)
+
+    # ------------------------------------------------------------------
+    def _layer_calibration_inputs(self, layer: Layer, images: np.ndarray) -> np.ndarray:
+        """Capture the inputs a specific layer sees for a calibration batch."""
+        captured: Dict[str, np.ndarray] = {}
+        original_forward = layer.forward
+
+        def capturing_forward(x, training=False):
+            if isinstance(layer, Conv2d):
+                captured["value"] = im2col(x, layer.kernel_size, layer.stride, layer.padding)
+            else:
+                captured["value"] = np.asarray(x, dtype=np.float64)
+            return original_forward(x, training=training)
+
+        layer.forward = capturing_forward
+        try:
+            self.model.forward(images, training=False)
+        finally:
+            layer.forward = original_forward
+        return captured["value"]
+
+    def _map_layers(self, calibration: Optional[np.ndarray],
+                    max_mapped_layers: Optional[int]) -> None:
+        layers = self.model.matmul_layers()
+        if max_mapped_layers is not None:
+            layers = layers[:max_mapped_layers]
+        for layer in layers:
+            if calibration is not None:
+                layer_inputs = self._layer_calibration_inputs(layer, calibration)
+            else:
+                in_features = (
+                    layer.in_features if isinstance(layer, Linear)
+                    else int(np.prod(layer.weight.value.shape[1:]))
+                )
+                layer_inputs = np.abs(np.random.default_rng(0).standard_normal((8, in_features)))
+            adapter = CIMExecutionAdapter(layer, self.macro_config, layer_inputs)
+            layer.quantization = adapter
+            self.adapters.append(adapter)
+            self._mapped_layers.append(layer)
+
+    def unmap(self) -> None:
+        """Detach all macro adapters, restoring the digital network."""
+        for layer in self._mapped_layers:
+            layer.quantization = None
+        self._mapped_layers.clear()
+        self.adapters.clear()
+
+    # ------------------------------------------------------------------
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Inference through the (partially) macro-mapped network."""
+        return self.model.forward(np.asarray(images, dtype=np.float64), training=False)
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 32) -> float:
+        """Top-1 accuracy of the macro-mapped network."""
+        logits = []
+        for batch_x, _ in iterate_minibatches(images, labels, batch_size, shuffle=False):
+            logits.append(self.forward(batch_x))
+        return accuracy(np.concatenate(logits, axis=0), np.asarray(labels))
+
+    def total_conversions(self) -> int:
+        """Macro conversions spent so far across every mapped layer."""
+        return sum(adapter.mapped.total_conversions() for adapter in self.adapters)
+
+    def digital_accuracy(self, images: np.ndarray, labels: np.ndarray,
+                         batch_size: int = 64) -> float:
+        """Accuracy of the same network with the macros detached (reference)."""
+        saved = [(layer, layer.quantization) for layer in self._mapped_layers]
+        for layer, _ in saved:
+            layer.quantization = None
+        try:
+            return evaluate_model(self.model, images, labels, batch_size=batch_size)
+        finally:
+            for layer, adapter in saved:
+                layer.quantization = adapter

@@ -1,0 +1,102 @@
+"""Array-level neural-network primitives (im2col, col2im, pooling, softmax).
+
+The network substrate is written directly on numpy; these functions hold the
+shape-juggling pieces the layer classes share.  ``im2col`` is re-used from
+the CIM mapping module so the digital reference convolution and the
+crossbar-mapped convolution are guaranteed to expand patches identically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.mapping import conv_output_size, im2col  # noqa: F401  (re-exported)
+
+
+def col2im(grad_cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+           kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Scatter-add column gradients back into an NCHW input gradient.
+
+    This is the adjoint of :func:`im2col`: ``grad_cols`` has shape
+    ``(N * H_out * W_out, C * kernel * kernel)`` and the result has
+    ``input_shape``.
+    """
+    n, c, h, w = input_shape
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+    grad_cols = np.asarray(grad_cols, dtype=np.float64)
+    expected = (n * h_out * w_out, c * kernel * kernel)
+    if grad_cols.shape != expected:
+        raise ValueError(f"grad_cols shape {grad_cols.shape} != expected {expected}")
+
+    grad_patches = grad_cols.reshape(n, h_out, w_out, c, kernel, kernel)
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    grad_input = np.zeros((n, c, h_pad, w_pad), dtype=np.float64)
+    for i in range(kernel):
+        i_end = i + stride * h_out
+        for j in range(kernel):
+            j_end = j + stride * w_out
+            grad_input[:, :, i:i_end:stride, j:j_end:stride] += grad_patches[
+                :, :, :, :, i, j
+            ].transpose(0, 3, 1, 2)
+    if padding > 0:
+        grad_input = grad_input[:, :, padding:-padding, padding:-padding]
+    return grad_input
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(batch, classes)``.
+    labels:
+        Integer class indices, shape ``(batch,)``.
+
+    Returns
+    -------
+    (loss, grad):
+        Scalar mean loss and gradient of the same shape as ``logits``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels and logits batch sizes differ")
+    batch = logits.shape[0]
+    probs = softmax(logits, axis=1)
+    eps = 1e-12
+    loss = -float(np.mean(np.log(probs[np.arange(batch), labels] + eps)))
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if np.any((labels < 0) | (labels >= num_classes)):
+        raise ValueError("labels out of range")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

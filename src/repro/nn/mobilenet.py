@@ -1,0 +1,57 @@
+"""MobileNet-style reference network (the paper's "MobileNet" PTQ workload).
+
+A scaled-down depthwise-separable CNN: stem convolution followed by
+depthwise-separable blocks that double the width while halving the spatial
+size, then global average pooling and a linear classifier.  Depthwise
+convolutions are known to be the more quantisation-sensitive architecture,
+which is why the paper includes MobileNet alongside ResNet in Fig. 6(c).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.model import DepthwiseSeparableBlock, Sequential
+
+
+def build_mobilenet_lite(num_classes: int = 10, in_channels: int = 3,
+                         widths: Sequence[int] = (8, 16, 32),
+                         seed: int = 0) -> Sequential:
+    """Build a small MobileNet for the synthetic image task.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes.
+    in_channels:
+        Input image channels.
+    widths:
+        Output width of the stem and of each depthwise-separable block; each
+        block after the stem downsamples spatially by 2.
+    seed:
+        Weight initialisation seed.
+    """
+    if not widths:
+        raise ValueError("need at least one width")
+    rng = np.random.default_rng(seed)
+
+    layers = [
+        Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng),
+        BatchNorm2d(widths[0]),
+        ReLU(),
+    ]
+    current = widths[0]
+    for width in widths[1:]:
+        layers.append(DepthwiseSeparableBlock(current, width, stride=2, rng=rng))
+        current = width
+    layers.extend([GlobalAvgPool2d(), Linear(current, num_classes, rng=rng)])
+    return Sequential(*layers)
+
+
+def mobilenet_lite_description(model: Optional[Sequential] = None) -> str:
+    """One-line description used in experiment reports."""
+    model = model if model is not None else build_mobilenet_lite()
+    return f"MobileNet-lite ({model.count_parameters()} parameters)"

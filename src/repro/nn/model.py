@@ -1,0 +1,181 @@
+"""Model containers: Sequential pipelines and residual blocks.
+
+The two networks of the Fig. 6(c) study — a ResNet-style CNN (built from
+:class:`ResidualBlock`) and a MobileNet-style CNN (built from
+:class:`DepthwiseSeparableBlock`) — are compositions of the layers in
+:mod:`repro.nn.layers`.  Containers are themselves layers, so arbitrary
+nesting works and the PTQ machinery can walk the whole tree with
+:meth:`Model.modules`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Layer,
+    Parameter,
+    ReLU,
+)
+
+
+class Model(Layer):
+    """Base class for composite models."""
+
+    def modules(self) -> Iterator[Layer]:
+        """Yield every sub-layer in execution order (depth first)."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for module in self.modules():
+            if isinstance(module, Model):
+                continue
+            params.extend(module.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def matmul_layers(self) -> List[Layer]:
+        """All Conv2d / Linear layers, i.e. the layers a CIM macro can host."""
+        return [m for m in self.modules() if m.is_matmul_layer]
+
+    def count_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(p.value.size for p in self.parameters()))
+
+
+class Sequential(Model):
+    """A plain pipeline of layers executed in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def modules(self) -> Iterator[Layer]:
+        for layer in self.layers:
+            if isinstance(layer, Model):
+                yield layer
+                yield from layer.modules()
+            else:
+                yield layer
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def append(self, layer: Layer) -> None:
+        """Add a layer to the end of the pipeline."""
+        self.layers.append(layer)
+
+
+class ResidualBlock(Model):
+    """A basic ResNet block: two 3x3 conv/BN/ReLU with a skip connection.
+
+    When the block changes the channel count or the stride, the skip path
+    uses a 1x1 projection convolution (plus BN), as in the original ResNet.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+
+        self.projection: Optional[Conv2d] = None
+        self.projection_bn: Optional[BatchNorm2d] = None
+        if stride != 1 or in_channels != out_channels:
+            self.projection = Conv2d(in_channels, out_channels, 1, stride=stride,
+                                     bias=False, rng=rng)
+            self.projection_bn = BatchNorm2d(out_channels)
+
+    def modules(self) -> Iterator[Layer]:
+        yield self.conv1
+        yield self.bn1
+        yield self.relu1
+        yield self.conv2
+        yield self.bn2
+        yield self.relu2
+        if self.projection is not None:
+            yield self.projection
+            yield self.projection_bn
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        identity = x
+        out = self.relu1.forward(
+            self.bn1.forward(self.conv1.forward(x, training), training), training
+        )
+        out = self.bn2.forward(self.conv2.forward(out, training), training)
+        if self.projection is not None:
+            identity = self.projection_bn.forward(
+                self.projection.forward(x, training), training
+            )
+        return self.relu2.forward(out + identity, training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_output)
+        grad_identity = grad
+        grad_main = self.conv2.backward(self.bn2.backward(grad))
+        grad_main = self.conv1.backward(self.bn1.backward(self.relu1.backward(grad_main)))
+        if self.projection is not None:
+            grad_identity = self.projection.backward(
+                self.projection_bn.backward(grad_identity)
+            )
+        return grad_main + grad_identity
+
+
+class DepthwiseSeparableBlock(Model):
+    """MobileNet building block: depthwise 3x3 conv then pointwise 1x1 conv."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.depthwise = Conv2d(in_channels, in_channels, 3, stride=stride, padding=1,
+                                groups=in_channels, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(in_channels)
+        self.relu1 = ReLU()
+        self.pointwise = Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+
+    def modules(self) -> Iterator[Layer]:
+        yield self.depthwise
+        yield self.bn1
+        yield self.relu1
+        yield self.pointwise
+        yield self.bn2
+        yield self.relu2
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self.relu1.forward(
+            self.bn1.forward(self.depthwise.forward(x, training), training), training
+        )
+        return self.relu2.forward(
+            self.bn2.forward(self.pointwise.forward(out, training), training), training
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.bn2.backward(self.relu2.backward(grad_output))
+        grad = self.pointwise.backward(grad)
+        grad = self.bn1.backward(self.relu1.backward(grad))
+        return self.depthwise.backward(grad)

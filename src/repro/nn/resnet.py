@@ -1,0 +1,65 @@
+"""ResNet-style reference network (the paper's "ResNet" PTQ workload).
+
+A scaled-down residual CNN for the synthetic dataset: a stem convolution
+followed by residual stages of increasing width, global average pooling and
+a linear classifier.  The structure (conv/BN/ReLU + identity skips) gives the
+same roughly Gaussian, outlier-free weight and activation statistics the
+paper relies on when arguing that E2M5 beats E3M4 on "well-behaved networks
+such as ResNet".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.model import ResidualBlock, Sequential
+
+
+def build_resnet_lite(num_classes: int = 10, in_channels: int = 3,
+                      stage_widths: Sequence[int] = (8, 16, 32),
+                      blocks_per_stage: int = 1,
+                      seed: int = 0) -> Sequential:
+    """Build a small ResNet for the synthetic image task.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes.
+    in_channels:
+        Input image channels.
+    stage_widths:
+        Channel width of each residual stage; every stage after the first
+        downsamples spatially by 2.
+    blocks_per_stage:
+        Number of residual blocks per stage.
+    seed:
+        Weight initialisation seed.
+    """
+    if blocks_per_stage < 1:
+        raise ValueError("blocks_per_stage must be >= 1")
+    if not stage_widths:
+        raise ValueError("need at least one stage")
+    rng = np.random.default_rng(seed)
+
+    layers = [
+        Conv2d(in_channels, stage_widths[0], 3, stride=1, padding=1, bias=False, rng=rng),
+        BatchNorm2d(stage_widths[0]),
+        ReLU(),
+    ]
+    current = stage_widths[0]
+    for stage_index, width in enumerate(stage_widths):
+        for block_index in range(blocks_per_stage):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            layers.append(ResidualBlock(current, width, stride=stride, rng=rng))
+            current = width
+    layers.extend([GlobalAvgPool2d(), Linear(current, num_classes, rng=rng)])
+    return Sequential(*layers)
+
+
+def resnet_lite_description(model: Optional[Sequential] = None) -> str:
+    """One-line description used in experiment reports."""
+    model = model if model is not None else build_resnet_lite()
+    return f"ResNet-lite ({model.count_parameters()} parameters)"

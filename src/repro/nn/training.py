@@ -1,0 +1,111 @@
+"""Training loop for the reference networks.
+
+The Fig. 6(c) experiment needs *trained* FP32 models as the PTQ starting
+point.  :class:`Trainer` runs a plain minibatch SGD/Adam loop over the
+synthetic dataset, tracking loss and accuracy; a handful of epochs is enough
+for the small reference networks to reach high accuracy on the synthetic
+task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.data import iterate_minibatches
+from repro.nn.functional import accuracy, cross_entropy
+from repro.nn.model import Model
+from repro.nn.optim import Optimizer, SGD
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded by the trainer."""
+
+    train_loss: List[float] = dataclasses.field(default_factory=list)
+    train_accuracy: List[float] = dataclasses.field(default_factory=list)
+    test_accuracy: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        """Test accuracy after the last epoch (0.0 if never evaluated)."""
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+class Trainer:
+    """Minibatch trainer with cross-entropy loss.
+
+    Parameters
+    ----------
+    model:
+        The network to train (modified in place).
+    optimizer:
+        Parameter optimiser; a default SGD is created if omitted.
+    batch_size:
+        Minibatch size.
+    seed:
+        Shuffling seed.
+    """
+
+    def __init__(self, model: Model, optimizer: Optional[Optimizer] = None,
+                 batch_size: int = 32, seed: int = 0) -> None:
+        self.model = model
+        self.optimizer = optimizer if optimizer is not None else SGD(model.parameters())
+        self.batch_size = batch_size
+        self.seed = seed
+        self.history = TrainingHistory()
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray, epoch: int = 0) -> float:
+        """Run one epoch and return its mean loss."""
+        losses = []
+        correct = 0
+        seen = 0
+        for batch_x, batch_y in iterate_minibatches(
+            images, labels, self.batch_size, shuffle=True, seed=self.seed + epoch
+        ):
+            self.optimizer.zero_grad()
+            logits = self.model.forward(batch_x, training=True)
+            loss, grad = cross_entropy(logits, batch_y)
+            self.model.backward(grad)
+            self.optimizer.step()
+            losses.append(loss)
+            correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
+            seen += batch_y.shape[0]
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        self.history.train_loss.append(mean_loss)
+        self.history.train_accuracy.append(correct / max(seen, 1))
+        return mean_loss
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: Optional[int] = None) -> float:
+        """Top-1 accuracy of the model on a dataset (inference mode)."""
+        return evaluate_model(self.model, images, labels,
+                              batch_size=batch_size or self.batch_size)
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray,
+            x_test: Optional[np.ndarray] = None, y_test: Optional[np.ndarray] = None,
+            epochs: int = 5) -> TrainingHistory:
+        """Train for ``epochs`` epochs, evaluating after each if a test set is given."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        for epoch in range(epochs):
+            self.train_epoch(x_train, y_train, epoch=epoch)
+            if x_test is not None and y_test is not None:
+                self.history.test_accuracy.append(self.evaluate(x_test, y_test))
+        return self.history
+
+
+def evaluate_model(model: Model, images: np.ndarray, labels: np.ndarray,
+                   batch_size: int = 64) -> float:
+    """Top-1 accuracy of any model on a dataset (inference mode)."""
+    logits = []
+    for batch_x, _batch_y in iterate_minibatches(images, labels, batch_size, shuffle=False):
+        logits.append(model.forward(batch_x, training=False))
+    return accuracy(np.concatenate(logits, axis=0), labels)

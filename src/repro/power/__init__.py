@@ -1,0 +1,61 @@
+"""Power / energy / performance models of the AFPR-CIM macro.
+
+The paper's evaluation (Fig. 6 and Table I) rests on a module-level power
+breakdown of the macro — ADC, DAC + array, and digital — for the three
+studied formats (INT8, FP8 E3M4, FP8 E2M5), and on the derived throughput
+(GOPS) and energy-efficiency (TOPS/W) figures.  This package provides those
+models:
+
+* :mod:`repro.power.components` — per-module energy models (adaptive FP-ADC,
+  conventional INT single-slope ADC, FP-DAC / INT-DAC row drivers, RRAM
+  array, digital interface) with documented calibration constants,
+* :mod:`repro.power.macro_power` — the whole-macro breakdown for any
+  activation format plus the conventional INT8 reference design,
+* :mod:`repro.power.efficiency` — throughput / energy-efficiency arithmetic
+  and the Table-I style specification record.
+
+The absolute numbers are calibrated so the E2M5 macro reproduces the paper's
+headline 19.89 TFLOPS/W at 1474.56 GFLOPS; the INT8 / E3M4 relative factors
+then follow from the structural differences (conversion time, capacitor
+load, counter cycles), which is the claim the reproduction tracks.
+"""
+
+from repro.power.components import (
+    PowerCalibration,
+    ConverterSpec,
+    adc_energy,
+    dac_energy,
+    array_energy,
+    digital_energy,
+)
+from repro.power.macro_power import (
+    PowerBreakdown,
+    MacroPowerModel,
+    Int8ReferencePowerModel,
+    format_power_comparison,
+)
+from repro.power.efficiency import (
+    tops_per_watt,
+    gops,
+    energy_per_op,
+    MacroSpecification,
+    afpr_specification,
+)
+
+__all__ = [
+    "PowerCalibration",
+    "ConverterSpec",
+    "adc_energy",
+    "dac_energy",
+    "array_energy",
+    "digital_energy",
+    "PowerBreakdown",
+    "MacroPowerModel",
+    "Int8ReferencePowerModel",
+    "format_power_comparison",
+    "tops_per_watt",
+    "gops",
+    "energy_per_op",
+    "MacroSpecification",
+    "afpr_specification",
+]

@@ -1,0 +1,87 @@
+"""Throughput / energy-efficiency arithmetic and Table-I style records.
+
+The macro-level comparison of Table I reports, per design: architecture,
+memory type, array size, technology, supply, ADC type, activation precision,
+macro computing latency, throughput and energy efficiency.
+:class:`MacroSpecification` is that record; :func:`afpr_specification`
+produces it for the AFPR-CIM macro in any format from the power model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.config import MacroConfig
+from repro.power.components import PowerCalibration, DEFAULT_CALIBRATION
+from repro.power.macro_power import MacroPowerModel
+
+
+def gops(operations: float, seconds: float) -> float:
+    """Throughput in giga-operations per second."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return operations / seconds / 1e9
+
+
+def tops_per_watt(operations: float, energy_joules: float) -> float:
+    """Energy efficiency in tera-operations per watt (= per joule x 1e-12)."""
+    if energy_joules <= 0:
+        raise ValueError("energy must be positive")
+    return operations / energy_joules / 1e12
+
+
+def energy_per_op(power_watts: float, throughput_ops_per_second: float) -> float:
+    """Energy per operation in joules, from average power and throughput."""
+    if throughput_ops_per_second <= 0:
+        raise ValueError("throughput must be positive")
+    return power_watts / throughput_ops_per_second
+
+
+@dataclasses.dataclass(frozen=True)
+class MacroSpecification:
+    """One row of the Table-I macro comparison."""
+
+    name: str
+    architecture: str
+    memory: str
+    array_size: str
+    technology_nm: Optional[float]
+    supply_voltage: str
+    adc_type: str
+    activation_precision: str
+    latency_us: Optional[float]
+    throughput_gops: float
+    energy_efficiency_tops_per_watt: float
+
+    def efficiency_ratio_to(self, other: "MacroSpecification") -> float:
+        """This design's energy-efficiency advantage over ``other`` (x factor)."""
+        if other.energy_efficiency_tops_per_watt <= 0:
+            raise ValueError("reference efficiency must be positive")
+        return self.energy_efficiency_tops_per_watt / other.energy_efficiency_tops_per_watt
+
+    def throughput_ratio_to(self, other: "MacroSpecification") -> float:
+        """This design's throughput advantage over ``other`` (x factor)."""
+        if other.throughput_gops <= 0:
+            raise ValueError("reference throughput must be positive")
+        return self.throughput_gops / other.throughput_gops
+
+
+def afpr_specification(config: MacroConfig = MacroConfig(), sparsity: float = 0.0,
+                       calibration: PowerCalibration = DEFAULT_CALIBRATION
+                       ) -> MacroSpecification:
+    """Build the AFPR-CIM row of Table I from the power model."""
+    breakdown = MacroPowerModel(config, sparsity=sparsity, calibration=calibration).breakdown()
+    return MacroSpecification(
+        name=f"AFPR-CIM ({config.format_name})",
+        architecture="Analog-CIM",
+        memory="RRAM",
+        array_size=f"{config.rows}*{config.cols}",
+        technology_nm=65,
+        supply_voltage=f"{config.digital_supply}-{config.analog_supply}",
+        adc_type="FP-ADC",
+        activation_precision=f"FP8({config.format_name})",
+        latency_us=breakdown.conversion_time * 1e6,
+        throughput_gops=breakdown.throughput_gops,
+        energy_efficiency_tops_per_watt=breakdown.energy_efficiency_tops_per_watt,
+    )

@@ -1,0 +1,52 @@
+"""RRAM device and crossbar substrate.
+
+The AFPR-CIM macro computes multiply-accumulate operations directly inside a
+576x256 multi-level-cell (MLC) RRAM array: input voltages drive the word
+lines, device conductances encode weights, and per-column source-line
+currents are the MAC results (Ohm's law + Kirchhoff's current law).
+
+This package provides the behavioural replacement for the paper's Verilog-A
+device model and 65 nm crossbar:
+
+* :mod:`repro.rram.device` — multi-level conductance device with programming
+  error, cycle-to-cycle read noise, retention drift and stuck-at faults,
+* :mod:`repro.rram.programming` — weight-matrix → conductance-matrix mapping
+  (differential column pairs or offset single-cell mapping) and write-verify
+  programming,
+* :mod:`repro.rram.crossbar` — the array itself: ideal MAC, optional wire
+  (IR-drop) solver, sparsity accounting and energy bookkeeping hooks.
+"""
+
+from repro.rram.device import (
+    RRAMDeviceModel,
+    RRAMStatistics,
+    ConductanceLevels,
+    DEFAULT_DEVICE,
+)
+from repro.rram.programming import (
+    WeightMapping,
+    DifferentialMapping,
+    OffsetMapping,
+    program_conductances,
+    write_verify,
+)
+from repro.rram.crossbar import (
+    Crossbar,
+    CrossbarConfig,
+    CrossbarReadout,
+)
+
+__all__ = [
+    "RRAMDeviceModel",
+    "RRAMStatistics",
+    "ConductanceLevels",
+    "DEFAULT_DEVICE",
+    "WeightMapping",
+    "DifferentialMapping",
+    "OffsetMapping",
+    "program_conductances",
+    "write_verify",
+    "Crossbar",
+    "CrossbarConfig",
+    "CrossbarReadout",
+]

@@ -1,0 +1,118 @@
+"""Unit tests for the baseline models and the published Table-I records."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AnalogCIMParameters,
+    AnalogInt8CIM,
+    DigitalFPCIM,
+    FP8Accelerator,
+    IntADCConfig,
+    IntSingleSlopeADC,
+    PAPER_AFPR_RESULTS,
+    PUBLISHED_MACROS,
+    paper_claimed_ratios,
+    published_table,
+    recomputed_ratios,
+)
+
+
+class TestIntSingleSlopeADC:
+    def test_conversion_time_is_500ns(self):
+        assert IntSingleSlopeADC().conversion_time == pytest.approx(500e-9)
+
+    def test_codes_monotonic(self):
+        adc = IntSingleSlopeADC()
+        currents = np.linspace(0, adc.full_scale_current, 300)
+        codes = adc.convert(currents)
+        assert np.all(np.diff(codes) >= 0)
+        assert codes[0] == 0
+        assert codes[-1] == 255
+
+    def test_uniform_lsb(self):
+        adc = IntSingleSlopeADC()
+        lsb = adc.config.lsb_current
+        estimate = adc.convert_value(np.array([10 * lsb]))
+        assert estimate[0] == pytest.approx(10 * lsb, abs=lsb / 2 + 1e-12)
+
+    def test_small_current_relative_error_large(self):
+        """The motivation for the adaptive FP-ADC: fixed range wastes small signals."""
+        adc = IntSingleSlopeADC()
+        small = adc.config.lsb_current * 0.4
+        large = adc.full_scale_current * 0.9
+        err = adc.relative_quantisation_error(np.array([small, large]))
+        assert err[0] > err[1]
+        assert err[0] > 0.5
+
+    def test_clipping(self):
+        adc = IntSingleSlopeADC()
+        assert adc.convert(np.array([adc.full_scale_current * 3]))[0] == 255
+        assert adc.convert(np.array([-1e-6]))[0] == 0
+
+    def test_noise_option(self):
+        adc = IntSingleSlopeADC(IntADCConfig(noise_rms=0.05))
+        codes = {int(adc.convert(np.array([5e-6]))[0]) for _ in range(50)}
+        assert len(codes) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntADCConfig(bits=0)
+        with pytest.raises(ValueError):
+            IntADCConfig(v_full_scale=-1.0)
+
+
+class TestModelledBaselines:
+    def test_analog_int8_cim_in_published_range(self):
+        model = AnalogInt8CIM()
+        assert 4.0 < model.energy_efficiency_tops_per_watt() < 10.0
+        assert 200 < model.throughput_gops() < 400
+
+    def test_bit_serial_costs_throughput(self):
+        serial = AnalogInt8CIM(AnalogCIMParameters(bit_serial=True))
+        parallel = AnalogInt8CIM(AnalogCIMParameters(bit_serial=False))
+        assert parallel.throughput_gops() > serial.throughput_gops()
+
+    def test_digital_fp_cim_in_published_range(self):
+        model = DigitalFPCIM()
+        assert 2.0 < model.energy_efficiency_tops_per_watt() < 6.0
+        assert 0.0 < model.alignment_share() < 1.0
+
+    def test_fp8_accelerator_in_published_range(self):
+        model = FP8Accelerator()
+        assert 3.0 < model.energy_efficiency_tops_per_watt() < 7.0
+        assert 0.0 < model.memory_share() < 1.0
+
+    def test_specifications_have_table_fields(self):
+        for spec in (AnalogInt8CIM().specification(), DigitalFPCIM().specification(),
+                     FP8Accelerator().specification()):
+            assert spec.throughput_gops > 0
+            assert spec.energy_efficiency_tops_per_watt > 0
+            assert spec.architecture
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnalogCIMParameters(rows=0)
+
+
+class TestPublishedRecords:
+    def test_all_columns_present(self):
+        assert set(PUBLISHED_MACROS) == {"nature22", "tcasi20", "isscc22", "vlsi21", "isscc21"}
+        assert set(PAPER_AFPR_RESULTS) == {"afpr_e2m5", "afpr_e3m4"}
+
+    def test_published_table_order(self):
+        table = published_table()
+        assert table[0].name.startswith("AFPR-CIM (E2M5")
+        assert len(table) == 7
+
+    def test_paper_ratios_recompute_from_published_numbers(self):
+        """The paper's own ratios follow from its own table entries."""
+        ratios = recomputed_ratios(PAPER_AFPR_RESULTS["afpr_e2m5"])
+        claimed = paper_claimed_ratios()
+        for key, value in claimed.items():
+            assert ratios[key] == pytest.approx(value, rel=0.01), key
+
+    def test_claimed_ratios_copy_is_safe(self):
+        ratios = paper_claimed_ratios()
+        ratios["energy_efficiency_vs_fp8_accelerator"] = 0.0
+        assert paper_claimed_ratios()["energy_efficiency_vs_fp8_accelerator"] > 0

@@ -1,0 +1,310 @@
+"""Unit tests for the remaining behavioural circuit blocks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ActiveIntegrator,
+    Comparator,
+    NoiseBudget,
+    OpAmpModel,
+    ProgrammableGainAmplifier,
+    ResistorStringReference,
+    SingleSlopeConverter,
+    TransientRecorder,
+    Waveform,
+    ktc_noise_rms,
+    thermal_noise_rms,
+)
+from repro.circuits.noise import quantization_noise_rms, shot_noise_rms
+
+
+class TestOpAmp:
+    def test_clip_output(self):
+        amp = OpAmpModel(output_min=0.0, output_max=2.5)
+        np.testing.assert_allclose(amp.clip_output(np.array([-1.0, 1.0, 3.0])), [0.0, 1.0, 2.5])
+
+    def test_gain_error_negative_and_small(self):
+        amp = OpAmpModel(dc_gain=10_000)
+        err = amp.closed_loop_gain_error(1.0)
+        assert -1e-3 < err < 0
+
+    def test_settling_time_increases_with_accuracy(self):
+        amp = OpAmpModel()
+        assert amp.settling_time(1.0, 10) > amp.settling_time(1.0, 5)
+
+    def test_static_power(self):
+        amp = OpAmpModel(bias_current=10e-6, supply_voltage=2.5)
+        assert amp.static_power() == pytest.approx(25e-6)
+
+    def test_scaled_for_load(self):
+        amp = OpAmpModel(bias_current=10e-6)
+        bigger = amp.scaled_for_load(16e-13, 1e-13, exponent=0.5)
+        assert bigger.bias_current == pytest.approx(40e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OpAmpModel(dc_gain=0.5)
+        with pytest.raises(ValueError):
+            OpAmpModel(output_min=1.0, output_max=0.5)
+
+
+class TestIntegrator:
+    def test_linear_ramp(self):
+        integ = ActiveIntegrator(opamp=OpAmpModel(dc_gain=1e9), v_initial=0.0)
+        v = integ.integrate(current=1e-6, capacitance=1e-13, duration=100e-9)
+        assert v == pytest.approx(1.0, rel=1e-3)
+
+    def test_step_accumulates(self):
+        integ = ActiveIntegrator(opamp=OpAmpModel(dc_gain=1e9))
+        for _ in range(100):
+            integ.step(1e-6, 1e-13, 1e-9)
+        assert integ.output_voltage == pytest.approx(1.0, rel=1e-3)
+
+    def test_reset(self):
+        integ = ActiveIntegrator(v_initial=0.3)
+        integ.step(1e-6, 1e-13, 10e-9)
+        integ.reset()
+        assert integ.output_voltage == pytest.approx(0.3)
+
+    def test_output_clipping_sets_saturated(self):
+        integ = ActiveIntegrator(opamp=OpAmpModel(output_max=1.0))
+        integ.step(1e-3, 1e-13, 100e-9)
+        assert integ.output_voltage == pytest.approx(1.0)
+        assert integ.saturated
+
+    def test_time_to_reach(self):
+        integ = ActiveIntegrator(opamp=OpAmpModel(dc_gain=1e9))
+        t = integ.time_to_reach(1e-6, 1e-13, 2.0)
+        assert t == pytest.approx(200e-9, rel=1e-3)
+
+    def test_time_to_reach_unreachable(self):
+        integ = ActiveIntegrator()
+        assert integ.time_to_reach(0.0, 1e-13, 1.0) == np.inf
+
+    def test_slope_limited_by_slew_rate(self):
+        integ = ActiveIntegrator(opamp=OpAmpModel(slew_rate=1e6))
+        assert integ.slope(1.0, 1e-13) == pytest.approx(1e6)
+
+    def test_invalid_arguments(self):
+        integ = ActiveIntegrator()
+        with pytest.raises(ValueError):
+            integ.slope(1e-6, 0.0)
+        with pytest.raises(ValueError):
+            integ.step(1e-6, 1e-13, 0.0)
+
+
+class TestComparator:
+    def test_ideal_decision(self):
+        comp = Comparator()
+        assert comp.compare(1.1, 1.0)
+        assert not comp.compare(0.9, 1.0)
+
+    def test_ccds_cancels_offset(self):
+        raw = Comparator(offset_voltage=0.1, ccds_enabled=False)
+        cancelled = Comparator(offset_voltage=0.1, ccds_enabled=True)
+        assert abs(cancelled.effective_offset) < abs(raw.effective_offset)
+        # A 50 mV overdrive fails with the raw offset but passes after CCDS.
+        assert not raw.compare(1.05, 1.0)
+        assert cancelled.compare(1.05, 1.0)
+
+    def test_decision_counter(self):
+        comp = Comparator()
+        for _ in range(5):
+            comp.compare(1.0, 0.0)
+        assert comp.decision_count == 5
+        comp.reset_statistics()
+        assert comp.decision_count == 0
+
+    def test_noise_flips_marginal_decisions(self):
+        comp = Comparator(noise_rms=0.05, rng=np.random.default_rng(0))
+        decisions = [comp.compare(1.0, 1.0) for _ in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_hysteresis_resists_flipping(self):
+        comp = Comparator(hysteresis=0.2)
+        assert not comp.compare(0.05, 0.0)
+        # Within the hysteresis band the previous (low) decision persists.
+        assert not comp.compare(0.09, 0.0)
+        assert comp.compare(0.2, 0.0)
+
+    def test_invalid_rejection(self):
+        with pytest.raises(ValueError):
+            Comparator(ccds_rejection=1.5)
+
+
+class TestSingleSlope:
+    def test_paper_example_code(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0)
+        assert conv.convert(1.271) == 9  # 01001 in the paper
+
+    def test_code_to_voltage_roundtrip(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0)
+        for code in (0, 7, 31):
+            assert conv.convert(conv.code_to_voltage(code)) == code
+
+    def test_clamping(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0)
+        assert conv.convert(0.2) == 0
+        assert conv.convert(5.0) == 31
+
+    def test_conversion_time(self):
+        conv = SingleSlopeConverter(bits=5, clock_period=3.125e-9)
+        assert conv.conversion_time == pytest.approx(100e-9)
+
+    def test_truncate_mode(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0, truncate=True)
+        assert conv.convert(1.999) == 31
+        assert conv.convert(1.03) == 0
+
+    def test_convert_with_time(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0)
+        code, fired = conv.convert_with_time(1.5)
+        assert code == 16
+        assert 0 < fired <= conv.conversion_time
+
+    def test_ramp_voltage(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0)
+        assert conv.ramp_voltage(0.0) == pytest.approx(1.0)
+        assert conv.ramp_voltage(conv.conversion_time) == pytest.approx(2.0)
+
+    def test_lsb(self):
+        conv = SingleSlopeConverter(bits=5, v_low=1.0, v_high=2.0)
+        assert conv.lsb == pytest.approx(1.0 / 32)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            SingleSlopeConverter(v_low=2.0, v_high=1.0)
+
+
+class TestPGA:
+    def test_power_of_two_gains(self):
+        pga = ProgrammableGainAmplifier(exponent_bits=2, opamp=OpAmpModel(output_max=100.0))
+        for e in range(4):
+            out = pga.amplify(np.array([0.1]), e)
+            assert out[0] == pytest.approx(0.1 * 2 ** e, rel=1e-3)
+
+    def test_gain_count(self):
+        assert ProgrammableGainAmplifier(exponent_bits=3).num_settings == 8
+
+    def test_output_clipping(self):
+        pga = ProgrammableGainAmplifier(opamp=OpAmpModel(output_max=2.5))
+        assert pga.amplify(np.array([1.0]), 3)[0] == pytest.approx(2.5)
+
+    def test_decode_exponent(self):
+        pga = ProgrammableGainAmplifier(exponent_bits=2)
+        assert pga.decode_exponent([1, 0]) == 2
+        with pytest.raises(ValueError):
+            pga.decode_exponent([2, 0])
+
+    def test_invalid_exponent_code(self):
+        pga = ProgrammableGainAmplifier(exponent_bits=2)
+        with pytest.raises(ValueError):
+            pga.amplify(np.array([0.1]), 4)
+
+    def test_gain_mismatch_static(self):
+        pga = ProgrammableGainAmplifier(gain_error_sigma=0.01, rng=np.random.default_rng(0),
+                                        opamp=OpAmpModel(output_max=100.0))
+        a = pga.amplify(np.array([0.5]), 2)
+        b = pga.amplify(np.array([0.5]), 2)
+        assert a[0] == b[0]
+
+
+class TestReference:
+    def test_tap_count_and_lsb(self):
+        ref = ResistorStringReference(bits=5, v_bottom=0.0, v_top=1.0)
+        assert ref.levels == 32
+        assert ref.lsb == pytest.approx(1 / 32)
+
+    def test_ideal_taps_are_uniform(self):
+        ref = ResistorStringReference(bits=5, v_bottom=1.0, v_top=2.0)
+        np.testing.assert_allclose(np.diff(ref.tap_voltages), 1 / 32, rtol=1e-9)
+
+    def test_code_lookup(self):
+        ref = ResistorStringReference(bits=5, v_bottom=0.0, v_top=1.0)
+        assert ref.voltage(0) == pytest.approx(0.0)
+        assert ref.voltage(16) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            ref.voltage(np.array([32]))
+
+    def test_mismatch_produces_inl(self):
+        ideal = ResistorStringReference(bits=5)
+        mismatched = ResistorStringReference(bits=5, mismatch_sigma=0.05,
+                                             rng=np.random.default_rng(1))
+        assert np.max(np.abs(ideal.inl())) < 1e-9
+        assert np.max(np.abs(mismatched.inl())) > 0.01
+
+    def test_power_shared_across_rows(self):
+        ref = ResistorStringReference(shared_rows=576)
+        assert ref.power_per_row() == pytest.approx(ref.static_power() / 576)
+
+
+class TestNoise:
+    def test_thermal_noise_formula(self):
+        # 1 kOhm over 1 MHz at 300 K is about 4.07 uV rms.
+        assert thermal_noise_rms(1e3, 1e6) == pytest.approx(4.07e-6, rel=0.01)
+
+    def test_ktc_noise_formula(self):
+        # kT/C for 1 pF at 300 K is about 64 uV rms.
+        assert ktc_noise_rms(1e-12) == pytest.approx(64e-6, rel=0.02)
+
+    def test_shot_noise(self):
+        assert shot_noise_rms(1e-6, 1e6) > 0
+
+    def test_quantization_noise(self):
+        assert quantization_noise_rms(1.0) == pytest.approx(1 / np.sqrt(12))
+
+    def test_noise_budget_rss(self):
+        budget = NoiseBudget()
+        budget.add("a", 3e-6)
+        budget.add("b", 4e-6)
+        assert budget.total_rms() == pytest.approx(5e-6)
+        assert budget.dominant() == "b"
+        assert budget.meets_lsb_target(31e-3)
+
+    def test_invalid_noise_args(self):
+        with pytest.raises(ValueError):
+            ktc_noise_rms(0.0)
+        with pytest.raises(ValueError):
+            quantization_noise_rms(-1.0)
+
+
+class TestTransientRecorder:
+    def test_record_and_result(self):
+        rec = TransientRecorder(["a", "b"])
+        for i in range(5):
+            rec.record(i * 1e-9, a=float(i), b=float(-i))
+        result = rec.to_result(metadata={"x": 1.0})
+        assert result["a"].final_value() == 4.0
+        assert result["b"].minimum() == -4.0
+        assert result.duration == pytest.approx(4e-9)
+        assert "a" in result and "c" not in result
+        assert result.metadata["x"] == 1.0
+
+    def test_missing_signal_rejected(self):
+        rec = TransientRecorder(["a", "b"])
+        with pytest.raises(ValueError):
+            rec.record(0.0, a=1.0)
+
+    def test_waveform_crossings(self):
+        times = np.linspace(0, 1, 101)
+        values = times * 2.0
+        wave = Waveform("ramp", times, values)
+        crossings = wave.rising_crossings(1.0)
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_waveform_falling_steps(self):
+        times = np.arange(5, dtype=float)
+        values = np.array([0.0, 1.0, 2.0, 0.5, 1.0])
+        wave = Waveform("v", times, values)
+        steps = wave.falling_steps(min_drop=1.0)
+        assert steps == [3.0]
+
+    def test_waveform_interpolation(self):
+        wave = Waveform("v", np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert wave.value_at(0.5) == pytest.approx(1.0)
+
+    def test_waveform_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Waveform("v", np.zeros(3), np.zeros(4))

@@ -1,0 +1,126 @@
+"""Unit tests for the capacitor bank / charge sharing (the FP-ADC's core idea)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CapacitorBank, charge_share_voltage
+
+
+class TestChargeShareVoltage:
+    def test_paper_equation_2(self):
+        # V_r1 = C1/(C1+C2) * Vth + C2/(C1+C2) * Vr with C1 = C2, Vth = 2, Vr = 0.
+        assert charge_share_voltage(2.0, 0.0, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_paper_equation_3(self):
+        # After the second share: (C1+C2)/(C1+C2+C3) * Vth + C3/(...) * Vr, C3 = 2C.
+        assert charge_share_voltage(2.0, 0.0, 2.0, 2.0) == pytest.approx(1.0)
+
+    def test_nonzero_reset_level(self):
+        # With Vr = 1 and Vth = 3 the midpoint is 2 for equal capacitors.
+        assert charge_share_voltage(3.0, 1.0, 1.0, 1.0) == pytest.approx(2.0)
+
+    def test_charge_conservation(self):
+        c_old, c_new, v_before, v_reset = 3e-13, 2e-13, 1.7, 0.2
+        v_after = charge_share_voltage(v_before, v_reset, c_old, c_new)
+        q_before = c_old * v_before + c_new * v_reset
+        q_after = (c_old + c_new) * v_after
+        assert q_before == pytest.approx(q_after)
+
+    def test_invalid_capacitance(self):
+        with pytest.raises(ValueError):
+            charge_share_voltage(2.0, 0.0, 0.0, 1.0)
+
+
+class TestPaperLadder:
+    def test_e2m5_ladder_values(self):
+        bank = CapacitorBank.paper_ladder(exponent_bits=2, unit_capacitance=1.0)
+        np.testing.assert_allclose(bank.values, [1.0, 1.0, 2.0, 4.0])
+
+    def test_e3m4_ladder_values(self):
+        bank = CapacitorBank.paper_ladder(exponent_bits=3, unit_capacitance=1.0)
+        np.testing.assert_allclose(bank.values, [1, 1, 2, 4, 8, 16, 32, 64])
+
+    def test_total_capacitance_doubles(self):
+        bank = CapacitorBank.paper_ladder(exponent_bits=2, unit_capacitance=1.0)
+        assert bank.is_binary_ladder()
+        totals = np.cumsum(bank.values)
+        np.testing.assert_allclose(totals, [1, 2, 4, 8])
+
+    def test_post_share_voltages_all_one_volt(self):
+        """The property the paper calls out: every adjustment lands at (Vr+Vth)/2."""
+        bank = CapacitorBank.paper_ladder(exponent_bits=2, unit_capacitance=105e-15)
+        np.testing.assert_allclose(bank.post_share_voltages(2.0), [1.0, 1.0, 1.0])
+
+    def test_post_share_voltages_e3m4(self):
+        bank = CapacitorBank.paper_ladder(exponent_bits=3, unit_capacitance=105e-15)
+        np.testing.assert_allclose(bank.post_share_voltages(2.0), np.ones(7))
+
+    def test_non_paper_ladder_breaks_property(self):
+        bank = CapacitorBank([1.0, 2.0, 3.0, 4.0])
+        voltages = bank.post_share_voltages(2.0)
+        assert not np.allclose(voltages, 1.0)
+        assert not bank.is_binary_ladder()
+
+
+class TestBankStateMachine:
+    def test_initial_state(self):
+        bank = CapacitorBank.paper_ladder()
+        assert bank.connected_count == 1
+        assert bank.adaptation_count == 0
+        assert bank.adaptations_remaining == 3
+
+    def test_expand_sequence(self):
+        bank = CapacitorBank.paper_ladder(exponent_bits=2, unit_capacitance=1.0)
+        v1 = bank.expand(2.0)
+        assert v1 == pytest.approx(1.0)
+        assert bank.connected_capacitance == pytest.approx(2.0)
+        v2 = bank.expand(2.0)
+        assert v2 == pytest.approx(1.0)
+        assert bank.connected_capacitance == pytest.approx(4.0)
+        v3 = bank.expand(2.0)
+        assert v3 == pytest.approx(1.0)
+        assert bank.connected_capacitance == pytest.approx(8.0)
+        assert bank.adaptation_count == 3
+
+    def test_expand_exhausted_raises(self):
+        bank = CapacitorBank.paper_ladder(exponent_bits=2)
+        for _ in range(3):
+            bank.expand(2.0)
+        with pytest.raises(RuntimeError):
+            bank.expand(2.0)
+
+    def test_reset(self):
+        bank = CapacitorBank.paper_ladder()
+        bank.expand(2.0)
+        bank.reset()
+        assert bank.connected_count == 1
+        assert bank.adaptation_count == 0
+
+    def test_current_continuity_at_adjustment(self):
+        """Paper Section III-B: the current is continuous across the adjustment.
+
+        The charge before and after the share must be equal, so for a constant
+        input current the slope dV/dt scales exactly by C_old / C_new: the
+        quantity V x C (the charge) is what carries the information.
+        """
+        bank = CapacitorBank.paper_ladder(exponent_bits=2, unit_capacitance=105e-15)
+        c_before = bank.connected_capacitance
+        v_before = 2.0
+        v_after = bank.expand(v_before)
+        c_after = bank.connected_capacitance
+        assert c_before * v_before == pytest.approx(c_after * v_after)
+
+    def test_mismatch_perturbs_values(self):
+        rng = np.random.default_rng(0)
+        nominal = CapacitorBank.paper_ladder(unit_capacitance=105e-15).values
+        bank = CapacitorBank.paper_ladder(unit_capacitance=105e-15,
+                                          mismatch_sigma=0.05, rng=rng)
+        assert not np.allclose(bank.values, nominal, rtol=1e-6, atol=0.0)
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            CapacitorBank([])
+
+    def test_negative_capacitor_rejected(self):
+        with pytest.raises(ValueError):
+            CapacitorBank([1.0, -1.0])

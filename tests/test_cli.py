@@ -1,0 +1,39 @@
+"""Tests for the command-line experiment runner (python -m repro)."""
+
+import pytest
+
+from repro.analysis.cli import available_experiments, build_parser, main, run_experiment
+
+
+class TestCLI:
+    def test_available_experiments(self):
+        names = available_experiments()
+        assert "fig5a" in names and "table1" in names and "all" in names
+
+    def test_run_fig5a(self):
+        report = run_experiment("fig5a")
+        assert "1001001" in report
+
+    def test_run_fig6_power(self):
+        report = run_experiment("fig6-power")
+        assert "ADC reduction" in report
+
+    def test_run_table1(self):
+        report = run_experiment("table1")
+        assert "4.135x" in report
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("does-not-exist")
+
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5b"])
+        assert args.experiment == "fig5b"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["nope"])
+
+    def test_main_prints_report(self, capsys):
+        assert main(["fig5a"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5(a)" in out

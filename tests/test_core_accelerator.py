@@ -1,0 +1,89 @@
+"""Unit tests for the multi-macro accelerator and its performance accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import AFPRAccelerator, MacroConfig
+from repro.rram.device import RRAMStatistics
+
+
+def quiet_macro_config():
+    stats = RRAMStatistics(programming_sigma=0.0, read_noise_sigma=0.0,
+                           drift_coefficient=0.0,
+                           stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
+    return MacroConfig(device_statistics=stats, read_noise_enabled=False)
+
+
+class TestConstruction:
+    def test_invalid_macro_count(self):
+        with pytest.raises(ValueError):
+            AFPRAccelerator(num_macros=0)
+
+    def test_explicit_power_override(self):
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=2, macro_power_watts=0.1)
+        assert acc.macro_power_watts == pytest.approx(0.1)
+
+    def test_default_power_from_model(self):
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=2)
+        # The calibrated E2M5 macro power is about 74 mW.
+        assert acc.macro_power_watts == pytest.approx(0.0741, rel=0.05)
+
+
+class TestPeakPerformance:
+    def test_peak_matches_paper_headline(self):
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=1)
+        peak = acc.peak_performance()
+        assert peak["latency_us"] == pytest.approx(0.2)
+        assert peak["throughput_gops"] == pytest.approx(1474.56)
+        assert peak["energy_efficiency_tops_per_watt"] == pytest.approx(19.89, rel=0.02)
+
+
+class TestWorkloadAccounting:
+    def test_layer_pipeline_and_report(self):
+        rng = np.random.default_rng(0)
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=4, macro_power_watts=0.074)
+        acc.add_layer(rng.standard_normal((64, 32)) * 0.1, name="fc1",
+                      ideal_programming=True)
+        acc.add_layer(rng.standard_normal((32, 16)) * 0.1, name="fc2",
+                      ideal_programming=True)
+        assert len(acc.layers) == 2
+
+        acts1 = np.abs(rng.standard_normal((8, 64)))
+        acts2 = np.abs(acts1 @ acc.layers[0].weights)
+        acc.calibrate([acts1, acts2])
+
+        out = acc.forward(acts1)
+        assert out.shape == (8, 16)
+
+        report = acc.performance_report()
+        # Layer 1 sees non-negative images (one analog pass per batch row);
+        # layer 2's inputs are signed MAC results, so it needs two passes.
+        assert report.conversions == 8 + 16
+        assert report.operations == 8 * 2 * 64 * 32 + 16 * 2 * 32 * 16
+        assert report.latency_seconds == pytest.approx(np.ceil(24 / 4) * 200e-9)
+        assert report.energy_joules == pytest.approx(24 * 0.074 * 200e-9)
+        assert report.throughput_gops > 0
+        assert report.energy_efficiency_tops_per_watt > 0
+
+    def test_calibration_count_mismatch(self):
+        rng = np.random.default_rng(1)
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=1, macro_power_watts=0.074)
+        acc.add_layer(rng.standard_normal((16, 8)), ideal_programming=True)
+        with pytest.raises(ValueError):
+            acc.calibrate([np.ones((2, 16)), np.ones((2, 8))])
+
+    def test_layer_summary(self):
+        rng = np.random.default_rng(2)
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=1, macro_power_watts=0.074)
+        acc.add_layer(rng.standard_normal((16, 8)), name="head", ideal_programming=True)
+        summary = acc.layer_summary()
+        assert summary[0]["name"] == "head"
+        assert summary[0]["in_features"] == 16
+        assert summary[0]["macros"] == 1
+
+    def test_empty_report(self):
+        acc = AFPRAccelerator(quiet_macro_config(), num_macros=1, macro_power_watts=0.074)
+        report = acc.performance_report()
+        assert report.conversions == 0
+        assert report.latency_seconds == 0.0
+        assert report.throughput_gops == 0.0

@@ -1,0 +1,122 @@
+"""Unit tests for the macro / ADC / DAC configuration dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    ADCConfig,
+    DACConfig,
+    MacroConfig,
+    e2m5_macro_config,
+    e3m4_macro_config,
+    hardware_activation_format,
+    macro_config_for_format,
+)
+
+
+class TestADCConfig:
+    def test_paper_defaults(self):
+        cfg = ADCConfig()
+        assert cfg.exponent_bits == 2
+        assert cfg.mantissa_bits == 5
+        assert cfg.v_threshold == 2.0
+        assert cfg.integration_time == pytest.approx(100e-9)
+
+    def test_e2m5_conversion_time_is_200ns(self):
+        assert ADCConfig().conversion_time == pytest.approx(200e-9)
+
+    def test_e3m4_conversion_time_is_150ns(self):
+        cfg = ADCConfig(exponent_bits=3, mantissa_bits=4)
+        assert cfg.conversion_time == pytest.approx(150e-9)
+
+    def test_levels(self):
+        cfg = ADCConfig()
+        assert cfg.exponent_levels == 4
+        assert cfg.mantissa_levels == 32
+        assert cfg.max_adaptations == 3
+
+    def test_full_scale_current(self):
+        cfg = ADCConfig()
+        expected = 2.0 * 8 * cfg.unit_capacitance / 100e-9
+        assert cfg.full_scale_current == pytest.approx(expected)
+
+    def test_with_full_scale_current(self):
+        cfg = ADCConfig().with_full_scale_current(10e-6)
+        assert cfg.full_scale_current == pytest.approx(10e-6)
+
+    def test_with_full_scale_current_invalid(self):
+        with pytest.raises(ValueError):
+            ADCConfig().with_full_scale_current(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADCConfig(v_threshold=0.0, v_reset=0.0)
+        with pytest.raises(ValueError):
+            ADCConfig(unit_capacitance=-1.0)
+        with pytest.raises(ValueError):
+            ADCConfig(exponent_bits=0)
+
+
+class TestDACConfig:
+    def test_max_code_value_e2m5(self):
+        cfg = DACConfig()
+        assert cfg.max_code_value == pytest.approx(15.75)
+
+    def test_volts_per_unit(self):
+        cfg = DACConfig()
+        assert cfg.volts_per_unit * cfg.max_code_value == pytest.approx(cfg.v_full_scale)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DACConfig(v_full_scale=0.0)
+
+
+class TestMacroConfig:
+    def test_paper_macro(self):
+        cfg = MacroConfig()
+        assert cfg.rows == 576
+        assert cfg.cols == 256
+        assert cfg.cells == 147456
+        assert cfg.logical_columns == 128
+        assert cfg.format_name == "E2M5"
+
+    def test_ops_per_conversion(self):
+        assert MacroConfig().ops_per_conversion == 2 * 576 * 256
+
+    def test_conversion_time_matches_adc(self):
+        cfg = MacroConfig()
+        assert cfg.conversion_time == cfg.adc.conversion_time
+
+    def test_mismatched_formats_rejected(self):
+        with pytest.raises(ValueError):
+            MacroConfig(adc=ADCConfig(exponent_bits=3, mantissa_bits=4), dac=DACConfig())
+
+    def test_factories(self):
+        assert e2m5_macro_config().format_name == "E2M5"
+        assert e3m4_macro_config().format_name == "E3M4"
+        assert macro_config_for_format(4, 3).format_name == "E4M3"
+
+    def test_crossbar_config_derivation(self):
+        cfg = MacroConfig(wire_resistance=2.0, ir_drop_enabled=True)
+        xbar_cfg = cfg.crossbar_config()
+        assert xbar_cfg.rows == 576
+        assert xbar_cfg.wire_resistance == 2.0
+        assert xbar_cfg.ir_drop_enabled
+
+    def test_non_differential_logical_columns(self):
+        cfg = dataclasses.replace(MacroConfig(), differential_columns=False)
+        assert cfg.logical_columns == 256
+
+
+class TestHardwareFormat:
+    def test_hw_format_has_no_bias_or_subnormals(self):
+        fmt = hardware_activation_format(2, 5)
+        assert fmt.bias == 0
+        assert not fmt.subnormals
+        assert fmt.max_value == pytest.approx(15.75)
+
+    def test_hw_format_flushes_below_one(self):
+        fmt = hardware_activation_format(2, 5)
+        assert fmt.quantize(0.4) == 0.0
+        assert fmt.quantize(1.0) == pytest.approx(1.0)

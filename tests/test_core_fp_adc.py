@@ -1,0 +1,208 @@
+"""Unit tests for the dynamic-range adaptive FP-ADC (functional and transient)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ADCConfig, FPADC, FPADCTransient
+from repro.core.fp_adc import AdaptiveRangeController
+
+
+def ideal_config(**overrides):
+    """An ADC configuration with every stochastic non-ideality disabled."""
+    return ADCConfig(comparator_offset=0.0, comparator_noise=0.0,
+                     capacitor_mismatch_sigma=0.0, **overrides)
+
+
+class TestAdaptiveRangeController:
+    def test_charge_thresholds_double(self):
+        controller = AdaptiveRangeController(ideal_config(), channels=1)
+        thresholds = controller.charge_thresholds[0]
+        # Q_k = {0, 2C, 4C, 8C} x V_th/2 ... with V_th = 2 V: 0, 2C, 4C, 8C.
+        unit = ideal_config().unit_capacitance
+        np.testing.assert_allclose(thresholds, [0.0, 2 * unit, 4 * unit, 8 * unit])
+
+    def test_start_voltages_are_one_volt(self):
+        controller = AdaptiveRangeController(ideal_config(), channels=1)
+        np.testing.assert_allclose(controller.start_voltages[0][1:], 1.0)
+
+    def test_exponent_for_charge(self):
+        controller = AdaptiveRangeController(ideal_config(), channels=1)
+        unit = ideal_config().unit_capacitance
+        charges = np.array([[0.5], [2.5], [4.5], [9.0]]) * unit
+        exps = controller.exponent_for_charge(charges)
+        np.testing.assert_array_equal(exps.ravel(), [0, 1, 2, 3])
+
+    def test_per_channel_mismatch(self):
+        config = ADCConfig(capacitor_mismatch_sigma=0.02, seed=1)
+        controller = AdaptiveRangeController(config, channels=8)
+        assert controller.charge_thresholds.shape == (8, 4)
+        # Channels differ from one another.
+        assert np.std(controller.charge_thresholds[:, 3]) > 0
+
+
+class TestFunctionalConversion:
+    def test_paper_example(self):
+        """5.38 uA -> exponent 10, mantissa 01001 (Fig. 5(a))."""
+        adc = FPADC(ideal_config(), channels=1)
+        out = adc.convert(np.array([5.38e-6]))
+        assert out.exponent[0] == 0b10
+        assert out.mantissa[0] == 0b01001
+        assert out.value[0] == pytest.approx(5.125)
+
+    def test_zero_current_reads_zero(self):
+        adc = FPADC(ideal_config(), channels=1)
+        out = adc.convert(np.array([0.0]))
+        assert out.value[0] == 0.0
+        assert out.underflow[0]
+
+    def test_negative_current_reads_zero(self):
+        adc = FPADC(ideal_config(), channels=1)
+        assert adc.convert(np.array([-1e-6])).value[0] == 0.0
+
+    def test_underflow_threshold(self):
+        """Currents that cannot reach 1 V by T_S are not read out (paper)."""
+        adc = FPADC(ideal_config(), channels=1)
+        just_below = 0.99 * adc.value_to_current(1.0)
+        just_above = 1.02 * adc.value_to_current(1.0)
+        assert adc.convert(np.array([just_below])).underflow[0]
+        assert not adc.convert(np.array([just_above])).underflow[0]
+
+    def test_subnormal_readout_option(self):
+        adc = FPADC(ideal_config(subnormal_readout=True), channels=1)
+        small = 0.5 * adc.value_to_current(1.0)
+        out = adc.convert(np.array([small]))
+        assert out.underflow[0]
+        assert out.value[0] == pytest.approx(0.5, rel=0.05)
+
+    def test_saturation(self):
+        adc = FPADC(ideal_config(), channels=1)
+        out = adc.convert(np.array([adc.full_scale_current * 2]))
+        assert out.saturated[0]
+        assert out.exponent[0] == 3
+        assert out.mantissa[0] == 31
+
+    def test_exponent_boundaries(self):
+        """Exponent increments exactly when the value crosses a power of two."""
+        adc = FPADC(ideal_config(), channels=1)
+        for target_value, expected_exp in ((1.5, 0), (1.99, 0), (2.05, 1), (3.9, 1),
+                                           (4.1, 2), (7.9, 2), (8.2, 3), (15.0, 3)):
+            current = adc.value_to_current(target_value)
+            out = adc.convert(np.array([current]))
+            assert out.exponent[0] == expected_exp, target_value
+
+    def test_transfer_monotonic(self):
+        adc = FPADC(ideal_config(), channels=1)
+        currents = np.linspace(0, adc.full_scale_current, 300)
+        values = np.array([adc.convert(np.array([i])).value[0] for i in currents])
+        assert np.all(np.diff(values) > -1e-9)
+
+    def test_relative_error_bounded_by_lsb(self):
+        """The FP readout keeps the relative error roughly constant (~1/64)."""
+        adc = FPADC(ideal_config(), channels=1)
+        rng = np.random.default_rng(0)
+        currents = rng.uniform(adc.value_to_current(1.05), adc.full_scale_current * 0.98, 500)
+        errors = []
+        for current in currents:
+            value = adc.convert(np.array([current])).value[0]
+            estimate = value * adc.value_to_current(1.0)
+            errors.append(abs(estimate - current) / current)
+        assert max(errors) < 1.0 / 32
+
+    def test_batch_and_channel_shapes(self):
+        adc = FPADC(ideal_config(), channels=4)
+        out = adc.convert(np.abs(np.random.default_rng(0).standard_normal((5, 4))) * 1e-5)
+        assert out.value.shape == (5, 4)
+        single = adc.convert(np.full(4, 2e-6))
+        assert single.value.shape == (4,)
+
+    def test_wrong_channel_count_rejected(self):
+        adc = FPADC(ideal_config(), channels=4)
+        with pytest.raises(ValueError):
+            adc.convert(np.zeros(5))
+
+    def test_decode(self):
+        adc = FPADC(ideal_config(), channels=1)
+        assert adc.decode(2, 9) == pytest.approx(5.125)
+        assert adc.decode(0, 0) == pytest.approx(1.0)
+
+    def test_value_current_roundtrip(self):
+        adc = FPADC(ideal_config(), channels=1)
+        value = 6.25
+        assert adc.convert(np.array([adc.value_to_current(value)])).value[0] == pytest.approx(
+            value, abs=1 / 32 * 4
+        )
+
+    def test_nonzero_reset_rejected(self):
+        with pytest.raises(ValueError):
+            FPADC(ADCConfig(v_reset=0.5, v_threshold=2.0), channels=1)
+
+    def test_conversion_time_and_full_scale(self):
+        adc = FPADC(ideal_config(), channels=1)
+        assert adc.conversion_time == pytest.approx(200e-9)
+        assert adc.full_scale_current == pytest.approx(16 * 105e-15 / 100e-9)
+
+    def test_lsb_current_positive(self):
+        assert FPADC(ideal_config(), channels=1).lsb_current > 0
+
+    def test_transfer_curve_shape(self):
+        curve = FPADC(ideal_config(), channels=1).transfer_curve(num_points=64)
+        assert curve.shape == (64, 2)
+
+    def test_e3m4_configuration(self):
+        adc = FPADC(ideal_config(exponent_bits=3, mantissa_bits=4), channels=1)
+        # E3M4 has 8 ranges, so its full-scale value is (2 - 1/16) * 2^7.
+        out = adc.convert(np.array([adc.value_to_current(200.0)]))
+        assert out.exponent[0] == 7
+        out = adc.convert(np.array([adc.value_to_current(1.5)]))
+        assert out.exponent[0] == 0
+        assert adc.conversion_time == pytest.approx(150e-9)
+
+    def test_comparator_noise_perturbs_codes(self):
+        noisy = FPADC(ADCConfig(comparator_noise=0.02), channels=1)
+        current = noisy.value_to_current(1.5)
+        codes = {noisy.convert(np.array([current])).mantissa[0] for _ in range(50)}
+        assert len(codes) > 1
+
+
+class TestTransientModel:
+    def test_matches_functional_model_on_grid(self):
+        config = ideal_config()
+        functional = FPADC(config, channels=1)
+        transient = FPADCTransient(config, time_step=0.05e-9)
+        for value in (1.3, 2.6, 5.125, 10.5):
+            current = functional.value_to_current(value)
+            f = functional.convert(np.array([current]))
+            t = transient.simulate(current).metadata
+            assert int(t["exponent_code"]) == int(f.exponent[0])
+            assert abs(int(t["mantissa_code"]) - int(f.mantissa[0])) <= 1
+
+    def test_paper_example_waveform(self):
+        transient = FPADCTransient(ideal_config(), time_step=0.1e-9)
+        result = transient.simulate(5.38e-6)
+        assert result.metadata["num_adaptations"] == 2
+        assert result.metadata["exponent_code"] == 2
+        assert result.metadata["mantissa_code"] == 9
+        # The integrator output never exceeds the threshold by more than a step.
+        assert result["v_out"].maximum() <= 2.0 + 0.05
+
+    def test_waveform_shows_two_drops(self):
+        transient = FPADCTransient(ideal_config(), time_step=0.1e-9)
+        result = transient.simulate(5.38e-6)
+        drops = result["v_out"].falling_steps(min_drop=0.5)
+        assert len(drops) == 2
+
+    def test_small_current_not_read_out(self):
+        transient = FPADCTransient(ideal_config(), time_step=0.2e-9)
+        result = transient.simulate(0.3e-6)
+        assert result.metadata["underflow"] == 1.0
+        assert result.metadata["value"] == 0.0
+
+    def test_connected_caps_waveform_monotonic(self):
+        transient = FPADCTransient(ideal_config(), time_step=0.1e-9)
+        result = transient.simulate(12e-6)
+        caps = result["connected_caps"].values
+        assert np.all(np.diff(caps) >= 0)
+
+    def test_invalid_time_step(self):
+        with pytest.raises(ValueError):
+            FPADCTransient(ideal_config(), time_step=0.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the input FP-DAC (repro.core.fp_dac)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACConfig, FPDAC
+
+
+class TestTransferFunction:
+    def test_equation_6_gain_of_two_per_exponent(self):
+        """Paper Eq. 6: V_DAC = 2^E x M_analog."""
+        dac = FPDAC(DACConfig())
+        mantissa = np.full(4, 10)
+        exponents = np.arange(4)
+        voltages = dac.convert_fields(exponents, mantissa)
+        ratios = voltages[1:] / voltages[:-1]
+        np.testing.assert_allclose(ratios, 2.0, rtol=1e-3)
+
+    def test_mantissa_monotonic_within_exponent(self):
+        dac = FPDAC(DACConfig())
+        mantissa = np.arange(32)
+        voltages = dac.convert_fields(np.zeros(32, dtype=int), mantissa)
+        assert np.all(np.diff(voltages) > 0)
+
+    def test_full_scale_voltage(self):
+        cfg = DACConfig()
+        dac = FPDAC(cfg)
+        v = dac.convert_fields(np.array([3]), np.array([31]))
+        assert v[0] == pytest.approx(cfg.v_full_scale, rel=1e-3)
+
+    def test_zero_code_gives_zero_volts(self):
+        dac = FPDAC(DACConfig())
+        v = dac.convert_fields(np.array([0]), np.array([0]), zero_mask=np.array([True]))
+        assert v[0] == 0.0
+
+    def test_ideal_voltage_matches_convert_for_ideal_dac(self):
+        dac = FPDAC(DACConfig())
+        values = np.array([1.0, 1.5, 3.25, 12.0])
+        np.testing.assert_allclose(dac.convert_value(values), dac.ideal_voltage(values),
+                                   rtol=1e-3)
+
+    def test_linearity_error_small_for_ideal_dac(self):
+        assert FPDAC(DACConfig()).linearity_error() < 1e-3
+
+    def test_mismatch_increases_linearity_error(self):
+        ideal = FPDAC(DACConfig())
+        real = FPDAC(DACConfig(reference_mismatch_sigma=0.02, pga_gain_error_sigma=0.02, seed=3))
+        assert real.linearity_error() > ideal.linearity_error()
+
+    def test_output_noise_perturbs(self):
+        dac = FPDAC(DACConfig(output_noise_rms=5e-3))
+        a = dac.convert_fields(np.array([1]), np.array([10]))
+        b = dac.convert_fields(np.array([1]), np.array([10]))
+        assert a[0] != b[0]
+
+    def test_exponent_out_of_range_rejected(self):
+        dac = FPDAC(DACConfig())
+        with pytest.raises(ValueError):
+            dac.convert_fields(np.array([4]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self):
+        dac = FPDAC(DACConfig())
+        with pytest.raises(ValueError):
+            dac.convert_fields(np.zeros(2, dtype=int), np.zeros(3, dtype=int))
+
+
+class TestValueEncoding:
+    def test_encode_value_fields(self):
+        dac = FPDAC(DACConfig())
+        exponent, mantissa, zero = dac.encode_value(np.array([0.0, 1.0, 5.125, 15.75]))
+        assert zero[0] and not zero[1]
+        assert exponent[2] == 2 and mantissa[2] == 9
+        assert exponent[3] == 3 and mantissa[3] == 31
+
+    def test_encode_value_flushes_small(self):
+        dac = FPDAC(DACConfig())
+        _, _, zero = dac.encode_value(np.array([0.3]))
+        assert zero[0]
+
+    def test_encode_negative_rejected(self):
+        dac = FPDAC(DACConfig())
+        with pytest.raises(ValueError):
+            dac.encode_value(np.array([-1.0]))
+
+    def test_convert_value_batch_shape(self):
+        dac = FPDAC(DACConfig())
+        values = np.abs(np.random.default_rng(0).standard_normal((4, 7))) * 10
+        out = dac.convert_value(values)
+        assert out.shape == (4, 7)
+
+
+class TestCellCurrent:
+    """The Fig. 5(b) building block: cell current = V_DAC(code) x G."""
+
+    def test_cell_current_proportional_to_conductance(self):
+        dac = FPDAC(DACConfig())
+        codes = np.arange(128)
+        i20 = dac.cell_current(codes, 20e-6)
+        i10 = dac.cell_current(codes, 10e-6)
+        np.testing.assert_allclose(i20, 2 * i10, rtol=1e-12)
+
+    def test_cell_current_monotonic_in_code_value(self):
+        dac = FPDAC(DACConfig())
+        codes = np.arange(128)
+        currents = dac.cell_current(codes, 20e-6)
+        mantissa = codes & 31
+        exponent = codes >> 5
+        values = (1 + mantissa / 32) * 2.0 ** exponent
+        order = np.argsort(values)
+        assert np.all(np.diff(currents[order]) > -1e-15)
+
+    def test_cell_current_range_rejected(self):
+        dac = FPDAC(DACConfig())
+        with pytest.raises(ValueError):
+            dac.cell_current(np.array([128]), 20e-6)
+        with pytest.raises(ValueError):
+            dac.cell_current(np.array([0]), -1e-6)
+
+    def test_transfer_table_columns(self):
+        table = FPDAC(DACConfig()).transfer_table()
+        assert table.shape == (128, 3)
+        # Values column follows (1 + m/32) * 2^e.
+        assert table[0, 1] == pytest.approx(1.0)
+        assert table[-1, 1] == pytest.approx(15.75)

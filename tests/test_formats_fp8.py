@@ -1,0 +1,184 @@
+"""Unit tests for the low-bit floating-point formats (repro.formats.fp8)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import E2M5, E3M4, E4M3, FP16, BF16, FloatFormat, decompose, fp8_value_table
+
+
+class TestFormatProperties:
+    def test_e2m5_bit_layout(self):
+        assert E2M5.exponent_bits == 2
+        assert E2M5.mantissa_bits == 5
+        assert E2M5.total_bits == 8
+
+    def test_e3m4_bit_layout(self):
+        assert E3M4.exponent_bits == 3
+        assert E3M4.mantissa_bits == 4
+        assert E3M4.total_bits == 8
+
+    def test_default_bias_is_ieee_style(self):
+        assert E2M5.bias == 1
+        assert E3M4.bias == 3
+        assert FP16.bias == 15
+        assert BF16.bias == 127
+
+    def test_e2m5_max_value(self):
+        # (2 - 1/32) * 2^(3-1) = 1.96875 * 4
+        assert E2M5.max_value == pytest.approx(7.875)
+
+    def test_e3m4_max_value(self):
+        # (2 - 1/16) * 2^(7-3) = 1.9375 * 16
+        assert E3M4.max_value == pytest.approx(31.0)
+
+    def test_e3m4_has_larger_dynamic_range_than_e2m5(self):
+        assert E3M4.dynamic_range_db() > E2M5.dynamic_range_db()
+
+    def test_min_subnormal_below_min_normal(self):
+        assert E2M5.min_subnormal < E2M5.min_normal
+        assert E2M5.min_subnormal == pytest.approx(E2M5.min_normal / 32)
+
+    def test_invalid_bit_widths_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat(exponent_bits=0, mantissa_bits=5)
+        with pytest.raises(ValueError):
+            FloatFormat(exponent_bits=2, mantissa_bits=0)
+
+    def test_code_count(self):
+        assert E2M5.code_count == 128
+        assert E3M4.code_count == 128
+
+    def test_custom_bias(self):
+        fmt = FloatFormat(exponent_bits=2, mantissa_bits=5, bias=0)
+        assert fmt.max_value == pytest.approx(1.96875 * 8)
+
+
+class TestQuantize:
+    def test_representable_values_are_fixed_points(self):
+        values = E2M5.all_values()
+        np.testing.assert_allclose(E2M5.quantize(values), values)
+
+    def test_quantize_is_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000) * 3
+        once = E2M5.quantize(x)
+        twice = E2M5.quantize(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_saturation_to_max(self):
+        assert E2M5.quantize(100.0) == pytest.approx(E2M5.max_value)
+        assert E2M5.quantize(-100.0) == pytest.approx(-E2M5.max_value)
+
+    def test_zero_maps_to_zero(self):
+        assert E2M5.quantize(0.0) == 0.0
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(500)
+        np.testing.assert_allclose(E2M5.quantize(-x), -E2M5.quantize(x))
+
+    def test_error_bounded_by_half_ulp(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-E2M5.max_value, E2M5.max_value, 2000)
+        q = E2M5.quantize(x)
+        step = E2M5.quantization_step(x)
+        assert np.all(np.abs(q - x) <= step / 2 + 1e-12)
+
+    def test_subnormal_flush_when_disabled(self):
+        fmt = FloatFormat(exponent_bits=2, mantissa_bits=5, subnormals=False, bias=0)
+        # Values below the smallest normal (1.0 for bias 0) flush to zero.
+        assert fmt.quantize(0.4) == 0.0
+        assert fmt.quantize(1.0) == pytest.approx(1.0)
+
+    def test_subnormal_preserved_when_enabled(self):
+        small = E2M5.min_subnormal * 3
+        assert E2M5.quantize(small) != 0.0
+
+    def test_quantize_non_finite_saturates(self):
+        assert E2M5.quantize(np.inf) == pytest.approx(E2M5.max_value)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_codes(self):
+        codes = np.arange(E2M5.code_count)
+        values = E2M5.decode(codes)
+        recovered = E2M5.encode(values)
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_roundtrip_all_codes_e3m4(self):
+        codes = np.arange(E3M4.code_count)
+        values = E3M4.decode(codes)
+        np.testing.assert_array_equal(E3M4.encode(values), codes)
+
+    def test_decode_zero_code(self):
+        assert E2M5.decode(0) == 0.0
+
+    def test_negative_values_set_sign_bit(self):
+        code = E2M5.encode(-1.5)
+        sign, _, _ = E2M5.fields(code)
+        assert sign == 1
+
+    def test_fields_compose_roundtrip(self):
+        codes = np.arange(E2M5.code_count)
+        sign, exp, man = E2M5.fields(codes)
+        np.testing.assert_array_equal(E2M5.compose(sign, exp, man), codes)
+
+    def test_compose_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            E2M5.compose(0, 4, 0)
+        with pytest.raises(ValueError):
+            E2M5.compose(0, 0, 32)
+
+    def test_decompose_matches_encode_fields(self):
+        x = np.array([0.5, 1.25, 3.0, 7.875])
+        s1, e1, m1 = decompose(x, E2M5)
+        s2, e2, m2 = E2M5.fields(E2M5.encode(x))
+        np.testing.assert_array_equal(e1, e2)
+        np.testing.assert_array_equal(m1, m2)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_value_table_shape(self):
+        table = fp8_value_table(E2M5)
+        assert table.shape == (128, 2)
+        # Table values must decode the same codes.
+        np.testing.assert_allclose(table[:, 1], E2M5.decode(table[:, 0].astype(int)))
+
+    def test_all_values_sorted_and_unique(self):
+        values = E2M5.all_values()
+        assert np.all(np.diff(values) > 0)
+
+    def test_nonuniform_grid_spacing_doubles_per_binade(self):
+        values = E2M5.all_values()
+        # Spacing in [1, 2) is 1/32, in [2, 4) is 1/16.
+        low = values[(values >= 1.0) & (values < 2.0)]
+        high = values[(values >= 2.0) & (values < 4.0)]
+        assert np.diff(low)[0] == pytest.approx(1 / 32)
+        assert np.diff(high)[0] == pytest.approx(1 / 16)
+
+
+class TestE2M5VersusE3M4:
+    """The trade-off the paper studies: mantissa precision vs dynamic range."""
+
+    def test_e2m5_finer_resolution_near_one(self):
+        assert E2M5.quantization_step(1.0) < E3M4.quantization_step(1.0)
+
+    def test_e3m4_represents_larger_values(self):
+        assert E3M4.max_value > E2M5.max_value
+
+    def test_e2m5_better_sqnr_on_gaussian(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(20000)
+        scale_e2m5 = np.max(np.abs(x)) / E2M5.max_value
+        scale_e3m4 = np.max(np.abs(x)) / E3M4.max_value
+        err_e2m5 = np.mean((E2M5.quantize(x / scale_e2m5) * scale_e2m5 - x) ** 2)
+        err_e3m4 = np.mean((E3M4.quantize(x / scale_e3m4) * scale_e3m4 - x) ** 2)
+        assert err_e2m5 < err_e3m4
+
+    def test_e4m3_worse_than_e2m5_on_gaussian(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(20000)
+        scale_e2m5 = np.max(np.abs(x)) / E2M5.max_value
+        scale_e4m3 = np.max(np.abs(x)) / E4M3.max_value
+        err_e2m5 = np.mean((E2M5.quantize(x / scale_e2m5) * scale_e2m5 - x) ** 2)
+        err_e4m3 = np.mean((E4M3.quantize(x / scale_e4m3) * scale_e4m3 - x) ** 2)
+        assert err_e2m5 < err_e4m3

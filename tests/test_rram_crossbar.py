@@ -1,0 +1,200 @@
+"""Unit tests for the crossbar MAC engine and weight programming."""
+
+import numpy as np
+import pytest
+
+from repro.rram import (
+    Crossbar,
+    CrossbarConfig,
+    DifferentialMapping,
+    OffsetMapping,
+    RRAMDeviceModel,
+    RRAMStatistics,
+    write_verify,
+)
+
+
+def quiet_device(seed=0):
+    """A device with no stochastic effects, for exact-math tests."""
+    stats = RRAMStatistics(programming_sigma=0.0, read_noise_sigma=0.0,
+                           drift_coefficient=0.0,
+                           stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
+    return RRAMDeviceModel(statistics=stats, seed=seed)
+
+
+class TestCrossbarConfig:
+    def test_paper_dimensions(self):
+        config = CrossbarConfig()
+        assert config.rows == 576
+        assert config.cols == 256
+        assert config.cells == 147456
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0)
+        with pytest.raises(ValueError):
+            CrossbarConfig(v_input_max=0.0)
+
+
+class TestCrossbarEvaluate:
+    def test_ohms_law_kcl_exact(self):
+        config = CrossbarConfig(rows=4, cols=3, read_noise_enabled=False)
+        xbar = Crossbar(config, device=quiet_device())
+        g = np.array([
+            [10e-6, 5e-6, 1e-6],
+            [20e-6, 1e-6, 2e-6],
+            [1e-6, 15e-6, 3e-6],
+            [5e-6, 5e-6, 4e-6],
+        ])
+        xbar.program(g, ideal=True)
+        v = np.array([1.0, 0.5, 2.0, 0.0])
+        readout = xbar.evaluate(v)
+        # Ideal programming snaps to the MLC grid; the MAC must equal the dot
+        # product against the *programmed* conductances exactly.
+        np.testing.assert_allclose(readout.currents, v @ np.asarray(xbar.conductances),
+                                   rtol=1e-12)
+
+    def test_batch_evaluation(self):
+        config = CrossbarConfig(rows=8, cols=4, read_noise_enabled=False)
+        xbar = Crossbar(config, device=quiet_device())
+        xbar.program(np.full((8, 4), 10e-6), ideal=True)
+        v = np.random.default_rng(0).uniform(0, 1, (5, 8))
+        readout = xbar.evaluate(v)
+        assert readout.currents.shape == (5, 4)
+        np.testing.assert_allclose(readout.currents, v @ np.asarray(xbar.conductances),
+                                   rtol=1e-12)
+
+    def test_partial_rows_are_padded(self):
+        config = CrossbarConfig(rows=10, cols=2, read_noise_enabled=False)
+        xbar = Crossbar(config, device=quiet_device())
+        achieved = xbar.program(np.full((4, 2), 10e-6), ideal=True)
+        readout = xbar.evaluate(np.ones(4))
+        # Untouched rows sit at g_min; inputs beyond 4 are zero, so only the
+        # programmed sub-array contributes.
+        assert readout.currents.shape == (2,)
+        np.testing.assert_allclose(readout.currents, achieved.sum(axis=0), rtol=1e-12)
+
+    def test_too_many_inputs_rejected(self):
+        xbar = Crossbar(CrossbarConfig(rows=4, cols=2), device=quiet_device())
+        with pytest.raises(ValueError):
+            xbar.evaluate(np.ones(5))
+
+    def test_input_clipping(self):
+        config = CrossbarConfig(rows=2, cols=1, v_input_max=1.0, read_noise_enabled=False)
+        xbar = Crossbar(config, device=quiet_device())
+        achieved = xbar.program(np.full((2, 1), 10e-6), ideal=True)
+        readout = xbar.evaluate(np.array([5.0, 5.0]))
+        # Inputs clip to 1 V, so the current equals the column conductance sum.
+        np.testing.assert_allclose(readout.currents, achieved.sum(axis=0))
+
+    def test_read_noise_changes_results(self):
+        stats = RRAMStatistics(read_noise_sigma=0.05, programming_sigma=0.0,
+                               stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
+        device = RRAMDeviceModel(statistics=stats, seed=0)
+        xbar = Crossbar(CrossbarConfig(rows=16, cols=4, read_noise_enabled=True), device=device)
+        xbar.program(np.full((16, 4), 10e-6), ideal=True)
+        v = np.ones(16)
+        a = xbar.evaluate(v).currents
+        b = xbar.evaluate(v).currents
+        assert not np.allclose(a, b)
+
+    def test_ir_drop_reduces_far_cell_current(self):
+        config = CrossbarConfig(rows=64, cols=32, wire_resistance=5.0,
+                                ir_drop_enabled=True, read_noise_enabled=False)
+        xbar = Crossbar(config, device=quiet_device())
+        xbar.program(np.full((64, 32), 20e-6), ideal=True)
+        ideal = xbar.ideal_mac(np.ones(64))
+        dropped = xbar.evaluate(np.ones(64)).currents
+        assert np.all(dropped < ideal)
+        # The far column suffers more than the near column.
+        assert (ideal[-1] - dropped[-1]) > (ideal[0] - dropped[0])
+
+    def test_sparsity_measurement(self):
+        xbar = Crossbar(CrossbarConfig(rows=4, cols=4), device=quiet_device())
+        g = np.full((4, 4), 1e-6)
+        g[0, 0] = 25e-6
+        xbar.program(g, ideal=True)
+        assert xbar.sparsity() == pytest.approx(15 / 16)
+
+    def test_column_current(self):
+        config = CrossbarConfig(rows=3, cols=2, read_noise_enabled=False)
+        xbar = Crossbar(config, device=quiet_device())
+        g = np.array([[10e-6, 1e-6], [10e-6, 1e-6], [10e-6, 1e-6]])
+        achieved = xbar.program(g, ideal=True)
+        assert xbar.column_current(np.ones(3), 0) == pytest.approx(achieved[:, 0].sum())
+        with pytest.raises(ValueError):
+            xbar.column_current(np.ones(3), 5)
+
+    def test_program_too_large_rejected(self):
+        xbar = Crossbar(CrossbarConfig(rows=4, cols=4), device=quiet_device())
+        with pytest.raises(ValueError):
+            xbar.program(np.full((5, 4), 1e-6))
+
+
+class TestWeightMapping:
+    def test_differential_mapping_signs(self):
+        mapping = DifferentialMapping(device=quiet_device())
+        weights = np.array([[1.0, -1.0], [0.5, 0.0]])
+        g, w_max = mapping.to_conductances(weights)
+        assert w_max == 1.0
+        assert g.shape == (2, 4)
+        # Positive weight -> G+ high, G- at minimum.
+        assert g[0, 0] > g[0, 1]
+        # Negative weight -> G- high.
+        assert g[0, 3] > g[0, 2]
+        # Zero weight -> both at minimum.
+        assert g[1, 2] == pytest.approx(g[1, 3])
+
+    def test_differential_mapping_reconstruction(self):
+        device = quiet_device()
+        mapping = DifferentialMapping(device=device)
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((16, 8))
+        g, w_max = mapping.to_conductances(weights)
+        v = rng.uniform(0, 1, 16)
+        currents = v @ g
+        logical = mapping.combine_currents(currents)
+        g_span = device.g_max - device.g_min
+        reconstructed = logical / g_span * w_max
+        np.testing.assert_allclose(reconstructed, v @ weights, rtol=1e-9, atol=1e-12)
+
+    def test_differential_physical_columns(self):
+        mapping = DifferentialMapping(device=quiet_device())
+        assert mapping.physical_columns(10) == 20
+
+    def test_combine_requires_even_columns(self):
+        mapping = DifferentialMapping(device=quiet_device())
+        with pytest.raises(ValueError):
+            mapping.combine_currents(np.zeros(3))
+
+    def test_offset_mapping_midpoint(self):
+        device = quiet_device()
+        mapping = OffsetMapping(device=device)
+        g, _ = mapping.to_conductances(np.zeros((2, 2)))
+        mid = 0.5 * (device.g_max + device.g_min)
+        np.testing.assert_allclose(g, mid)
+
+    def test_offset_mapping_range(self):
+        device = quiet_device()
+        mapping = OffsetMapping(device=device)
+        g, w_max = mapping.to_conductances(np.array([[-2.0, 2.0]]))
+        assert w_max == 2.0
+        assert g[0, 0] == pytest.approx(device.g_min)
+        assert g[0, 1] == pytest.approx(device.g_max)
+
+    def test_write_verify_converges(self):
+        device = RRAMDeviceModel(statistics=RRAMStatistics(programming_sigma=0.05,
+                                                           stuck_at_lrs_probability=0.0,
+                                                           stuck_at_hrs_probability=0.0),
+                                 seed=3)
+        target = np.full((32, 32), 13e-6)
+        loose, _ = write_verify(device, target, tolerance=0.5, max_iterations=1)
+        tight, iterations = write_verify(device, target, tolerance=0.02, max_iterations=20)
+        err_loose = np.mean(np.abs(loose - target) / target)
+        err_tight = np.mean(np.abs(tight - target) / target)
+        assert err_tight < err_loose
+        assert iterations > 1
+
+    def test_write_verify_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            write_verify(quiet_device(), np.full((2, 2), 1e-6), tolerance=0.0)
