@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
-"""Train a CNN, quantise it post-training, and run it on AFPR-CIM macros.
+"""Train a CNN and run it on every execution backend of the registry.
 
-This is the network-level workflow behind Fig. 6(c):
+This is the network-level workflow behind Fig. 6(c), routed through the
+unified execution engine (:mod:`repro.exec`):
 
 1. train a small ResNet-style CNN (FP32, numpy) on the synthetic image task,
-2. evaluate post-training quantisation to INT8 / FP8 E3M4 / FP8 E2M5 with the
-   CIM non-idealities extracted from the macro model (the fast, lumped-noise
-   path used for the full accuracy study),
-3. additionally map the first convolution onto real AFPR-CIM macro models —
-   FP-DAC, crossbar, FP-ADC, routing adder — and check the hardware-in-the-
-   loop accuracy (the slow, exact path).
+2. evaluate post-training quantisation to INT8 / FP8 E3M4 / FP8 E2M5 with
+   the CIM non-idealities extracted from the macro model (the ``fast_noise``
+   backend — the fast, lumped path used for the full accuracy study),
+3. run the same network hardware-in-the-loop on the ``analog`` backend —
+   FP-DAC, crossbar, FP-ADC, routing adder — batch-vectorised over the
+   minibatch, and compare accuracy and simulator throughput per backend.
 
 Run with::
 
@@ -21,8 +22,8 @@ import time
 import numpy as np
 
 from repro.core import MacroConfig
+from repro.exec import compare_backends, run_ptq_sweep
 from repro.nn import (
-    CIMMappedNetwork,
     DatasetConfig,
     SGD,
     SyntheticImageDataset,
@@ -30,7 +31,6 @@ from repro.nn import (
     build_resnet_lite,
     evaluate_model,
     extract_cim_nonidealities,
-    format_sweep,
 )
 from repro.rram.device import RRAMStatistics
 
@@ -55,34 +55,34 @@ def main() -> None:
     nonidealities = extract_cim_nonidealities(MacroConfig(), seed=rng_seed)
     print(f"[{time.time() - t0:5.1f}s] extracted CIM MAC noise sigma: "
           f"{nonidealities.mac_noise_sigma:.3%}")
-    results = format_sweep(model, x_train[:96], x_test, y_test,
-                           nonidealities=nonidealities, seed=rng_seed)
-    print("\nPost-training quantisation (with CIM noise):")
+    results = run_ptq_sweep(model, x_train[:96], x_test, y_test,
+                            nonidealities=nonidealities, seed=rng_seed)
+    print("\nPost-training quantisation (fast_noise backend):")
     for name, result in results.items():
         print(f"  {name:10s}  accuracy {result.accuracy:.3f}  "
               f"delta vs FP32 {result.accuracy_delta:+.3f}")
 
-    # --- 3. Hardware-in-the-loop: map layers onto macro models ---------
+    # --- 3. All backends side by side, analog hardware-in-the-loop -----
     quiet = RRAMStatistics(programming_sigma=0.01, read_noise_sigma=0.005,
                            stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
     macro_config = MacroConfig(device_statistics=quiet)
-    mapped = CIMMappedNetwork(model, macro_config=macro_config,
-                              calibration_images=x_train[:16],
-                              max_mapped_layers=2)
-    try:
-        subset = slice(0, 120)
-        digital = mapped.digital_accuracy(x_test[subset], y_test[subset])
-        analog = mapped.evaluate(x_test[subset], y_test[subset], batch_size=30)
-        print(f"\nHardware-in-the-loop (first 2 conv layers on macros, "
-              f"{len(mapped.adapters)} mapped):")
-        print(f"  digital accuracy on subset : {digital:.3f}")
-        print(f"  macro-mapped accuracy      : {analog:.3f}")
-        print(f"  macro conversions used     : {mapped.total_conversions()}")
-        latency = mapped.total_conversions() * macro_config.conversion_time
-        print(f"  analog conversion latency  : {latency * 1e6:.1f} us "
-              f"(at {macro_config.conversion_time * 1e9:.0f} ns per conversion)")
-    finally:
-        mapped.unmap()
+    subset = slice(0, 120)
+    reports = compare_backends(
+        model, x_test[subset], y_test[subset],
+        calibration=x_train[:16],
+        macro_config=macro_config,
+        nonidealities=nonidealities,
+        max_mapped_layers=2,
+    )
+    print("\nExecution backends (first 2 conv layers on macros for `analog`):")
+    for name, report in reports.items():
+        line = (f"  {name:12s} accuracy {report.accuracy:.3f}  "
+                f"{report.samples_per_second:9.1f} samples/s")
+        if report.conversions:
+            latency = report.conversions * macro_config.conversion_time
+            line += (f"  {report.conversions} conversions "
+                     f"({latency * 1e6:.1f} us analog latency)")
+        print(line)
 
     print(f"\n[{time.time() - t0:5.1f}s] done")
 

@@ -17,6 +17,7 @@ Run with::
 import numpy as np
 
 from repro import AFPRMacro, MacroConfig
+from repro.exec import available_backends
 from repro.power import MacroPowerModel
 
 
@@ -67,6 +68,10 @@ def main() -> None:
     print(f"  power              : {breakdown.total_power * 1e3:.1f} mW")
     print(f"  energy efficiency  : "
           f"{breakdown.energy_efficiency_tops_per_watt:.2f} TFLOPS/W")
+
+    # 6. Whole networks run through the same hardware via the execution
+    #    backend registry — see examples/cnn_on_cim.py for the full workflow.
+    print(f"\nRegistered execution backends: {', '.join(available_backends())}")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,10 @@ Sub-packages
 ``repro.nn``
     A from-scratch numpy NN substrate (layers, training, ResNet-lite /
     MobileNet-lite, synthetic dataset, PTQ flow, CIM-mapped execution).
+``repro.exec``
+    The unified execution engine: an ``ExecutionBackend`` registry
+    (``ideal`` / ``fake_quant`` / ``fast_noise`` / ``analog``) behind one
+    ``run_model(model, data, backend=...)`` entry point.
 ``repro.analysis``
     Experiment runners regenerating every figure and table of the paper.
 """

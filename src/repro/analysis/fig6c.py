@@ -22,10 +22,11 @@ import numpy as np
 
 from repro.analysis.report import render_table
 from repro.core.config import MacroConfig
+from repro.exec import run_ptq_sweep
 from repro.nn.data import DatasetConfig, SyntheticImageDataset
 from repro.nn.mobilenet import build_mobilenet_lite
 from repro.nn.optim import SGD
-from repro.nn.quantize import CIMNonidealities, PTQResult, extract_cim_nonidealities, format_sweep
+from repro.nn.quantize import CIMNonidealities, PTQResult, extract_cim_nonidealities
 from repro.nn.resnet import build_resnet_lite
 from repro.nn.training import Trainer
 
@@ -156,7 +157,11 @@ def run_fig6c(config: Fig6cConfig = Fig6cConfig(),
         model, calibration, x_test, y_test = _train_network(
             builder, dataset_config, config, seed=config.seed + index
         )
-        sweep = format_sweep(
+        # Route the accuracy study through the execution-backend registry:
+        # the FP32 baseline runs on the `ideal` backend and each quantised
+        # format on `fast_noise` (numerically identical to the legacy
+        # repro.nn.quantize flow).
+        sweep = run_ptq_sweep(
             model, calibration, x_test, y_test,
             nonidealities=nonidealities, seed=config.seed,
         )

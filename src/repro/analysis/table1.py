@@ -16,7 +16,7 @@ reproduced numbers, and additionally reports the ratios against the
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import format_quantity, render_table
 from repro.baselines.digital_fp_cim import DigitalFPCIM
@@ -42,6 +42,8 @@ class Table1Result:
     measured_ratios: Dict[str, float]
     claimed_ratios: Dict[str, float]
     modelled_ratios: Dict[str, float]
+    #: Simulated samples/s per execution backend (only measured on request).
+    backend_throughput: Optional[Dict[str, float]] = None
 
     @property
     def e2m5(self) -> MacroSpecification:
@@ -81,10 +83,53 @@ class Table1Result:
             ratio_rows,
             title="Headline comparison factors",
         )
-        return table + "\n\n" + ratios
+        report = table + "\n\n" + ratios
+        if self.backend_throughput:
+            backend_rows = [
+                (name, f"{throughput:.1f}")
+                for name, throughput in sorted(self.backend_throughput.items())
+            ]
+            report += "\n\n" + render_table(
+                ["execution backend", "samples/s"],
+                backend_rows,
+                title="Simulator throughput per execution backend (small CNN)",
+            )
+        return report
 
 
-def run_table1(sparsity: float = 0.0) -> Table1Result:
+def measure_backend_throughput(samples: int = 64, batch_size: int = 64,
+                               max_mapped_layers: int = 2,
+                               seed: int = 0) -> Dict[str, float]:
+    """Simulated samples/s of every registered execution backend.
+
+    Runs a small untrained CNN over a synthetic batch through each backend
+    of :mod:`repro.exec` — the simulator-side complement of the hardware
+    throughput column (how fast each fidelity level *evaluates*, not how
+    fast the silicon would be).
+    """
+    from repro.exec import available_backends, compare_backends
+    from repro.nn.data import DatasetConfig, SyntheticImageDataset
+    from repro.nn.resnet import build_resnet_lite
+
+    dataset = SyntheticImageDataset(
+        DatasetConfig(num_classes=8, image_size=16, seed=seed)
+    )
+    images, labels = dataset.generate(samples)
+    model = build_resnet_lite(num_classes=8, stage_widths=(8, 16),
+                              blocks_per_stage=1, seed=seed)
+    reports = compare_backends(
+        model, images, labels,
+        backends=available_backends(),
+        calibration=images[: min(16, samples)],
+        max_mapped_layers=max_mapped_layers,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    return {name: report.samples_per_second for name, report in reports.items()}
+
+
+def run_table1(sparsity: float = 0.0,
+               include_backend_throughput: bool = False) -> Table1Result:
     """Rebuild Table I from the power model and the baseline records."""
     e2m5 = afpr_specification(e2m5_macro_config(), sparsity=sparsity)
     e3m4 = afpr_specification(e3m4_macro_config(), sparsity=sparsity)
@@ -107,4 +152,7 @@ def run_table1(sparsity: float = 0.0) -> Table1Result:
         measured_ratios=measured,
         claimed_ratios=paper_claimed_ratios(),
         modelled_ratios=modelled,
+        backend_throughput=(
+            measure_backend_throughput() if include_backend_throughput else None
+        ),
     )

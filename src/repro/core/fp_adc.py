@@ -98,16 +98,27 @@ class AdaptiveRangeController:
         rng = rng if rng is not None else np.random.default_rng(config.seed)
 
         levels = config.exponent_levels
-        caps = np.empty((channels, levels), dtype=np.float64)
-        for ch in range(channels):
+        if config.capacitor_mismatch_sigma > 0:
+            caps = np.empty((channels, levels), dtype=np.float64)
+            for ch in range(channels):
+                bank = CapacitorBank.paper_ladder(
+                    exponent_bits=config.exponent_bits,
+                    unit_capacitance=config.unit_capacitance,
+                    v_reset=config.v_reset,
+                    mismatch_sigma=config.capacitor_mismatch_sigma,
+                    rng=rng,
+                )
+                caps[ch] = bank.values
+        else:
+            # Without mismatch every channel's ladder is identical, so one
+            # bank serves all channels (macro construction builds a 256-wide
+            # model per tile; this keeps that cheap).
             bank = CapacitorBank.paper_ladder(
                 exponent_bits=config.exponent_bits,
                 unit_capacitance=config.unit_capacitance,
                 v_reset=config.v_reset,
-                mismatch_sigma=config.capacitor_mismatch_sigma,
-                rng=rng,
             )
-            caps[ch] = bank.values
+            caps = np.tile(bank.values, (channels, 1))
         self.capacitances = caps
         self.cumulative = np.cumsum(caps, axis=1)
 
@@ -133,22 +144,31 @@ class AdaptiveRangeController:
         self.effective_threshold = v_th
 
     def exponent_for_charge(self, charge: np.ndarray) -> np.ndarray:
-        """Number of adaptations completed for a given integrated charge."""
+        """Number of adaptations completed for a given integrated charge.
+
+        ``charge`` covers the leading ``charge.shape[-1]`` channels, which
+        lets callers convert only the columns a tile actually drives.
+        """
         charge = np.asarray(charge, dtype=np.float64)
-        # charge shape (..., channels); thresholds shape (channels, levels).
-        return np.sum(charge[..., None] >= self.charge_thresholds[:, 1:], axis=-1)
+        k = charge.shape[-1]
+        # charge shape (..., k); thresholds shape (channels, levels).
+        return np.sum(charge[..., None] >= self.charge_thresholds[:k, 1:], axis=-1)
 
     def residual_voltage(self, charge: np.ndarray, exponent: np.ndarray) -> np.ndarray:
         """Held output voltage ``V_M`` at the sampling instant."""
         charge = np.asarray(charge, dtype=np.float64)
         exponent = np.asarray(exponent, dtype=np.int64)
-        idx = exponent
-        channel_idx = np.broadcast_to(
-            np.arange(self.channels), charge.shape
-        )
-        start = self.start_voltages[channel_idx, idx]
-        q_used = self.charge_thresholds[channel_idx, idx]
-        c_now = self.cumulative[channel_idx, idx]
+        k = charge.shape[-1]
+
+        def gather(table: np.ndarray) -> np.ndarray:
+            # out[..., c] = table[c, exponent[..., c]] without materialising a
+            # full channel-index array (the hot path of batched conversion).
+            expanded = np.broadcast_to(table[:k], exponent.shape + (table.shape[1],))
+            return np.take_along_axis(expanded, exponent[..., None], axis=-1)[..., 0]
+
+        start = gather(self.start_voltages)
+        q_used = gather(self.charge_thresholds)
+        c_now = gather(self.cumulative)
         return start + (charge - q_used) / c_now
 
 
@@ -224,18 +244,22 @@ class FPADC:
     def convert(self, currents: np.ndarray) -> ADCReadout:
         """Convert a vector (or batch) of column currents into FP codes.
 
-        ``currents`` has shape ``(channels,)`` or ``(batch, channels)``; the
-        channel count must match the model.  Negative currents (which cannot
-        charge the integrator in the right direction) read out as zero.
+        ``currents`` has shape ``(k,)`` or ``(batch, k)`` with ``k`` at most
+        the model's channel count; ``k < channels`` converts only the first
+        ``k`` physical columns (the ones a programmed tile drives), skipping
+        the per-channel work of idle columns.  Negative currents (which
+        cannot charge the integrator in the right direction) read out as
+        zero.
         """
         currents = np.asarray(currents, dtype=np.float64)
         squeeze = False
         if currents.ndim == 1:
             currents = currents[None, :]
             squeeze = True
-        if currents.ndim != 2 or currents.shape[1] != self.channels:
+        if currents.ndim != 2 or not 0 < currents.shape[1] <= self.channels:
             raise ValueError(
-                f"expected currents with {self.channels} channels, got shape {currents.shape}"
+                f"expected currents with at most {self.channels} channels, "
+                f"got shape {currents.shape}"
             )
 
         cfg = self.config

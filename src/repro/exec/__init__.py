@@ -1,0 +1,61 @@
+"""Unified execution engine: swappable backends for network-on-CIM runs.
+
+Every way of executing a network in this repository — digital FP32
+reference, fake-quantised PTQ, lumped-noise CIM simulation and full
+hardware-in-the-loop macro execution — sits behind one protocol
+(:class:`~repro.exec.backend.ExecutionBackend`), one registry and one entry
+point::
+
+    from repro.exec import run_model
+
+    report = run_model(model, images, labels, backend="analog",
+                       calibration=images[:32])
+    print(report.accuracy, report.samples_per_second)
+
+Registered backends: ``ideal``, ``fake_quant``, ``fast_noise``, ``analog``
+(see :mod:`repro.exec.backends`).  New substrates register themselves with
+:func:`~repro.exec.registry.register_backend` and become available to every
+experiment runner and benchmark by name.
+"""
+
+from repro.exec.backend import (
+    ExecutionBackend,
+    ExecutionContext,
+    ExecutionReport,
+)
+from repro.exec.registry import (
+    available_backends,
+    create_backend,
+    get_backend_class,
+    register_backend,
+)
+from repro.exec.backends import (
+    AnalogBackend,
+    FakeQuantBackend,
+    FastNoiseBackend,
+    IdealBackend,
+)
+from repro.exec.engine import (
+    DEFAULT_PTQ_FORMATS,
+    compare_backends,
+    run_model,
+    run_ptq_sweep,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionContext",
+    "ExecutionReport",
+    "available_backends",
+    "create_backend",
+    "get_backend_class",
+    "register_backend",
+    "AnalogBackend",
+    "FakeQuantBackend",
+    "FastNoiseBackend",
+    "IdealBackend",
+    "DEFAULT_PTQ_FORMATS",
+    "compare_backends",
+    "run_model",
+    "run_ptq_sweep",
+]

@@ -1,0 +1,172 @@
+"""The unified execution engine: ``run_model(model, data, backend=...)``.
+
+One entry point runs any model on any registered backend, batched and
+timed, and returns an :class:`~repro.exec.backend.ExecutionReport` with the
+logits, accuracy and steady-state throughput.  Higher-level helpers build on
+it: :func:`compare_backends` races every requested backend on the same data,
+and :func:`run_ptq_sweep` reproduces the Fig. 6(c) format sweep through the
+registry (numerically identical to the legacy ``repro.nn.quantize`` flow).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exec.backend import ExecutionBackend, ExecutionContext, ExecutionReport, FormatLike
+from repro.exec.registry import create_backend
+from repro.formats.fp8 import E2M5, E3M4
+from repro.formats.intq import INT8
+from repro.nn.data import iterate_minibatches
+from repro.nn.functional import accuracy
+from repro.nn.model import Model
+from repro.nn.quantize import CIMNonidealities, PTQResult
+
+BackendLike = Union[str, ExecutionBackend]
+
+#: The Fig. 6(c) format trio, keyed the way the analysis runners report them.
+DEFAULT_PTQ_FORMATS: Dict[str, FormatLike] = {
+    "INT8": INT8,
+    "FP8-E3M4": E3M4,
+    "FP8-E2M5": E2M5,
+}
+
+
+def _resolve_backend(backend: BackendLike) -> ExecutionBackend:
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    return create_backend(backend)
+
+
+def run_model(model: Model, images: np.ndarray,
+              labels: Optional[np.ndarray] = None,
+              backend: BackendLike = "ideal",
+              context: Optional[ExecutionContext] = None,
+              **context_overrides) -> ExecutionReport:
+    """Run ``images`` through ``model`` on the chosen execution backend.
+
+    Parameters
+    ----------
+    model:
+        The network to evaluate (restored to its digital state afterwards).
+    images:
+        Input batch (any leading batch dimension the model accepts).
+    labels:
+        Optional integer labels; when given, the report carries Top-1
+        accuracy.
+    backend:
+        A registered backend name (``ideal`` / ``fake_quant`` /
+        ``fast_noise`` / ``analog``) or a backend instance.  Passing the
+        same instance again reuses its prepared state — for the analog
+        backend that skips re-programming and re-calibrating the macros.
+    context:
+        Execution context; keyword overrides are applied on top (e.g.
+        ``run_model(m, x, backend="analog", calibration=x[:32])``).
+    """
+    ctx = context if context is not None else ExecutionContext()
+    if context_overrides:
+        ctx = dataclasses.replace(ctx, **context_overrides)
+    images = np.asarray(images, dtype=np.float64)
+    label_array = (
+        np.asarray(labels) if labels is not None
+        else np.zeros(images.shape[0], dtype=np.int64)
+    )
+
+    engine_backend = _resolve_backend(backend)
+    prepare_start = time.perf_counter()
+    try:
+        # prepare runs inside the try so a failure mid-setup (bad calibration
+        # batch, unmappable layer) still tears the backend off the model
+        # instead of leaving adapters attached.
+        engine_backend.prepare(model, ctx)
+        prepare_time = time.perf_counter() - prepare_start
+        conversions_before = engine_backend.conversions()
+        logits = []
+        forward_start = time.perf_counter()
+        for batch_x, _ in iterate_minibatches(images, label_array,
+                                              ctx.batch_size, shuffle=False):
+            logits.append(engine_backend.forward(model, batch_x))
+        wall_time = time.perf_counter() - forward_start
+        all_logits = (
+            np.concatenate(logits, axis=0) if logits
+            else np.zeros((0, 0), dtype=np.float64)
+        )
+    finally:
+        engine_backend.teardown(model)
+
+    top1 = accuracy(all_logits, label_array) if labels is not None and logits else None
+    return ExecutionReport(
+        backend=engine_backend.name,
+        logits=all_logits,
+        samples=int(images.shape[0]),
+        wall_time_s=wall_time,
+        prepare_time_s=prepare_time,
+        accuracy=top1,
+        conversions=engine_backend.conversions() - conversions_before,
+    )
+
+
+def compare_backends(model: Model, images: np.ndarray,
+                     labels: Optional[np.ndarray] = None,
+                     backends: Sequence[BackendLike] = ("ideal", "fake_quant",
+                                                        "fast_noise", "analog"),
+                     context: Optional[ExecutionContext] = None,
+                     **context_overrides) -> Dict[str, ExecutionReport]:
+    """Run the same data through several backends and collect the reports.
+
+    Reports are keyed by backend name; passing two differently-configured
+    instances of the same backend keeps both, with ``#2``, ``#3``, …
+    suffixes on the later ones.
+    """
+    reports: Dict[str, ExecutionReport] = {}
+    for backend in backends:
+        report = run_model(model, images, labels, backend=backend,
+                           context=context, **context_overrides)
+        key = report.backend
+        suffix = 2
+        while key in reports:
+            key = f"{report.backend}#{suffix}"
+            suffix += 1
+        reports[key] = report
+    return reports
+
+
+def run_ptq_sweep(model: Model, calibration: np.ndarray,
+                  test_images: np.ndarray, test_labels: np.ndarray,
+                  formats: Optional[Dict[str, FormatLike]] = None,
+                  nonidealities: Optional[CIMNonidealities] = None,
+                  batch_size: int = 64, seed: int = 0) -> Dict[str, PTQResult]:
+    """Evaluate PTQ accuracy for several formats through the backend registry.
+
+    This is the registry-routed equivalent of
+    :func:`repro.nn.quantize.format_sweep`: the FP32 baseline runs on the
+    ``ideal`` backend and each format on ``fast_noise`` (or ``fake_quant``
+    when no non-idealities are given), with identical adapter seeding and
+    batching, so the accuracies match the legacy flow bit for bit.
+    """
+    if formats is None:
+        formats = dict(DEFAULT_PTQ_FORMATS)
+    baseline = run_model(model, test_images, test_labels, backend="ideal",
+                         batch_size=batch_size)
+    backend_name = "fake_quant" if nonidealities is None else "fast_noise"
+    results: Dict[str, PTQResult] = {}
+    for name, fmt in formats.items():
+        context = ExecutionContext(
+            calibration=np.asarray(calibration, dtype=np.float64),
+            weight_format=fmt,
+            activation_format=fmt,
+            nonidealities=nonidealities,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        report = run_model(model, test_images, test_labels,
+                           backend=backend_name, context=context)
+        results[name] = PTQResult(
+            format_name=fmt.name,
+            accuracy=report.accuracy,
+            fp32_accuracy=baseline.accuracy,
+        )
+    return results

@@ -1,0 +1,48 @@
+"""Name -> backend registry behind ``run_model(..., backend="analog")``.
+
+Backends self-register at import time with the :func:`register_backend`
+decorator; the engine resolves names through :func:`create_backend`.  The
+registry is intentionally tiny — a dict plus validation — so growing the
+system (a sharded backend, an async backend, a new number format) is one
+decorated class away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.exec.backend import ExecutionBackend
+
+_BACKENDS: Dict[str, Type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Class decorator registering an :class:`ExecutionBackend` by its name."""
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a concrete `name`")
+    if name in _BACKENDS and _BACKENDS[name] is not cls:
+        raise ValueError(f"backend name {name!r} is already registered")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_BACKENDS)
+
+
+def get_backend_class(name: str) -> Type[ExecutionBackend]:
+    """Resolve a backend name to its class."""
+    try:
+        return _BACKENDS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown execution backend {name!r}; "
+            f"choose from {available_backends()}"
+        ) from exc
+
+
+def create_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a registered backend by name."""
+    return get_backend_class(name)(**options)

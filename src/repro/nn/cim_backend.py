@@ -3,9 +3,16 @@
 Where :mod:`repro.nn.quantize` injects *lumped* CIM noise for fast
 network-level studies, this module actually routes every Conv2d / Linear
 matrix product through :class:`~repro.core.mapping.MappedLayer` macros —
-FP-DAC, crossbar, FP-ADC and routing adder included.  It is much slower, so
-it is used for small networks and for validating that the lumped noise model
-is faithful to the real pipeline (an integration test compares the two).
+FP-DAC, crossbar, FP-ADC and routing adder included.  The macros evaluate
+whole minibatches in one vectorised pass per (tile, sign) over the active
+sub-array, so hardware-in-the-loop inference is batch-fast; it is still the
+slowest fidelity level and is used for small networks and for validating
+that the lumped noise model is faithful to the real pipeline.
+
+This class is the implementation behind the ``analog`` backend of the
+execution registry (:mod:`repro.exec`); experiment code should normally go
+through ``run_model(model, x, backend="analog")`` rather than instantiate
+it directly.
 """
 
 from __future__ import annotations
@@ -34,7 +41,8 @@ class CIMExecutionAdapter:
     """
 
     def __init__(self, layer: Layer, macro_config: MacroConfig,
-                 calibration_inputs: np.ndarray) -> None:
+                 calibration_inputs: np.ndarray,
+                 vectorized_readout: bool = True) -> None:
         self.layer = layer
         self.macro_config = macro_config
         if isinstance(layer, Conv2d):
@@ -44,6 +52,9 @@ class CIMExecutionAdapter:
         else:
             raise TypeError(f"unsupported layer type: {type(layer)!r}")
         self.mapped = MappedLayer(weight_matrix, macro_config=macro_config)
+        # Set the readout mode before calibrating: the ADC full-scale choice
+        # depends on whether idle columns take part in the readout.
+        self.mapped.set_vectorized_readout(vectorized_readout)
         self.mapped.calibrate(calibration_inputs)
         self._pending_input: Optional[np.ndarray] = None
 
@@ -101,9 +112,11 @@ class CIMMappedNetwork:
 
     def __init__(self, model: Model, macro_config: MacroConfig = MacroConfig(),
                  calibration_images: Optional[np.ndarray] = None,
-                 max_mapped_layers: Optional[int] = None) -> None:
+                 max_mapped_layers: Optional[int] = None,
+                 vectorized_readout: bool = True) -> None:
         self.model = model
         self.macro_config = macro_config
+        self.vectorized_readout = vectorized_readout
         self.adapters: List[CIMExecutionAdapter] = []
         self._mapped_layers: List[Layer] = []
         calibration = (
@@ -147,7 +160,8 @@ class CIMMappedNetwork:
                     else int(np.prod(layer.weight.value.shape[1:]))
                 )
                 layer_inputs = np.abs(np.random.default_rng(0).standard_normal((8, in_features)))
-            adapter = CIMExecutionAdapter(layer, self.macro_config, layer_inputs)
+            adapter = CIMExecutionAdapter(layer, self.macro_config, layer_inputs,
+                                          vectorized_readout=self.vectorized_readout)
             layer.quantization = adapter
             self.adapters.append(adapter)
             self._mapped_layers.append(layer)
@@ -158,6 +172,29 @@ class CIMMappedNetwork:
             layer.quantization = None
         self._mapped_layers.clear()
         self.adapters.clear()
+
+    def detach(self) -> None:
+        """Temporarily restore digital execution, keeping the mapped macros.
+
+        Unlike :meth:`unmap` this does not throw away the programmed and
+        calibrated tiles, so a later :meth:`reattach` resumes macro execution
+        without re-mapping or re-calibrating (the expensive part of
+        hardware-in-the-loop evaluation).
+        """
+        for layer in self._mapped_layers:
+            layer.quantization = None
+
+    def reattach(self) -> None:
+        """Resume macro execution after a :meth:`detach`."""
+        for layer, adapter in zip(self._mapped_layers, self.adapters):
+            layer.quantization = adapter
+
+    def set_vectorized_readout(self, enabled: bool) -> None:
+        """Switch every mapped layer between the batched active-sub-array
+        readout (default) and the original full-array reference readout."""
+        self.vectorized_readout = enabled
+        for adapter in self.adapters:
+            adapter.mapped.set_vectorized_readout(enabled)
 
     # ------------------------------------------------------------------
     def forward(self, images: np.ndarray) -> np.ndarray:

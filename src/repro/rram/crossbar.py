@@ -153,9 +153,18 @@ class Crossbar:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def _effective_conductances(self) -> np.ndarray:
-        """Conductance matrix including read noise and IR-drop derating."""
-        g = self._conductances
+    def _effective_conductances(self, rows: Optional[int] = None,
+                                cols: Optional[int] = None) -> np.ndarray:
+        """Conductance matrix including read noise and IR-drop derating.
+
+        ``rows`` / ``cols`` restrict the result to the top-left active
+        sub-array; read noise is then only drawn for the cells that actually
+        contribute to the evaluation, which is what makes batched inference
+        on small tiles cheap.
+        """
+        rows = self.config.rows if rows is None else rows
+        cols = self.config.cols if cols is None else cols
+        g = self._conductances[:rows, :cols]
         if self.config.read_noise_enabled:
             g = self.device.read_noise(g)
         if self.config.ir_drop_enabled and self.config.wire_resistance > 0.0:
@@ -171,8 +180,8 @@ class Crossbar:
         resistance ``R_w`` in series is ``G / (1 + G * R_w)``.
         """
         r = self.config.wire_resistance
-        col_dist = np.arange(1, self.config.cols + 1, dtype=np.float64)[None, :]
-        row_dist = np.arange(1, self.config.rows + 1, dtype=np.float64)[:, None]
+        col_dist = np.arange(1, g.shape[1] + 1, dtype=np.float64)[None, :]
+        row_dist = np.arange(1, g.shape[0] + 1, dtype=np.float64)[:, None]
         r_wire = r * (col_dist + row_dist)
         return g / (1.0 + g * r_wire)
 
@@ -180,7 +189,8 @@ class Crossbar:
         voltages = np.asarray(voltages, dtype=np.float64)
         return np.clip(voltages, -self.config.v_input_max, self.config.v_input_max)
 
-    def evaluate(self, input_voltages: np.ndarray) -> CrossbarReadout:
+    def evaluate(self, input_voltages: np.ndarray,
+                 active_cols: Optional[int] = None) -> CrossbarReadout:
         """Apply word-line voltages and return the source-line currents.
 
         Parameters
@@ -188,11 +198,18 @@ class Crossbar:
         input_voltages:
             Shape ``(rows,)`` or ``(batch, rows)``.  Rows beyond the supplied
             length are treated as unselected (0 V).
+        active_cols:
+            Only compute the currents of the first ``active_cols`` source
+            lines (the columns a programmed tile actually occupies).  The
+            remaining columns carry only the leak current of unselected
+            cells, so callers that know their tile width skip the dead
+            ``rows x cols`` work entirely.  ``None`` evaluates every column.
 
         Returns
         -------
         CrossbarReadout
-            ``currents`` has shape ``(cols,)`` or ``(batch, cols)``.
+            ``currents`` has shape ``(cols,)`` or ``(batch, cols)`` with
+            ``cols == active_cols`` when a subset was requested.
         """
         v = self._clip_inputs(input_voltages)
         squeeze = False
@@ -205,12 +222,28 @@ class Crossbar:
             raise ValueError(
                 f"{v.shape[1]} inputs exceed the {self.config.rows} word lines"
             )
-        if v.shape[1] < self.config.rows:
-            padded = np.zeros((v.shape[0], self.config.rows), dtype=np.float64)
-            padded[:, : v.shape[1]] = v
-            v = padded
-
-        g = self._effective_conductances()
+        if active_cols is None:
+            # Legacy full-array semantics (exactly the original behaviour,
+            # including the per-evaluation read-noise draw over the whole
+            # array): unsupplied rows are padded as unselected 0 V inputs.
+            cols = self.config.cols
+            if v.shape[1] < self.config.rows:
+                padded = np.zeros((v.shape[0], self.config.rows), dtype=np.float64)
+                padded[:, : v.shape[1]] = v
+                v = padded
+        else:
+            cols = active_cols
+            if not 0 < cols <= self.config.cols:
+                raise ValueError(f"active_cols must be in 1..{self.config.cols}")
+            # Unsupplied rows are unselected (0 V).  With the virtual ground
+            # at 0 V they contribute no current, so the MAC only needs the
+            # active top-left sub-array; a non-zero clamp makes every row
+            # contribute and forces the full-height evaluation.
+            if self.config.v_clamp != 0.0 and v.shape[1] < self.config.rows:
+                padded = np.zeros((v.shape[0], self.config.rows), dtype=np.float64)
+                padded[:, : v.shape[1]] = v
+                v = padded
+        g = self._effective_conductances(rows=v.shape[1], cols=cols)
         # Paper Eq. (1): I = sum_i (V_r - V_i) G_i.  We report the magnitude
         # flowing into the integrator, i.e. sum_i (V_i - V_r) G_i.
         currents = (v - self.config.v_clamp) @ g
@@ -231,14 +264,18 @@ class Crossbar:
             return float(currents[column])
         return float(currents[0, column])
 
-    def ideal_mac(self, input_voltages: np.ndarray) -> np.ndarray:
+    def ideal_mac(self, input_voltages: np.ndarray,
+                  active_cols: Optional[int] = None) -> np.ndarray:
         """Noise-free dot product against the programmed conductances.
 
         Used as the golden reference when validating ADC / readout accuracy.
+        ``active_cols`` restricts the result to the first columns, exactly as
+        in :meth:`evaluate`.
         """
+        cols = self.config.cols if active_cols is None else active_cols
         v = self._clip_inputs(input_voltages)
         if v.ndim == 1:
             v = v[None, :]
-            out = (v - self.config.v_clamp) @ self._conductances[: v.shape[1], :]
+            out = (v - self.config.v_clamp) @ self._conductances[: v.shape[1], :cols]
             return out[0]
-        return (v - self.config.v_clamp) @ self._conductances[: v.shape[1], :]
+        return (v - self.config.v_clamp) @ self._conductances[: v.shape[1], :cols]

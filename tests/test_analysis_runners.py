@@ -99,6 +99,15 @@ class TestFig6Power:
 
 
 class TestTable1:
+    def test_backend_throughput_through_registry(self):
+        result = run_table1(include_backend_throughput=True)
+        assert set(result.backend_throughput) >= {"ideal", "fake_quant",
+                                                  "fast_noise", "analog"}
+        assert all(v > 0 for v in result.backend_throughput.values())
+        assert "execution backend" in result.render()
+        # Default runs skip the measurement and render without the section.
+        assert run_table1().backend_throughput is None
+
     def test_headline_ratios_reproduce(self):
         result = run_table1()
         for key, claimed in result.claimed_ratios.items():
@@ -121,6 +130,7 @@ class TestTable1:
         assert "4.135x" in text
 
 
+@pytest.mark.slow
 class TestFig6c:
     def test_quick_run_structure_and_ordering(self):
         result = quick_fig6c()

@@ -1,0 +1,91 @@
+"""Golden regression tests: headline metrics frozen from the seed state.
+
+``tests/golden/seed_headline_metrics.json`` snapshots the Table I figures
+(latency, GOPS, TOPS/W, the four headline ratios), the Fig. 6(a)/(b) power
+reductions and the quick Fig. 6(c) PTQ accuracies as produced by the seed
+revision.  Future refactors of the execution engine, the power model or the
+analysis runners must stay within tolerance of these numbers — drift here
+means the reproduction no longer reproduces.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "seed_headline_metrics.json"
+
+#: Relative tolerance for deterministic analytical quantities (power model,
+#: throughput, ratios) — these have no stochastic inputs and should only move
+#: if the model itself is changed deliberately.
+ANALYTIC_RTOL = 1e-6
+
+#: Absolute tolerance for Top-1 accuracies of the quick Fig. 6(c) study.  The
+#: study is seeded and deterministic, but refactors are allowed to reorganise
+#: floating-point reductions; anything beyond a few accuracy counts on the
+#: 200-sample test split is a real regression.
+ACCURACY_ATOL = 0.03
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+class TestTable1Golden:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.analysis.table1 import run_table1
+
+        return run_table1()
+
+    def test_e2m5_headline_row(self, result, golden):
+        expected = golden["table1"]
+        assert result.e2m5.latency_us == pytest.approx(
+            expected["e2m5_latency_us"], rel=ANALYTIC_RTOL)
+        assert result.e2m5.throughput_gops == pytest.approx(
+            expected["e2m5_throughput_gops"], rel=ANALYTIC_RTOL)
+        assert result.e2m5.energy_efficiency_tops_per_watt == pytest.approx(
+            expected["e2m5_tops_per_watt"], rel=ANALYTIC_RTOL)
+
+    def test_measured_ratios(self, result, golden):
+        for key, value in golden["table1"]["measured_ratios"].items():
+            assert result.measured_ratios[key] == pytest.approx(
+                value, rel=ANALYTIC_RTOL), key
+
+    def test_modelled_ratios(self, result, golden):
+        for key, value in golden["table1"]["modelled_ratios"].items():
+            assert result.modelled_ratios[key] == pytest.approx(
+                value, rel=ANALYTIC_RTOL), key
+
+
+class TestFig6PowerGolden:
+    def test_power_reductions(self, golden):
+        from repro.analysis.fig6_power import run_fig6_power
+
+        result = run_fig6_power()
+        expected = golden["fig6_power"]
+        assert result.adc_energy_reduction == pytest.approx(
+            expected["adc_energy_reduction"], rel=ANALYTIC_RTOL)
+        assert result.total_energy_reduction == pytest.approx(
+            expected["total_energy_reduction"], rel=ANALYTIC_RTOL)
+        assert result.int_conversion_time_factor == pytest.approx(
+            expected["int_conversion_time_factor"], rel=ANALYTIC_RTOL)
+
+
+@pytest.mark.slow
+class TestFig6cGolden:
+    def test_quick_accuracy_deltas(self, golden):
+        from repro.analysis.fig6c import quick_fig6c
+
+        result = quick_fig6c()
+        for network, formats in golden["fig6c_quick"].items():
+            for format_name, expected in formats.items():
+                measured = result.results[network][format_name]
+                assert measured.accuracy == pytest.approx(
+                    expected["accuracy"], abs=ACCURACY_ATOL
+                ), f"{network}/{format_name}"
+                assert measured.accuracy_delta == pytest.approx(
+                    expected["delta"], abs=ACCURACY_ATOL
+                ), f"{network}/{format_name} delta"

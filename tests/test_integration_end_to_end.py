@@ -45,6 +45,7 @@ class TestPackageSurface:
 
 
 class TestFullPipelineConsistency:
+    @pytest.mark.slow
     def test_functional_and_transient_adc_agree_across_range(self):
         """The fast model used by the macro matches the circuit-level model."""
         config = ADCConfig()
@@ -94,6 +95,7 @@ class TestFullPipelineConsistency:
         assert breakdown.energy_efficiency_tops_per_watt == pytest.approx(19.89, rel=0.02)
 
 
+@pytest.mark.slow
 class TestNetworkOnHardwareNoise:
     def test_ptq_with_extracted_noise_still_learns(self):
         """A trained model evaluated with macro-extracted noise keeps most accuracy."""

@@ -142,6 +142,7 @@ class TestPTQFlow:
         assert nonideal.weight_noise_sigma == pytest.approx(0.02)
 
 
+@pytest.mark.slow
 class TestCIMMappedNetwork:
     def test_mapped_network_matches_digital_reasonably(self, trained_setup):
         model, x_train, _, x_test, y_test = trained_setup

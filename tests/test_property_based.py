@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import charge_share_voltage
-from repro.core import ADCConfig, FPADC, FPDAC, DACConfig
+from repro.core import ADCConfig, AFPRMacro, FPADC, FPDAC, DACConfig, MacroConfig
 from repro.formats import E2M5, E3M4, FloatFormat, IntFormat, fake_quant_int
 from repro.formats.quantizer import calibrate_scale
 from repro.rram import Crossbar, CrossbarConfig, RRAMDeviceModel, RRAMStatistics
@@ -190,3 +190,91 @@ class TestCrossbarProperties:
         lhs = xbar.evaluate(v1 + alpha * v2).currents
         rhs = xbar.evaluate(v1).currents + alpha * xbar.evaluate(v2).currents
         np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-15)
+
+
+def quiet_macro(in_features: int, out_features: int, seed: int,
+                weight_scale: float = 0.2) -> AFPRMacro:
+    """A deterministic macro (all stochastic non-idealities off) with random
+    ideally-programmed weights — batched and per-row paths must then agree
+    exactly."""
+    stats = RRAMStatistics(programming_sigma=0.0, read_noise_sigma=0.0,
+                           drift_coefficient=0.0,
+                           stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
+    config = MacroConfig(device_statistics=stats, read_noise_enabled=False)
+    macro = AFPRMacro(config)
+    rng = np.random.default_rng(seed)
+    macro.program_weights(rng.standard_normal((in_features, out_features)) * weight_scale,
+                          ideal=True)
+    macro.calibrate(np.abs(rng.standard_normal((8, in_features))))
+    return macro
+
+
+class TestBatchedMatvecProperties:
+    """The batched analog path equals the per-row vector path exactly."""
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_batched_equals_per_row(self, data):
+        in_features = data.draw(st.integers(min_value=1, max_value=48))
+        out_features = data.draw(st.integers(min_value=1, max_value=16))
+        batch = data.draw(st.integers(min_value=1, max_value=6))
+        seed = data.draw(st.integers(0, 2 ** 16))
+        macro = quiet_macro(in_features, out_features, seed)
+        acts = np.random.default_rng(seed + 1).standard_normal((batch, in_features))
+        batched = macro.matvec(acts)
+        per_row = np.stack([macro.matvec(acts[i]) for i in range(batch)])
+        assert batched.shape == (batch, out_features)
+        np.testing.assert_allclose(batched, per_row, rtol=1e-12, atol=1e-15)
+
+    @given(seed=st.integers(0, 2 ** 16), batch=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_all_negative_activations(self, seed, batch):
+        macro = quiet_macro(24, 8, seed)
+        acts = -np.abs(np.random.default_rng(seed + 1).standard_normal((batch, 24))) - 0.01
+        batched = macro.matvec(acts)
+        per_row = np.stack([macro.matvec(acts[i]) for i in range(batch)])
+        np.testing.assert_allclose(batched, per_row, rtol=1e-12, atol=1e-15)
+        # An all-negative input is the negated positive pass of its absolute
+        # value, so it must equal -matvec(|acts|) exactly.
+        np.testing.assert_allclose(batched, -macro.matvec(-acts), rtol=1e-12, atol=1e-15)
+
+    def test_empty_batch(self):
+        macro = quiet_macro(16, 4, seed=0)
+        macro.stats.reset()
+        out = macro.matvec(np.empty((0, 16)))
+        assert out.shape == (0, 4)
+        assert macro.stats.conversions == 0
+        assert macro.stats.mac_operations == 0
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_stats_counters_match_per_row_path(self, data):
+        in_features = data.draw(st.integers(min_value=2, max_value=32))
+        out_features = data.draw(st.integers(min_value=1, max_value=8))
+        batch = data.draw(st.integers(min_value=1, max_value=5))
+        seed = data.draw(st.integers(0, 2 ** 16))
+        # Mix sign patterns: some rows non-negative, some signed, some all
+        # negative — the batched pass must spend exactly the conversions the
+        # per-row path would.
+        rng = np.random.default_rng(seed + 1)
+        acts = rng.standard_normal((batch, in_features))
+        for i in range(batch):
+            mode = rng.integers(0, 3)
+            if mode == 0:
+                acts[i] = np.abs(acts[i])
+            elif mode == 1:
+                acts[i] = -np.abs(acts[i])
+
+        batched_macro = quiet_macro(in_features, out_features, seed)
+        per_row_macro = quiet_macro(in_features, out_features, seed)
+        batched_macro.stats.reset()
+        per_row_macro.stats.reset()
+
+        batched = batched_macro.matvec(acts)
+        per_row = np.stack([per_row_macro.matvec(acts[i]) for i in range(batch)])
+
+        np.testing.assert_allclose(batched, per_row, rtol=1e-12, atol=1e-15)
+        assert batched_macro.stats.conversions == per_row_macro.stats.conversions
+        assert batched_macro.stats.mac_operations == per_row_macro.stats.mac_operations
+        assert batched_macro.stats.adc_saturations == per_row_macro.stats.adc_saturations
+        assert batched_macro.stats.adc_underflows == per_row_macro.stats.adc_underflows
