@@ -12,8 +12,6 @@ Run with::
     pytest benchmarks/bench_exec_backends.py --benchmark-only -s
 """
 
-import time
-
 import numpy as np
 import pytest
 
@@ -78,15 +76,23 @@ def test_batched_analog_vs_seed_per_sample_path(benchmark, workload):
                   max_mapped_layers=2, seed=0)
 
     # Batched: the default vectorised analog backend, whole batch at once.
+    # Timing assertions on shared CI runners must not hinge on a single
+    # sample: take the best of several runs on both sides (the minimum is
+    # the standard noise-robust statistic for wall-clock comparisons) and
+    # use each report's internal forward-only time, which excludes prepare
+    # and harness overhead.
     batched_backend = AnalogBackend(vectorized=True)
     run_model(model, x_test[:1], backend=batched_backend, **kwargs)  # prepare once
+    batched_times = []
 
     def batched():
-        return run_model(model, x_test, y_test, backend=batched_backend,
-                         batch_size=SAMPLES, **kwargs)
+        report = run_model(model, x_test, y_test, backend=batched_backend,
+                           batch_size=SAMPLES, **kwargs)
+        batched_times.append(report.wall_time_s)
+        return report
 
     batched_report = benchmark.pedantic(batched, rounds=3, iterations=1)
-    batched_time = batched_report.wall_time_s
+    batched_time = min(batched_times)
 
     # Seed path: one sample at a time through the original full-array,
     # two-pass readout (pads every evaluation to 576 rows, converts all 256
@@ -94,10 +100,13 @@ def test_batched_analog_vs_seed_per_sample_path(benchmark, workload):
     # the vectorised engine.
     reference_backend = AnalogBackend(vectorized=False)
     run_model(model, x_test[:1], backend=reference_backend, **kwargs)  # prepare once
-    start = time.perf_counter()
-    reference_report = run_model(model, x_test, y_test, backend=reference_backend,
-                                 batch_size=1, **kwargs)
-    per_sample_time = time.perf_counter() - start
+    reference_times = []
+    for _ in range(2):
+        reference_report = run_model(model, x_test, y_test,
+                                     backend=reference_backend,
+                                     batch_size=1, **kwargs)
+        reference_times.append(reference_report.wall_time_s)
+    per_sample_time = min(reference_times)
 
     speedup = per_sample_time / batched_time
     print(f"\nBatched analog: {batched_time:.3f}s "

@@ -1,0 +1,135 @@
+"""Benchmark: dynamic batching vs. batch-size-1 serving, plus the serving
+determinism contract.
+
+The headline assertion: at equal offered load (every request pre-queued, so
+both configurations face the same instantaneous backlog), dynamic batching
+with ``max_batch=64`` sustains at least 3x the steady-state throughput of a
+batch-size-1 service.  Each configuration is timed as the best of several
+full serving runs — measured from first arrival to last completion inside
+the service, not by the harness clock — so a loaded CI runner cannot flake
+the comparison.
+
+The second assertion is the correctness half of the acceptance bar: when
+the coalesced batch equals the direct batch, the served logits are
+bit-identical to ``run_model`` on every backend in the registry.
+
+Run with::
+
+    pytest benchmarks/bench_serve.py --benchmark-only -s
+"""
+
+
+
+import numpy as np
+import pytest
+
+from repro.exec import ExecutionContext, available_backends, run_model
+from repro.nn import DatasetConfig, SGD, Sequential, SyntheticImageDataset, Trainer
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.rram.device import RRAMStatistics
+from repro.core import MacroConfig
+from repro.serve import ServeConfig, serve_requests
+
+REQUESTS = 256
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A trained MLP classifier plus a request stream for the serving benchmarks.
+
+    Matmul-heavy on purpose: dense layers run one BLAS gemm per batch, so a
+    64-row batch costs far less than 64 single-row forwards — the regime
+    dynamic batching exists for (the conv path's im2col cost scales almost
+    linearly with batch size and would understate the effect).
+    """
+    dataset = SyntheticImageDataset(DatasetConfig(num_classes=8, image_size=12,
+                                                  noise_sigma=0.3, seed=17))
+    x_train, y_train, x_test, _ = dataset.train_test_split(256, 64)
+    model = Sequential(
+        Flatten(),
+        Linear(432, 1024, rng=np.random.default_rng(0)),
+        ReLU(),
+        Linear(1024, 256, rng=np.random.default_rng(1)),
+        ReLU(),
+        Linear(256, 8, rng=np.random.default_rng(2)),
+    )
+    Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32).fit(
+        x_train, y_train, epochs=2
+    )
+    requests = np.tile(x_test, (REQUESTS // len(x_test), 1, 1, 1))
+    return model, x_train, requests
+
+
+def _best_serving_time(model, images, config, rounds=ROUNDS):
+    """Best-of-N first-arrival-to-last-completion time over several runs.
+
+    The minimum is the noise-robust statistic for wall-clock comparisons on
+    shared runners: load spikes only ever make a run slower.
+    """
+    times = []
+    for _ in range(rounds):
+        _, snapshot = serve_requests(model, images, config)
+        assert snapshot.requests == len(images) and snapshot.dropped == 0
+        times.append(snapshot.wall_time_s)
+    return min(times)
+
+
+@pytest.mark.benchmark(group="serve")
+def test_dynamic_batching_beats_batch1_by_3x(benchmark, workload):
+    """Dynamic batching (max_batch=64) >= 3x batch-size-1 throughput at
+    equal offered load."""
+    model, _, requests = workload
+    batched_config = ServeConfig(max_batch=64, max_wait_ms=2.0)
+    batch1_config = ServeConfig(max_batch=1, max_wait_ms=2.0)
+
+    batched_time = benchmark.pedantic(
+        lambda: _best_serving_time(model, requests, batched_config),
+        rounds=1, iterations=1,
+    )
+    batch1_time = _best_serving_time(model, requests, batch1_config)
+
+    batched_rps = REQUESTS / batched_time
+    batch1_rps = REQUESTS / batch1_time
+    speedup = batched_rps / batch1_rps
+    print(f"\nDynamic batching (max_batch=64): {batched_rps:.0f} req/s "
+          f"({batched_time * 1e3:.1f} ms for {REQUESTS} requests)")
+    print(f"Batch-size-1 serving:            {batch1_rps:.0f} req/s "
+          f"({batch1_time * 1e3:.1f} ms)")
+    print(f"Speedup: {speedup:.1f}x")
+    assert speedup >= 3.0, f"dynamic batching only {speedup:.2f}x faster"
+
+
+@pytest.mark.benchmark(group="serve")
+def test_served_logits_bit_identical_on_every_backend(benchmark, workload):
+    """Exact-batch serving reproduces direct ``run_model`` bit for bit on
+    every registered backend."""
+    model, x_train, requests = workload
+    images = requests[:32]
+    quiet = RRAMStatistics(programming_sigma=0.0, read_noise_sigma=0.0,
+                           drift_coefficient=0.0,
+                           stuck_at_lrs_probability=0.0,
+                           stuck_at_hrs_probability=0.0)
+    context = ExecutionContext(calibration=x_train[:16],
+                               macro_config=MacroConfig(
+                                   device_statistics=quiet,
+                                   read_noise_enabled=False),
+                               max_mapped_layers=1, seed=0)
+
+    def check_all():
+        outcomes = {}
+        for backend in available_backends():
+            served, _ = serve_requests(
+                model, images,
+                ServeConfig(backend=backend, max_batch=len(images),
+                            context=context))
+            direct = run_model(model, images, backend=backend,
+                               context=context, batch_size=len(images))
+            outcomes[backend] = np.array_equal(served, direct.logits)
+        return outcomes
+
+    outcomes = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    print("\nServed-vs-direct bit identity:")
+    for backend, identical in sorted(outcomes.items()):
+        print(f"  {backend:12s} {'bit-identical' if identical else 'MISMATCH'}")
+    assert all(outcomes.values()), outcomes

@@ -10,11 +10,18 @@ without writing any Python::
     python -m repro ablations
     python -m repro all            # everything except the slow fig6c
     python -m repro fig6c --quick  # the accuracy study (quick variant)
+
+Two serving subcommands live next to the experiments and are routed to
+:mod:`repro.serve.cli`::
+
+    python -m repro serve          # in-process dynamic-batching service demo
+    python -m repro loadtest       # full load-generation harness
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Dict, List
 
 from repro.analysis.ablations import (
@@ -60,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the AFPR-CIM paper's tables and figures.",
+        epilog="Serving subcommands: `python -m repro serve` and "
+               "`python -m repro loadtest` (see `python -m repro serve --help`).",
     )
     parser.add_argument("experiment", choices=available_experiments(),
                         help="which experiment to run")
@@ -84,8 +93,19 @@ def run_experiment(name: str, quick: bool = False) -> str:
     return runner()
 
 
+#: Subcommands handled by the serving CLI instead of the experiment runner.
+SERVICE_COMMANDS = ("serve", "loadtest")
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        # Imported lazily: the serving layer pulls in asyncio plumbing the
+        # experiment runners never need.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv)
     args = build_parser().parse_args(argv)
     print(run_experiment(args.experiment, quick=args.quick))
     return 0

@@ -75,6 +75,10 @@ class AFPRAccelerator:
         self.num_macros = num_macros
         self._layers: List[MappedLayer] = []
         self._layer_names: List[str] = []
+        self._inflight_conversions = 0
+        self._completed_conversions = 0
+        self._busy_seconds = 0.0
+        self._inferences = 0
         if macro_power_watts is None:
             # Imported lazily so the core package does not hard-depend on the
             # power package at import time.
@@ -121,6 +125,87 @@ class AFPRAccelerator:
         for layer in self._layers:
             x = layer.forward(x)
         return x
+
+    # ------------------------------------------------------------------
+    # Per-worker occupancy accounting
+    # ------------------------------------------------------------------
+    # A serving worker wraps one accelerator and books the conversions of
+    # each dispatched batch against it, so schedulers can compare load
+    # across workers and the metrics layer can report utilisation without
+    # the accelerator having to own the mapped layers itself.
+    def begin_inference(self, conversions: int) -> None:
+        """Book ``conversions`` units of work as in flight on this pool."""
+        if conversions < 0:
+            raise ValueError("conversions must be >= 0")
+        self._inflight_conversions += conversions
+
+    def complete_inference(self, conversions: int,
+                           booked: Optional[int] = None) -> None:
+        """Retire booked work: move it from in-flight to completed.
+
+        ``conversions`` is what the work actually cost (the worker's
+        measured count); ``booked`` is what :meth:`begin_inference` reserved
+        for it (defaults to ``conversions``).  The in-flight gauge always
+        releases the booked amount — otherwise an estimate that ran high
+        would leave phantom load on the gauge forever — and is clamped at
+        zero so an estimate that ran low cannot drive it negative.
+        """
+        if conversions < 0:
+            raise ValueError("conversions must be >= 0")
+        released = conversions if booked is None else booked
+        if released < 0:
+            raise ValueError("booked must be >= 0")
+        self._inflight_conversions = max(0, self._inflight_conversions - released)
+        self._completed_conversions += conversions
+        self._busy_seconds += self.busy_seconds_for(conversions)
+        self._inferences += 1
+
+    def cancel_inference(self, booked: int) -> None:
+        """Release booked work that failed before completing (no work done)."""
+        if booked < 0:
+            raise ValueError("booked must be >= 0")
+        self._inflight_conversions = max(0, self._inflight_conversions - booked)
+
+    def busy_seconds_for(self, conversions: int) -> float:
+        """Macro-pool busy time for that many conversions (time-multiplexed)."""
+        if conversions <= 0:
+            return 0.0
+        serial_rounds = int(np.ceil(conversions / self.num_macros))
+        return serial_rounds * self.macro_config.conversion_time
+
+    @property
+    def inflight_conversions(self) -> int:
+        """Conversions currently booked but not yet retired."""
+        return self._inflight_conversions
+
+    @property
+    def completed_conversions(self) -> int:
+        """Conversions retired through :meth:`complete_inference`."""
+        return self._completed_conversions
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative modelled busy time of the macro pool."""
+        return self._busy_seconds
+
+    @property
+    def inferences(self) -> int:
+        """Number of inference batches retired on this pool."""
+        return self._inferences
+
+    def estimated_queue_delay(self) -> float:
+        """Modelled wait before new work starts, given the in-flight load."""
+        return self.busy_seconds_for(self._inflight_conversions)
+
+    def occupancy(self) -> Dict[str, float]:
+        """Snapshot of the occupancy gauges (for metrics reporting)."""
+        return {
+            "inflight_conversions": float(self._inflight_conversions),
+            "completed_conversions": float(self._completed_conversions),
+            "busy_seconds": self._busy_seconds,
+            "inferences": float(self._inferences),
+            "estimated_queue_delay_s": self.estimated_queue_delay(),
+        }
 
     # ------------------------------------------------------------------
     # Performance accounting

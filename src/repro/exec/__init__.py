@@ -37,6 +37,7 @@ from repro.exec.backends import (
 )
 from repro.exec.engine import (
     DEFAULT_PTQ_FORMATS,
+    BatchRunner,
     compare_backends,
     run_model,
     run_ptq_sweep,
@@ -55,6 +56,7 @@ __all__ = [
     "FastNoiseBackend",
     "IdealBackend",
     "DEFAULT_PTQ_FORMATS",
+    "BatchRunner",
     "compare_backends",
     "run_model",
     "run_ptq_sweep",

@@ -6,6 +6,8 @@ logits, accuracy and steady-state throughput.  Higher-level helpers build on
 it: :func:`compare_backends` races every requested backend on the same data,
 and :func:`run_ptq_sweep` reproduces the Fig. 6(c) format sweep through the
 registry (numerically identical to the legacy ``repro.nn.quantize`` flow).
+:class:`BatchRunner` is the low-level batched-submit entry point: prepare
+once, then push service-assembled batches straight through the backend.
 """
 
 from __future__ import annotations
@@ -41,6 +43,69 @@ def _resolve_backend(backend: BackendLike) -> ExecutionBackend:
     return create_backend(backend)
 
 
+class BatchRunner:
+    """A prepared ``(model, backend)`` pair accepting raw batches.
+
+    :func:`run_model` re-prepares the backend and re-iterates minibatches on
+    every call — the right shape for offline evaluation, the wrong one for a
+    service that coalesces requests into batches of its own choosing.  A
+    ``BatchRunner`` pays the ``prepare`` cost once and then exposes a single
+    :meth:`forward` that pushes one already-assembled batch through the
+    backend and returns the logits, with no internal re-batching, shuffling
+    or report assembly.  It is the batched-submit entry point under
+    :class:`repro.serve.InferenceService` workers.
+
+    Use as a context manager (or call :meth:`close`) so the backend is torn
+    off the model when the runner is done::
+
+        with BatchRunner(model, "analog", calibration=x[:32]) as runner:
+            logits = runner.forward(batch)
+    """
+
+    def __init__(self, model: Model, backend: BackendLike = "ideal",
+                 context: Optional[ExecutionContext] = None,
+                 **context_overrides) -> None:
+        ctx = context if context is not None else ExecutionContext()
+        if context_overrides:
+            ctx = dataclasses.replace(ctx, **context_overrides)
+        self.model = model
+        self.context = ctx
+        self.backend = _resolve_backend(backend)
+        self._closed = False
+        prepare_start = time.perf_counter()
+        try:
+            # A failure mid-setup (bad calibration batch, unmappable layer)
+            # must still tear the backend off the model instead of leaving
+            # adapters attached.
+            self.backend.prepare(model, ctx)
+        except Exception:
+            self.backend.teardown(model)
+            raise
+        self.prepare_time_s = time.perf_counter() - prepare_start
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Run one assembled batch through the prepared backend."""
+        if self._closed:
+            raise RuntimeError("BatchRunner is closed")
+        return self.backend.forward(self.model, np.asarray(images, dtype=np.float64))
+
+    def conversions(self) -> int:
+        """Analog macro conversions spent so far by the backend."""
+        return self.backend.conversions()
+
+    def close(self) -> None:
+        """Tear the backend off the model (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.backend.teardown(self.model)
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def run_model(model: Model, images: np.ndarray,
               labels: Optional[np.ndarray] = None,
               backend: BackendLike = "ideal",
@@ -66,46 +131,39 @@ def run_model(model: Model, images: np.ndarray,
         Execution context; keyword overrides are applied on top (e.g.
         ``run_model(m, x, backend="analog", calibration=x[:32])``).
     """
-    ctx = context if context is not None else ExecutionContext()
-    if context_overrides:
-        ctx = dataclasses.replace(ctx, **context_overrides)
     images = np.asarray(images, dtype=np.float64)
     label_array = (
         np.asarray(labels) if labels is not None
         else np.zeros(images.shape[0], dtype=np.int64)
     )
 
-    engine_backend = _resolve_backend(backend)
-    prepare_start = time.perf_counter()
+    runner = BatchRunner(model, backend, context=context, **context_overrides)
     try:
-        # prepare runs inside the try so a failure mid-setup (bad calibration
-        # batch, unmappable layer) still tears the backend off the model
-        # instead of leaving adapters attached.
-        engine_backend.prepare(model, ctx)
-        prepare_time = time.perf_counter() - prepare_start
-        conversions_before = engine_backend.conversions()
+        conversions_before = runner.conversions()
         logits = []
         forward_start = time.perf_counter()
         for batch_x, _ in iterate_minibatches(images, label_array,
-                                              ctx.batch_size, shuffle=False):
-            logits.append(engine_backend.forward(model, batch_x))
+                                              runner.context.batch_size,
+                                              shuffle=False):
+            logits.append(runner.forward(batch_x))
         wall_time = time.perf_counter() - forward_start
         all_logits = (
             np.concatenate(logits, axis=0) if logits
             else np.zeros((0, 0), dtype=np.float64)
         )
+        conversions = runner.conversions() - conversions_before
     finally:
-        engine_backend.teardown(model)
+        runner.close()
 
     top1 = accuracy(all_logits, label_array) if labels is not None and logits else None
     return ExecutionReport(
-        backend=engine_backend.name,
+        backend=runner.backend.name,
         logits=all_logits,
         samples=int(images.shape[0]),
         wall_time_s=wall_time,
-        prepare_time_s=prepare_time,
+        prepare_time_s=runner.prepare_time_s,
         accuracy=top1,
-        conversions=engine_backend.conversions() - conversions_before,
+        conversions=conversions,
     )
 
 

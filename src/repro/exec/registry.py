@@ -33,14 +33,22 @@ def available_backends() -> List[str]:
 
 
 def get_backend_class(name: str) -> Type[ExecutionBackend]:
-    """Resolve a backend name to its class."""
+    """Resolve a backend name to its class.
+
+    Raises
+    ------
+    KeyError
+        If no backend of that name is registered; the message lists every
+        registered name so a typo on a CLI flag or a service config is
+        immediately actionable.
+    """
     try:
         return _BACKENDS[name]
-    except KeyError as exc:
-        raise ValueError(
+    except KeyError:
+        raise KeyError(
             f"unknown execution backend {name!r}; "
-            f"choose from {available_backends()}"
-        ) from exc
+            f"registered backends: {', '.join(available_backends())}"
+        ) from None
 
 
 def create_backend(name: str, **options) -> ExecutionBackend:

@@ -38,6 +38,8 @@ from repro.power.efficiency import (
     tops_per_watt,
     gops,
     energy_per_op,
+    energy_per_conversion,
+    energy_per_request,
     MacroSpecification,
     afpr_specification,
 )
@@ -56,6 +58,8 @@ __all__ = [
     "tops_per_watt",
     "gops",
     "energy_per_op",
+    "energy_per_conversion",
+    "energy_per_request",
     "MacroSpecification",
     "afpr_specification",
 ]

@@ -38,6 +38,41 @@ def energy_per_op(power_watts: float, throughput_ops_per_second: float) -> float
     return power_watts / throughput_ops_per_second
 
 
+def energy_per_conversion(config: MacroConfig = MacroConfig(), sparsity: float = 0.0,
+                          calibration: PowerCalibration = DEFAULT_CALIBRATION) -> float:
+    """Energy of one macro conversion in joules, from the macro power model.
+
+    This is the serving-layer hook: a conversion is the unit the execution
+    backends meter (``backend.conversions()``), so multiplying the served
+    conversion count by this figure turns the power model into
+    energy-per-request accounting.
+    """
+    breakdown = MacroPowerModel(config, sparsity=sparsity, calibration=calibration).breakdown()
+    return breakdown.total_energy
+
+
+def energy_per_request(conversions: float, requests: int,
+                       config: MacroConfig = MacroConfig(), sparsity: float = 0.0,
+                       calibration: PowerCalibration = DEFAULT_CALIBRATION,
+                       energy_per_conversion_j: Optional[float] = None) -> float:
+    """Average macro energy per served request in joules.
+
+    ``conversions`` is the total conversion count spent serving ``requests``
+    requests (measured by the backend, or estimated for digital backends by
+    :func:`repro.serve.energy.estimate_conversions_per_sample`).  Callers
+    that already hold a per-conversion figure (the serving metrics keep one
+    cached) pass ``energy_per_conversion_j`` to skip re-deriving it from the
+    power model.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    if conversions < 0:
+        raise ValueError("conversions must be >= 0")
+    if energy_per_conversion_j is None:
+        energy_per_conversion_j = energy_per_conversion(config, sparsity, calibration)
+    return conversions * energy_per_conversion_j / requests
+
+
 @dataclasses.dataclass(frozen=True)
 class MacroSpecification:
     """One row of the Table-I macro comparison."""

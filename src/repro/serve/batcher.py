@@ -1,0 +1,163 @@
+"""The dynamic micro-batcher: coalesce requests into execution batches.
+
+Requests arrive one at a time (each carrying one or a few samples); the
+execution backends are fastest when fed large stacked batches.  The
+:class:`DynamicBatcher` bridges the two with the classic dynamic-batching
+policy used by inference servers: a batch is flushed as soon as it holds
+``max_batch`` sample rows **or** ``max_wait_ms`` has elapsed since the
+oldest queued request arrived — whichever happens first.  Pre-queued
+requests are drained greedily without waiting, so a full queue always
+produces full batches and an idle service adds at most ``max_wait_ms`` of
+batching latency to a lone request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+from typing import List, Optional
+
+import numpy as np
+
+#: Queue sentinel that tells the batcher to stop after draining.
+CLOSE = object()
+
+_request_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Request:
+    """One in-flight inference request.
+
+    ``images`` always has a leading sample dimension (a single-image submit
+    is stored as shape ``(1, ...)``); ``future`` resolves to the matching
+    logits with the same leading dimension.
+    """
+
+    images: np.ndarray
+    future: "asyncio.Future[np.ndarray]"
+    arrival: float
+    request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def rows(self) -> int:
+        """Number of sample rows this request contributes to a batch."""
+        return int(self.images.shape[0])
+
+
+class DynamicBatcher:
+    """Pull requests off a queue and group them into batches.
+
+    Parameters
+    ----------
+    queue:
+        The service request queue.  Items are :class:`Request` instances;
+        the :data:`CLOSE` sentinel initiates shutdown (everything queued
+        before it is still served).
+    max_batch:
+        Flush when the collected batch reaches this many sample rows.
+        A single request larger than ``max_batch`` still ships, as a batch
+        of its own.
+    max_wait_s:
+        Flush at most this long after the oldest request of the batch
+        *arrived*, even if the batch is not full.  ``0`` disables waiting:
+        only what is already queued is coalesced.
+    """
+
+    def __init__(self, queue: "asyncio.Queue", max_batch: int = 64,
+                 max_wait_s: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._carry: Optional[Request] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once the :data:`CLOSE` sentinel has been consumed."""
+        return self._closed
+
+    def _take(self, batch: List[Request], item) -> bool:
+        """Add ``item`` to ``batch`` if it fits; return False to stop collecting."""
+        if item is CLOSE:
+            self._closed = True
+            return False
+        if batch and _batch_rows(batch) + item.rows > self.max_batch:
+            # Would overflow: hold it for the next batch (FIFO preserved).
+            self._carry = item
+            return False
+        batch.append(item)
+        return _batch_rows(batch) < self.max_batch
+
+    async def next_batch(self) -> Optional[List[Request]]:
+        """Collect the next batch, or return None when closed and drained."""
+        batch: List[Request] = []
+        if self._carry is not None:
+            batch.append(self._carry)
+            self._carry = None
+        # Wait for the first request (unless the carry already seeded one).
+        if not batch:
+            if self._closed:
+                return None
+            item = await self.queue.get()
+            if not self._take(batch, item):
+                return batch or None
+        if _batch_rows(batch) >= self.max_batch:
+            return batch
+        # Greedily drain whatever is already queued — no reason to wait for
+        # the timeout when back-pressure has built a full batch for us.
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not self._take(batch, item):
+                return batch
+        # Timed phase: flush on max_batch or the deadline, whichever first.
+        # The deadline is anchored to the oldest request's *arrival*, not to
+        # when the batcher got around to it — a request carried over from an
+        # overflowing batch has already waited and must not wait another
+        # full max_wait_s.
+        loop = asyncio.get_running_loop()
+        deadline = batch[0].arrival + self.max_wait_s
+        while _batch_rows(batch) < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                item = await asyncio.wait_for(self.queue.get(), remaining)
+            except asyncio.TimeoutError:
+                break
+            if not self._take(batch, item):
+                break
+        return batch
+
+
+def _batch_rows(batch: List[Request]) -> int:
+    return sum(request.rows for request in batch)
+
+
+def stack_requests(batch: List[Request]) -> np.ndarray:
+    """Stack the requests of a batch into one contiguous input array."""
+    return np.concatenate([request.images for request in batch], axis=0)
+
+
+def scatter_results(batch: List[Request], logits: np.ndarray) -> None:
+    """Slice batched logits back to the requests and resolve their futures."""
+    offset = 0
+    for request in batch:
+        if not request.future.done():
+            request.future.set_result(logits[offset:offset + request.rows])
+        offset += request.rows
+
+
+def fail_requests(batch: List[Request], error: BaseException) -> None:
+    """Propagate a worker failure to every request of the batch."""
+    for request in batch:
+        if not request.future.done():
+            request.future.set_exception(error)

@@ -1,0 +1,173 @@
+"""CLI subcommands: ``python -m repro serve`` and ``python -m repro loadtest``.
+
+``serve`` spins up the in-process inference service on a small trained demo
+CNN, pushes a short seeded warm-up load through it and prints the metrics
+report — the one-command proof that the queue -> batcher -> scheduler ->
+backend pipeline works.  ``loadtest`` exposes the full load-generation
+harness: arrival pattern, offered rate, request count, batching and
+scheduling knobs, and an optional batch-size-1 comparison run::
+
+    python -m repro serve
+    python -m repro loadtest --pattern bursty --rate 4000 --requests 512
+    python -m repro loadtest --backend fake_quant --workers 4 --policy least_loaded
+    python -m repro loadtest --compare-batch1
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.registry import available_backends
+from repro.nn import DatasetConfig, SGD, SyntheticImageDataset, Trainer
+from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.model import Model, Sequential
+from repro.serve.loadgen import ARRIVAL_PROCESSES, run_loadtest
+from repro.serve.scheduler import available_policies
+from repro.serve.service import ServeConfig
+
+
+def demo_workload(seed: int = 0, num_classes: int = 8, image_size: int = 12,
+                  train_samples: int = 256, test_samples: int = 128
+                  ) -> Tuple[Model, np.ndarray, np.ndarray]:
+    """A small trained CNN plus request payloads for the serving demos."""
+    dataset = SyntheticImageDataset(DatasetConfig(
+        num_classes=num_classes, image_size=image_size, noise_sigma=0.3, seed=seed))
+    x_train, y_train, x_test, _ = dataset.train_test_split(train_samples, test_samples)
+    model = Sequential(
+        Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(seed)),
+        ReLU(),
+        Conv2d(8, 12, 3, stride=2, padding=1, rng=np.random.default_rng(seed + 1)),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(12, num_classes, rng=np.random.default_rng(seed + 2)),
+    )
+    Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32).fit(
+        x_train, y_train, epochs=2
+    )
+    return model, x_train, x_test
+
+
+def build_serve_parser(command: str) -> argparse.ArgumentParser:
+    """Argument parser shared by the ``serve`` and ``loadtest`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {command}",
+        description=(
+            "Run the in-process dynamic-batching inference service on a "
+            "demo CNN and print its metrics report."
+        ),
+    )
+    parser.add_argument("--backend", default="ideal", choices=available_backends(),
+                        help="execution backend serving the requests")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="flush a batch at this many sample rows")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="flush a non-full batch after this many ms")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="model replicas (each with its own backend)")
+    parser.add_argument("--macros-per-worker", type=int, default=8,
+                        help="modelled AFPR macros per worker")
+    parser.add_argument("--policy", default="round_robin", choices=available_policies(),
+                        help="batch placement policy")
+    parser.add_argument("--pattern", default="poisson",
+                        choices=sorted(ARRIVAL_PROCESSES),
+                        help="open-loop arrival process")
+    parser.add_argument("--rate", type=float, default=2000.0,
+                        help="offered load in requests/s")
+    parser.add_argument("--requests", type=int,
+                        default=128 if command == "serve" else 512,
+                        help="number of requests to fire")
+    parser.add_argument("--queue-capacity", type=int, default=None,
+                        help="bound the request queue (drop beyond this depth)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the model, data and arrival process")
+    if command == "loadtest":
+        parser.add_argument("--compare-batch1", action="store_true",
+                            help="also run max_batch=1 at the same offered "
+                                 "load and print the comparison")
+        parser.add_argument("--max-p99-ms", type=float, default=None,
+                            help="SLO gate: exit non-zero if p99 latency "
+                                 "exceeds this bound or any request "
+                                 "failed/dropped (for CI smoke jobs)")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        backend=args.backend,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+        macros_per_worker=args.macros_per_worker,
+        policy=args.policy,
+        queue_capacity=args.queue_capacity,
+    )
+
+
+def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]:
+    """Execute one serving subcommand; returns (report, exit code)."""
+    model, x_train, x_test = demo_workload(seed=args.seed)
+    config = _config_from_args(args)
+    if args.backend != "ideal":
+        # Quantising / analog backends want a calibration batch.
+        config = dataclasses.replace(
+            config,
+            context=dataclasses.replace(config.context, calibration=x_train[:16],
+                                        max_mapped_layers=1),
+        )
+    result = run_loadtest(model, x_test, config, pattern=args.pattern,
+                          rate_rps=args.rate, num_requests=args.requests,
+                          seed=args.seed)
+    lines = [
+        f"In-process inference service: backend={args.backend} "
+        f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
+        f"workers={args.workers} policy={args.policy}",
+        result.render(),
+    ]
+    if getattr(args, "compare_batch1", False):
+        batch1_config = dataclasses.replace(config, max_batch=1)
+        batch1 = run_loadtest(model, x_test, batch1_config, pattern=args.pattern,
+                              rate_rps=args.rate, num_requests=args.requests,
+                              seed=args.seed)
+        speedup = (
+            result.snapshot.throughput_rps / batch1.snapshot.throughput_rps
+            if batch1.snapshot.throughput_rps > 0 else float("inf")
+        )
+        lines += [
+            "",
+            f"batch-size-1 reference: {batch1.snapshot.throughput_rps:.1f} req/s, "
+            f"p99 {batch1.snapshot.latency_p99_ms:.2f} ms",
+            f"dynamic batching speedup: {speedup:.2f}x",
+        ]
+    exit_code = 0
+    max_p99 = getattr(args, "max_p99_ms", None)
+    if max_p99 is not None:
+        p99 = result.snapshot.latency_p99_ms
+        problems = []
+        if p99 > max_p99:
+            problems.append(f"p99 {p99:.2f} ms > bound {max_p99:.2f} ms")
+        if result.failures or result.snapshot.dropped:
+            problems.append(f"{result.failures} failed, "
+                            f"{result.snapshot.dropped} dropped")
+        if problems:
+            lines.append("SLO FAIL: " + "; ".join(problems))
+            exit_code = 1
+        else:
+            lines.append(f"SLO OK: p99 {p99:.2f} ms <= {max_p99:.2f} ms, "
+                         f"0 failed/dropped")
+    return "\n".join(lines), exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the serving subcommands; returns an exit code."""
+    argv = list(argv) if argv is not None else []
+    if not argv or argv[0] not in ("serve", "loadtest"):
+        raise SystemExit("usage: python -m repro {serve,loadtest} [options]")
+    command = argv[0]
+    args = build_serve_parser(command).parse_args(argv[1:])
+    report, exit_code = run_serve_command(command, args)
+    print(report)
+    return exit_code

@@ -1,0 +1,88 @@
+"""Energy-per-request accounting helpers for the serving layer.
+
+The ``analog`` backend meters real macro conversions, so its energy per
+request is simply ``conversions x energy_per_conversion``.  The digital
+backends (ideal / fake_quant / fast_noise) perform no conversions, yet a
+load test still wants to know what the served traffic *would* cost on the
+AFPR accelerator.  :func:`estimate_conversions_per_sample` answers that from
+the mapping geometry alone: it captures the matmul input shapes of one probe
+forward, tiles each weight matrix the way :class:`~repro.core.mapping.MappedLayer`
+would, and charges two conversions (one per input sign) per tile per
+activation row — the worst-case (mixed-sign) count the macro model books.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MacroConfig
+from repro.core.macro import AFPRMacro
+from repro.core.mapping import im2col, tile_weight_matrix
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.model import Model
+
+
+def _matmul_shapes(model: Model, probe_image: np.ndarray,
+                   max_mapped_layers: Optional[int] = None
+                   ) -> List[Tuple[int, int, int]]:
+    """``(rows_per_sample, in_features, out_features)`` per mapped matmul.
+
+    Runs one single-sample probe forward with temporarily-instrumented layer
+    forwards (the same capture trick :class:`~repro.nn.cim_backend.CIMMappedNetwork`
+    uses for calibration) to learn the im2col row count each layer sees.
+    """
+    probe = np.asarray(probe_image, dtype=np.float64)
+    if probe.ndim == 3:
+        probe = probe[None, ...]
+    if probe.shape[0] != 1:
+        probe = probe[:1]
+    layers = model.matmul_layers()
+    if max_mapped_layers is not None:
+        layers = layers[:max_mapped_layers]
+    shapes: List[Tuple[int, int, int]] = []
+    originals = []
+    try:
+        for layer in layers:
+            original_forward = layer.forward
+            originals.append((layer, original_forward))
+
+            def capturing_forward(x, training=False, _layer=layer,
+                                  _forward=original_forward):
+                if isinstance(_layer, Conv2d):
+                    cols = im2col(x, _layer.kernel_size, _layer.stride, _layer.padding)
+                    shapes.append((cols.shape[0], cols.shape[1], _layer.out_channels))
+                else:
+                    x2d = np.atleast_2d(np.asarray(x))
+                    shapes.append((x2d.shape[0], _layer.weight.value.shape[0],
+                                   _layer.weight.value.shape[1]))
+                return _forward(x, training=training)
+
+            layer.forward = capturing_forward
+        model.forward(probe, training=False)
+    finally:
+        for layer, original_forward in originals:
+            layer.forward = original_forward
+    return shapes
+
+
+def estimate_conversions_per_sample(model: Model, probe_image: np.ndarray,
+                                    macro_config: Optional[MacroConfig] = None,
+                                    max_mapped_layers: Optional[int] = None) -> int:
+    """Macro conversions one sample would cost if served on the accelerator.
+
+    An upper bound that matches the macro model's accounting for mixed-sign
+    activations (two analog passes per tile per row); layers excluded by
+    ``max_mapped_layers`` cost nothing, mirroring the ``analog`` backend.
+    """
+    config = macro_config if macro_config is not None else MacroConfig()
+    geometry = AFPRMacro(config)
+    total = 0
+    for rows, in_features, out_features in _matmul_shapes(
+            model, probe_image, max_mapped_layers):
+        tiles = tile_weight_matrix(in_features, out_features,
+                                   geometry.max_in_features,
+                                   geometry.max_out_features)
+        total += rows * len(tiles) * 2
+    return total

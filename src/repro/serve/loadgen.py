@@ -1,0 +1,225 @@
+"""Open-loop load generation: drive the service with a realistic arrival
+process.
+
+Open loop means arrivals do not wait for completions — exactly how outside
+traffic hits a real service — so queueing delay and batching behaviour show
+up honestly instead of being hidden by client back-pressure.  Every process
+is seeded, so a load test (and the CI smoke job) is reproducible down to
+the arrival timestamps.
+
+Arrival processes
+-----------------
+``poisson``
+    Exponential inter-arrival times at a fixed mean rate — the standard
+    memoryless traffic model.
+``bursty``
+    A two-state modulated Poisson process: geometrically-distributed runs
+    of requests at ``burst_factor x`` the base rate separated by quiet
+    phases, with the phases sized so the *mean* offered rate equals the
+    requested rate.  Sustained bursts grow queues and stretch tail latency.
+``uniform``
+    Deterministic, evenly spaced arrivals — the control case.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.model import Model
+from repro.serve.metrics import MetricsSnapshot
+from repro.serve.service import InferenceService, ServeConfig
+
+
+def poisson_arrivals(rate_rps: float, num_requests: int, seed: int = 0) -> np.ndarray:
+    """Cumulative arrival times (seconds) of a Poisson process."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def bursty_arrivals(rate_rps: float, num_requests: int, seed: int = 0,
+                    burst_factor: float = 8.0, burst_fraction: float = 0.25,
+                    mean_burst_length: float = 16.0) -> np.ndarray:
+    """Cumulative arrival times of a two-state (on/off) modulated Poisson
+    process.
+
+    The generator alternates between a *burst* state emitting at
+    ``burst_factor x rate_rps`` and a *quiet* state emitting at a reduced
+    off-rate.  State runs are geometrically distributed: bursts hold for
+    ``mean_burst_length`` requests on average, quiet phases for however long
+    keeps the burst share of requests at ``burst_fraction`` — and the
+    off-rate is chosen so the overall mean rate stays ``rate_rps``.  Unlike
+    an i.i.d. heavy-tailed gap mixture, the runs produce *sustained* bursts,
+    which is what actually grows queues and stretches tail latency.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must be > 1")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    if mean_burst_length < 1.0:
+        raise ValueError("mean_burst_length must be >= 1")
+    rng = np.random.default_rng(seed)
+    burst_rate = burst_factor * rate_rps
+    # Mean interval must equal 1/rate:  f/burst_rate + (1-f)/off_rate = 1/rate.
+    off_interval = (1.0 / rate_rps - burst_fraction / burst_rate) / (1.0 - burst_fraction)
+    # Burst runs average mean_burst_length requests; quiet runs are sized so
+    # bursts carry burst_fraction of all requests.
+    mean_quiet_length = mean_burst_length * (1.0 - burst_fraction) / burst_fraction
+    gaps: List[float] = []
+    in_burst = bool(rng.random() < burst_fraction)
+    while len(gaps) < num_requests:
+        if in_burst:
+            run = rng.geometric(min(1.0, 1.0 / mean_burst_length))
+            gaps.extend(rng.exponential(1.0 / burst_rate, size=run))
+        else:
+            run = rng.geometric(min(1.0, 1.0 / mean_quiet_length))
+            gaps.extend(rng.exponential(off_interval, size=run))
+        in_burst = not in_burst
+    return np.cumsum(np.asarray(gaps[:num_requests], dtype=np.float64))
+
+
+def uniform_arrivals(rate_rps: float, num_requests: int, seed: int = 0) -> np.ndarray:
+    """Evenly spaced arrivals at exactly ``rate_rps`` (seed unused)."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    return (np.arange(num_requests) + 1) / rate_rps
+
+
+#: Arrival-process name -> generator of cumulative arrival times.
+ARRIVAL_PROCESSES: Dict[str, Callable[..., np.ndarray]] = {
+    "poisson": poisson_arrivals,
+    "bursty": bursty_arrivals,
+    "uniform": uniform_arrivals,
+}
+
+
+def make_arrivals(pattern: str, rate_rps: float, num_requests: int,
+                  seed: int = 0, **kwargs) -> np.ndarray:
+    """Generate arrival times for a named pattern.
+
+    Raises ``KeyError`` listing the known patterns on an unknown name.
+    """
+    try:
+        generator = ARRIVAL_PROCESSES[pattern]
+    except KeyError:
+        raise KeyError(
+            f"unknown arrival pattern {pattern!r}; "
+            f"known patterns: {', '.join(sorted(ARRIVAL_PROCESSES))}"
+        ) from None
+    return generator(rate_rps, num_requests, seed=seed, **kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one open-loop load run."""
+
+    logits: np.ndarray
+    snapshot: MetricsSnapshot
+    offered_rate_rps: float
+    wall_time_s: float
+    failures: int
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed requests per second over the whole run."""
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return self.snapshot.requests / self.wall_time_s
+
+    def render(self) -> str:
+        """Offered vs. achieved load followed by the metrics report."""
+        return (
+            f"Offered load: {self.offered_rate_rps:.1f} req/s, "
+            f"achieved {self.achieved_rps:.1f} req/s, "
+            f"{self.failures} failed/dropped\n" + self.snapshot.render()
+        )
+
+
+async def run_open_loop(service: InferenceService, images: np.ndarray,
+                        arrivals: np.ndarray, time_scale: float = 1.0
+                        ) -> LoadResult:
+    """Fire requests at the service on an arrival schedule (open loop).
+
+    ``images`` provides the request payloads (request ``i`` sends sample
+    ``i % len(images)``); ``arrivals`` are cumulative offsets in seconds,
+    multiplied by ``time_scale`` (``0`` submits everything immediately —
+    useful for deterministic tests).  Returns logits in request order with
+    failed/dropped rows zero-filled.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    arrivals = np.asarray(arrivals, dtype=np.float64) * time_scale
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    futures: List["asyncio.Future"] = []
+    for i, offset in enumerate(arrivals):
+        delay = start + float(offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            futures.append(service.submit_nowait(images[i % len(images)]))
+        except Exception:  # noqa: BLE001 — a closed service fails the request
+            futures.append(None)
+    results = await asyncio.gather(
+        *[f for f in futures if f is not None], return_exceptions=True
+    )
+    wall_time = loop.time() - start
+    rows = []
+    failures = 0
+    result_iter = iter(results)
+    sample_logit: Optional[np.ndarray] = None
+    for future in futures:
+        outcome = None if future is None else next(result_iter)
+        if outcome is None or isinstance(outcome, BaseException):
+            failures += 1
+            rows.append(None)
+        else:
+            rows.append(outcome)
+            sample_logit = outcome
+    width = sample_logit.shape[1] if sample_logit is not None else 0
+    logits = np.zeros((len(futures), width), dtype=np.float64)
+    for i, row in enumerate(rows):
+        if row is not None:
+            logits[i] = row[0]
+    duration = float(arrivals[-1]) if len(arrivals) else 0.0
+    offered = len(arrivals) / duration if duration > 0 else float("inf")
+    return LoadResult(
+        logits=logits,
+        snapshot=service.metrics_snapshot(),
+        offered_rate_rps=offered,
+        wall_time_s=wall_time,
+        failures=failures,
+    )
+
+
+def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig] = None,
+                 pattern: str = "poisson", rate_rps: float = 2000.0,
+                 num_requests: int = 256, seed: int = 0,
+                 time_scale: float = 1.0) -> LoadResult:
+    """Start a service, drive it with a seeded arrival process, drain, report."""
+    arrivals = make_arrivals(pattern, rate_rps, num_requests, seed=seed)
+
+    async def _run() -> LoadResult:
+        service = InferenceService(model, config)
+        await service.start()
+        try:
+            result = await run_open_loop(service, images, arrivals,
+                                         time_scale=time_scale)
+        finally:
+            await service.stop()
+        return result
+
+    return asyncio.run(_run())

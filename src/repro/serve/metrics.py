@@ -1,0 +1,206 @@
+"""The serving metrics core: latency percentiles, queue depth, batching,
+throughput and energy-per-request.
+
+Everything a load test needs to judge a serving configuration is collected
+here, updated from the event loop only (no locks needed) and frozen into an
+immutable :class:`MetricsSnapshot` on demand.
+
+Metrics glossary
+----------------
+``p50/p95/p99 latency``
+    End-to-end request latency (submit to logits), milliseconds.
+``throughput_rps``
+    Completed requests per second of wall time between the first arrival
+    and the last completion.
+``batch histogram``
+    How many executed batches held each row count — the direct evidence of
+    whether dynamic batching is coalescing.
+``queue depth``
+    Request-queue length sampled at every arrival and every dispatch.
+``energy per request``
+    Macro conversions spent per request times the per-conversion energy of
+    the :mod:`repro.power` model.  Measured conversions when the backend
+    meters them (``analog``), estimated from the mapping geometry otherwise.
+``dropped``
+    Requests rejected by admission control: the number of admitted-but-
+    uncompleted requests had reached ``queue_capacity``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.power.efficiency import energy_per_request
+
+
+def percentile_ms(latencies_s: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of a latency sample, in milliseconds."""
+    if len(latencies_s) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies_s, dtype=np.float64), q) * 1e3)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSnapshot:
+    """Per-worker share of the served load plus accelerator occupancy."""
+
+    index: int
+    batches: int
+    rows: int
+    conversions: int
+    busy_seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable summary of a service run (see the module glossary)."""
+
+    requests: int
+    samples: int
+    batches: int
+    dropped: int
+    wall_time_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    mean_batch_rows: float
+    batch_histogram: Dict[int, int]
+    max_queue_depth: int
+    mean_queue_depth: float
+    conversions: int
+    conversions_estimated: bool
+    energy_per_request_j: float
+    workers: List[WorkerSnapshot]
+
+    def render(self) -> str:
+        """ASCII report of the snapshot (the loadtest CLI output)."""
+        lines = [
+            "Serving metrics",
+            "---------------",
+            f"requests served      {self.requests}  ({self.samples} samples, "
+            f"{self.dropped} dropped)",
+            f"throughput           {self.throughput_rps:.1f} req/s over "
+            f"{self.wall_time_s:.3f} s",
+            f"latency p50/p95/p99  {self.latency_p50_ms:.2f} / "
+            f"{self.latency_p95_ms:.2f} / {self.latency_p99_ms:.2f} ms",
+            f"batches              {self.batches}  "
+            f"(mean {self.mean_batch_rows:.1f} rows/batch)",
+            f"queue depth          max {self.max_queue_depth}, "
+            f"mean {self.mean_queue_depth:.1f}",
+            f"energy/request       {self.energy_per_request_j * 1e9:.2f} nJ  "
+            f"({self.conversions} conversions"
+            f"{', estimated' if self.conversions_estimated else ''})",
+            "batch-size histogram " + _render_histogram(self.batch_histogram),
+        ]
+        if len(self.workers) > 1:
+            lines.append("per-worker load:")
+            for worker in self.workers:
+                lines.append(
+                    f"  worker {worker.index}: {worker.batches} batches, "
+                    f"{worker.rows} rows, {worker.conversions} conversions, "
+                    f"busy {worker.busy_seconds * 1e6:.1f} us"
+                )
+        return "\n".join(lines)
+
+
+def _render_histogram(histogram: Dict[int, int]) -> str:
+    if not histogram:
+        return "(empty)"
+    return "  ".join(f"{rows}r x{count}" for rows, count in sorted(histogram.items()))
+
+
+class ServiceMetrics:
+    """Mutable collector behind a running :class:`~repro.serve.InferenceService`.
+
+    All update methods are called from the event-loop thread only, so the
+    collector needs no synchronisation.
+    """
+
+    def __init__(self, energy_per_conversion_j: float = 0.0) -> None:
+        self.energy_per_conversion_j = float(energy_per_conversion_j)
+        self.latencies_s: List[float] = []
+        self.batch_histogram: Dict[int, int] = {}
+        self.queue_depths: List[int] = []
+        self.dropped = 0
+        self.requests = 0
+        self.samples = 0
+        self.batches = 0
+        self.conversions = 0
+        self.estimated_conversions = 0.0
+        self.first_arrival: Optional[float] = None
+        self.last_completion: Optional[float] = None
+
+    # -- update hooks ---------------------------------------------------
+    def record_arrival(self, now: float, queue_depth: int) -> None:
+        """A request entered the queue."""
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.queue_depths.append(queue_depth)
+
+    def record_drop(self) -> None:
+        """A request was rejected by the bounded queue."""
+        self.dropped += 1
+
+    def record_dispatch(self, queue_depth: int) -> None:
+        """A batch left the queue for a worker."""
+        self.queue_depths.append(queue_depth)
+
+    def record_batch(self, rows: int, request_latencies_s: Sequence[float],
+                     now: float, conversions: int = 0,
+                     estimated_conversions: float = 0.0) -> None:
+        """A batch finished; latencies are per contained request."""
+        self.batches += 1
+        self.samples += rows
+        self.requests += len(request_latencies_s)
+        self.latencies_s.extend(request_latencies_s)
+        self.batch_histogram[rows] = self.batch_histogram.get(rows, 0) + 1
+        self.conversions += conversions
+        self.estimated_conversions += estimated_conversions
+        self.last_completion = now
+
+    # -- summary --------------------------------------------------------
+    def wall_time_s(self) -> float:
+        """Wall time from first arrival to last completion."""
+        if self.first_arrival is None or self.last_completion is None:
+            return 0.0
+        return max(self.last_completion - self.first_arrival, 0.0)
+
+    def snapshot(self, workers: Sequence[WorkerSnapshot] = ()) -> MetricsSnapshot:
+        """Freeze the current counters into a :class:`MetricsSnapshot`."""
+        wall = self.wall_time_s()
+        # Prefer metered conversions; fall back to the mapping-geometry
+        # estimate so digital backends still report an energy figure.
+        estimated = self.conversions == 0 and self.estimated_conversions > 0
+        conversions = (
+            int(round(self.estimated_conversions)) if estimated else self.conversions
+        )
+        energy = (
+            energy_per_request(conversions, self.requests,
+                               energy_per_conversion_j=self.energy_per_conversion_j)
+            if self.requests else 0.0
+        )
+        return MetricsSnapshot(
+            requests=self.requests,
+            samples=self.samples,
+            batches=self.batches,
+            dropped=self.dropped,
+            wall_time_s=wall,
+            throughput_rps=self.requests / wall if wall > 0 else float("inf"),
+            latency_p50_ms=percentile_ms(self.latencies_s, 50),
+            latency_p95_ms=percentile_ms(self.latencies_s, 95),
+            latency_p99_ms=percentile_ms(self.latencies_s, 99),
+            mean_batch_rows=self.samples / self.batches if self.batches else 0.0,
+            batch_histogram=dict(self.batch_histogram),
+            max_queue_depth=max(self.queue_depths, default=0),
+            mean_queue_depth=(
+                float(np.mean(self.queue_depths)) if self.queue_depths else 0.0
+            ),
+            conversions=conversions,
+            conversions_estimated=estimated,
+            energy_per_request_j=energy,
+            workers=list(workers),
+        )

@@ -1,0 +1,149 @@
+"""The multi-macro scheduler: place batches on a pool of serving workers.
+
+Each worker owns one model replica, one prepared execution backend and one
+:class:`~repro.core.accelerator.AFPRAccelerator` acting as its occupancy
+ledger (``macros_per_worker`` macros of modelled analog hardware).  The
+scheduler's only job is placement: given the next batch, pick the worker it
+runs on.
+
+Two policies ship:
+
+* ``round_robin`` — cycle through the workers; ideal when batches are
+  uniform.
+* ``least_loaded`` — pick the worker with the fewest in-flight conversions
+  booked on its accelerator, breaking ties by cumulative assigned rows then
+  by index.  Under skewed request sizes this keeps the work (not the batch
+  count) balanced.
+
+Policies register in :data:`SCHEDULING_POLICIES` the same way execution
+backends register in :mod:`repro.exec.registry`, so a new policy (priority
+queues, SLO-aware placement, ...) is one decorated class away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Type
+
+from repro.core.accelerator import AFPRAccelerator
+from repro.core.config import MacroConfig
+
+
+@dataclasses.dataclass
+class WorkerState:
+    """Scheduling-relevant state of one serving worker."""
+
+    index: int
+    accelerator: AFPRAccelerator
+    assigned_rows: int = 0
+    assigned_batches: int = 0
+
+    @property
+    def inflight_conversions(self) -> int:
+        """Conversions currently booked on the worker's accelerator."""
+        return self.accelerator.inflight_conversions
+
+
+class Scheduler:
+    """Base class for placement policies over a fixed worker pool."""
+
+    #: Registry name of the policy (set by subclasses).
+    name = "abstract"
+
+    def __init__(self, workers: List[WorkerState]) -> None:
+        if not workers:
+            raise ValueError("scheduler needs at least one worker")
+        self.workers = workers
+
+    def select(self, rows: int) -> WorkerState:
+        """Pick a worker for a batch of ``rows`` sample rows and book it."""
+        worker = self._pick(rows)
+        worker.assigned_rows += rows
+        worker.assigned_batches += 1
+        return worker
+
+    def _pick(self, rows: int) -> WorkerState:
+        raise NotImplementedError
+
+
+SCHEDULING_POLICIES: Dict[str, Type[Scheduler]] = {}
+
+
+def register_policy(cls: Type[Scheduler]) -> Type[Scheduler]:
+    """Class decorator registering a :class:`Scheduler` by its name."""
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a concrete `name`")
+    if name in SCHEDULING_POLICIES and SCHEDULING_POLICIES[name] is not cls:
+        raise ValueError(f"scheduling policy {name!r} is already registered")
+    SCHEDULING_POLICIES[name] = cls
+    return cls
+
+
+def available_policies() -> List[str]:
+    """Sorted names of every registered scheduling policy."""
+    return sorted(SCHEDULING_POLICIES)
+
+
+def create_scheduler(name: str, workers: List[WorkerState]) -> Scheduler:
+    """Instantiate a registered policy over a worker pool.
+
+    Raises ``KeyError`` listing the registered policies on an unknown name
+    (mirroring :func:`repro.exec.registry.get_backend_class`).
+    """
+    try:
+        cls = SCHEDULING_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduling policy {name!r}; "
+            f"registered policies: {', '.join(available_policies())}"
+        ) from None
+    return cls(workers)
+
+
+@register_policy
+class RoundRobinScheduler(Scheduler):
+    """Cycle through the workers in index order."""
+
+    name = "round_robin"
+
+    def __init__(self, workers: List[WorkerState]) -> None:
+        super().__init__(workers)
+        self._next = 0
+
+    def _pick(self, rows: int) -> WorkerState:
+        worker = self.workers[self._next % len(self.workers)]
+        self._next += 1
+        return worker
+
+
+@register_policy
+class LeastLoadedScheduler(Scheduler):
+    """Pick the worker with the least booked work.
+
+    Primary key: in-flight conversions on the worker's accelerator (live
+    load).  Tie-break: cumulative assigned rows (total work), then worker
+    index — so the policy is deterministic and degrades to row-balanced
+    placement when batches retire faster than they arrive.
+    """
+
+    name = "least_loaded"
+
+    def _pick(self, rows: int) -> WorkerState:
+        return min(
+            self.workers,
+            key=lambda w: (w.inflight_conversions, w.assigned_rows, w.index),
+        )
+
+
+def build_worker_states(num_workers: int, macro_config: Optional[MacroConfig] = None,
+                        macros_per_worker: int = 8) -> List[WorkerState]:
+    """Create one occupancy-tracking accelerator per worker."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    config = macro_config if macro_config is not None else MacroConfig()
+    return [
+        WorkerState(index=i,
+                    accelerator=AFPRAccelerator(config, num_macros=macros_per_worker))
+        for i in range(num_workers)
+    ]

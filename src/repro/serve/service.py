@@ -1,0 +1,420 @@
+"""The asyncio inference service: queue -> dynamic batcher -> scheduler ->
+execution backend.
+
+:class:`InferenceService` turns the blocking ``run_model`` world of
+:mod:`repro.exec` into a request-serving system: clients submit single
+images (or small stacked requests) and await logits; a dynamic micro-batcher
+coalesces the queue into execution batches; a multi-macro scheduler places
+each batch on one of ``num_workers`` workers, each owning its own model
+replica, prepared execution backend (via
+:class:`~repro.exec.engine.BatchRunner`) and occupancy-tracked
+:class:`~repro.core.accelerator.AFPRAccelerator`.  Batch forwards run in
+worker threads (NumPy releases the GIL in the kernels that matter), so
+replicas genuinely overlap.
+
+Determinism contract: requests are batched strictly in arrival order, and a
+batch's logits are exactly ``backend.forward`` of the stacked request rows —
+so when the coalesced batch equals the batch a direct ``run_model`` call
+would see, the served logits are bit-identical on every backend, and on the
+row-independent digital backends (``ideal``, ``fake_quant``) they are
+bit-identical regardless of how the batcher happened to split the traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exec.backend import ExecutionBackend, ExecutionContext
+from repro.exec.engine import BatchRunner
+from repro.exec.registry import create_backend
+from repro.nn.model import Model
+from repro.power.efficiency import energy_per_conversion
+from repro.serve.batcher import (
+    CLOSE,
+    DynamicBatcher,
+    Request,
+    fail_requests,
+    scatter_results,
+    stack_requests,
+)
+from repro.serve.energy import estimate_conversions_per_sample
+from repro.serve.metrics import MetricsSnapshot, ServiceMetrics, WorkerSnapshot
+from repro.serve.scheduler import WorkerState, build_worker_states, create_scheduler
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when submitting to a service that is not accepting requests."""
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised (via the request future) when the service backlog is full."""
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Configuration of an :class:`InferenceService`.
+
+    Attributes
+    ----------
+    backend:
+        Registered backend name (instances are allowed for a single
+        worker only — backend state cannot be shared across replicas).
+    backend_options:
+        Keyword arguments for ``create_backend`` when ``backend`` is a name.
+    max_batch:
+        Flush a batch at this many sample rows.
+    max_wait_ms:
+        Flush a non-full batch this long after its oldest request.
+    num_workers:
+        Model replicas (each with its own prepared backend).
+    macros_per_worker:
+        Modelled AFPR macros per worker (occupancy accounting).
+    policy:
+        Scheduling policy name (``round_robin`` or ``least_loaded``).
+    queue_capacity:
+        Admission-control bound: reject arrivals while this many admitted
+        requests are still outstanding (queued, batched or in flight on a
+        worker — ``None`` = unbounded).  Bounding only the raw request
+        queue would be useless, since the dispatcher drains it into the
+        per-worker queues immediately.
+    context:
+        Execution context shared by every worker's backend (calibration,
+        macro config, formats, seed).
+    estimate_energy:
+        Estimate conversions for digital backends so energy-per-request is
+        reported even when the backend meters none.
+    """
+
+    backend: Union[str, ExecutionBackend] = "ideal"
+    backend_options: Dict = dataclasses.field(default_factory=dict)
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    num_workers: int = 1
+    macros_per_worker: int = 8
+    policy: str = "round_robin"
+    queue_capacity: Optional[int] = None
+    context: ExecutionContext = dataclasses.field(default_factory=ExecutionContext)
+    estimate_energy: bool = True
+
+
+class InferenceService:
+    """Dynamic-batching inference service over the execution-backend registry."""
+
+    def __init__(self, model: Model, config: Optional[ServeConfig] = None) -> None:
+        self.model = model
+        self.config = config if config is not None else ServeConfig()
+        if isinstance(self.config.backend, ExecutionBackend) and self.config.num_workers > 1:
+            raise ValueError(
+                "a backend instance cannot be shared across workers; "
+                "pass a registered backend name for num_workers > 1"
+            )
+        self.metrics = ServiceMetrics(
+            energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
+        )
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[DynamicBatcher] = None
+        self._worker_states: List[WorkerState] = []
+        self._runners: List[BatchRunner] = []
+        self._worker_queues: List[asyncio.Queue] = []
+        self._tasks: List[asyncio.Task] = []
+        self._scheduler = None
+        self._conversions_per_sample: Optional[int] = None
+        self._outstanding = 0
+        self._started = False
+        self._accepting = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Prepare every worker replica and start the serving tasks."""
+        if self._started:
+            raise RuntimeError("service already started")
+        config = self.config
+        # Rebuild all per-run state so a stopped service can start again:
+        # queues from a previous run are bound to that run's event loop.
+        self._queue = asyncio.Queue()
+        self._batcher = DynamicBatcher(self._queue, max_batch=config.max_batch,
+                                       max_wait_s=config.max_wait_ms / 1e3)
+        self._worker_queues = []
+        self._runners = []
+        self._outstanding = 0
+        self._worker_states = build_worker_states(
+            config.num_workers, macro_config=config.context.macro_config,
+            macros_per_worker=config.macros_per_worker,
+        )
+        self._scheduler = create_scheduler(config.policy, self._worker_states)
+        try:
+            for index in range(config.num_workers):
+                # Each worker serves its own replica so concurrent forwards
+                # on different workers cannot race on shared layer state.
+                replica = copy.deepcopy(self.model)
+                backend = (
+                    config.backend if isinstance(config.backend, ExecutionBackend)
+                    else create_backend(config.backend, **config.backend_options)
+                )
+                runner = await asyncio.to_thread(
+                    BatchRunner, replica, backend, context=config.context
+                )
+                self._runners.append(runner)
+                self._worker_queues.append(asyncio.Queue())
+        except Exception:
+            # A failed prepare mid-pool must not leave earlier runners
+            # attached or the service half-initialised for a retry.
+            for runner in self._runners:
+                await asyncio.to_thread(runner.close)
+            self._runners = []
+            self._worker_queues = []
+            self._worker_states = []
+            self._scheduler = None
+            self._queue = None
+            self._batcher = None
+            raise
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(index), name=f"serve-worker-{index}")
+            for index in range(config.num_workers)
+        ]
+        self._tasks.append(
+            asyncio.create_task(self._dispatch_loop(), name="serve-dispatch")
+        )
+        self._started = True
+        self._accepting = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` serves everything already queued before shutting
+        down; ``drain=False`` fails queued requests with
+        :class:`ServiceClosedError`.
+        """
+        if not self._started:
+            return
+        self._accepting = False
+        first_error: Optional[BaseException] = None
+        try:
+            if not drain:
+                self._fail_queued(ServiceClosedError("service stopped"))
+            await self._queue.put(CLOSE)
+            # Tolerate dead tasks: shutdown must always release the workers
+            # and close the runners, even if a serving task crashed.
+            outcomes = await asyncio.gather(*self._tasks, return_exceptions=True)
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException) and first_error is None:
+                    first_error = outcome
+        finally:
+            self._tasks = []
+            for runner in self._runners:
+                await asyncio.to_thread(runner.close)
+            self._runners = []
+            self._started = False
+        if first_error is not None:
+            # Cleanup succeeded; still surface the crash rather than hide it.
+            raise first_error
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_nowait(self, images: np.ndarray) -> "asyncio.Future[np.ndarray]":
+        """Enqueue one request; returns the future of its logits.
+
+        ``images`` is one sample (``(C, H, W)``) or one stacked multi-sample
+        request (``(n, C, H, W)``); the future resolves to logits with the
+        matching leading dimension.
+        """
+        if not self._started or not self._accepting:
+            raise ServiceClosedError("service is not accepting requests")
+        array = np.asarray(images, dtype=np.float64)
+        if array.ndim == 3:
+            array = array[None, ...]
+        elif array.ndim != 4:
+            # Reject malformed payloads at the door: past this point the
+            # request enters the shared batching pipeline, where a bad shape
+            # would fail other clients' requests along with its own.
+            raise ValueError(
+                f"request must be one (C, H, W) sample or a stacked "
+                f"(n, C, H, W) batch; got shape {array.shape}"
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[np.ndarray]" = loop.create_future()
+        now = loop.time()
+        capacity = self.config.queue_capacity
+        if capacity is not None and self._outstanding >= capacity:
+            self.metrics.record_drop()
+            future.set_exception(
+                ServiceOverloadedError(
+                    f"service backlog full ({self._outstanding} outstanding "
+                    f"requests, capacity {capacity})"
+                )
+            )
+            return future
+        self._outstanding += 1
+        self._queue.put_nowait(Request(images=array, future=future, arrival=now))
+        self.metrics.record_arrival(now, self._queue.qsize())
+        return future
+
+    async def submit(self, images: np.ndarray) -> np.ndarray:
+        """Submit one request and await its logits."""
+        return await self.submit_nowait(images)
+
+    async def submit_many(self, images: np.ndarray) -> np.ndarray:
+        """Submit each sample as its own request (N concurrent clients)."""
+        array = np.asarray(images, dtype=np.float64)
+        futures = [self.submit_nowait(sample) for sample in array]
+        results = await asyncio.gather(*futures)
+        if not results:
+            # Mirror run_model's empty-input behaviour: (0, 0) logits.
+            return np.zeros((0, 0), dtype=np.float64)
+        return np.concatenate(results, axis=0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_conversion_estimate(self, batch: List[Request]) -> None:
+        if self._conversions_per_sample is not None:
+            return
+        if not self.config.estimate_energy:
+            self._conversions_per_sample = 0
+            return
+        # Probe on the caller's model: replicas may be mid-forward in worker
+        # threads, but the original stays digital and idle while serving.
+        self._conversions_per_sample = estimate_conversions_per_sample(
+            self.model, batch[0].images[0],
+            macro_config=self.config.context.macro_config,
+            max_mapped_layers=self.config.context.max_mapped_layers,
+        )
+
+    def _fail_queued(self, error: BaseException) -> None:
+        """Fail every request still sitting in the request queue."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is not CLOSE:
+                fail_requests([item], error)
+                self._outstanding -= 1
+
+    async def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    batch = await self._batcher.next_batch()
+                except Exception as exc:  # noqa: BLE001 — defense in depth
+                    # A batcher failure must not wedge the service with
+                    # accepted-but-undispatchable requests.
+                    self._fail_queued(exc)
+                    break
+                if batch is None:
+                    break
+                if self._conversions_per_sample is None:
+                    try:
+                        # Off the event loop: the probe runs a real forward,
+                        # and arrivals must keep flowing while it does.
+                        await asyncio.to_thread(self._ensure_conversion_estimate,
+                                                batch)
+                    except Exception:
+                        # Energy estimation is best-effort; never fail
+                        # traffic over it.
+                        self._conversions_per_sample = 0
+                try:
+                    rows = sum(request.rows for request in batch)
+                    estimate = rows * self._conversions_per_sample
+                    worker = self._scheduler.select(rows)
+                    worker.accelerator.begin_inference(estimate)
+                    self.metrics.record_dispatch(self._queue.qsize())
+                    await self._worker_queues[worker.index].put((batch, estimate))
+                except Exception as exc:  # noqa: BLE001 — fail, don't hang
+                    fail_requests(batch, exc)
+                    self._outstanding -= len(batch)
+        finally:
+            # Always broadcast shutdown, even if dispatch died: workers must
+            # never be left blocking on their queues.
+            for queue in self._worker_queues:
+                queue.put_nowait(None)
+
+    async def _worker_loop(self, index: int) -> None:
+        queue = self._worker_queues[index]
+        runner = self._runners[index]
+        state = self._worker_states[index]
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            batch, estimate = item
+            try:
+                inputs = stack_requests(batch)
+                conversions_before = runner.conversions()
+                logits = await asyncio.to_thread(runner.forward, inputs)
+                now = loop.time()
+                measured = runner.conversions() - conversions_before
+                # Retire the booked estimate from the in-flight gauge but
+                # credit the measured cost, so neither an optimistic nor a
+                # pessimistic estimate leaves phantom load behind.
+                state.accelerator.complete_inference(
+                    measured if measured else estimate, booked=estimate)
+                scatter_results(batch, logits)
+                self._outstanding -= len(batch)
+                self.metrics.record_batch(
+                    rows=int(inputs.shape[0]),
+                    request_latencies_s=[now - request.arrival
+                                         for request in batch],
+                    now=now,
+                    conversions=measured,
+                    estimated_conversions=0.0 if measured else float(estimate),
+                )
+            except Exception as exc:  # noqa: BLE001 — propagate to clients
+                # Covers stacking mismatched shapes as well as the forward
+                # itself: the worker must survive any single bad batch.
+                state.accelerator.cancel_inference(estimate)
+                fail_requests(batch, exc)
+                self._outstanding -= len(batch)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def worker_snapshots(self) -> List[WorkerSnapshot]:
+        """Per-worker load and occupancy summaries."""
+        return [
+            WorkerSnapshot(
+                index=state.index,
+                batches=state.assigned_batches,
+                rows=state.assigned_rows,
+                conversions=state.accelerator.completed_conversions,
+                busy_seconds=state.accelerator.busy_seconds,
+            )
+            for state in self._worker_states
+        ]
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Freeze the service metrics (latency, batching, energy, workers)."""
+        return self.metrics.snapshot(self.worker_snapshots())
+
+
+def serve_requests(model: Model, images: np.ndarray,
+                   config: Optional[ServeConfig] = None
+                   ) -> Tuple[np.ndarray, MetricsSnapshot]:
+    """Serve every sample of ``images`` as its own request, synchronously.
+
+    Convenience wrapper for tests and benchmarks: starts a service, submits
+    all samples up front (so the batcher sees the full queue), awaits every
+    response, drains and returns ``(logits, metrics_snapshot)`` with logits
+    in submission order.
+    """
+
+    async def _run() -> Tuple[np.ndarray, MetricsSnapshot]:
+        service = InferenceService(model, config)
+        await service.start()
+        try:
+            logits = await service.submit_many(images)
+            snapshot = service.metrics_snapshot()
+        finally:
+            await service.stop()
+        return logits, snapshot
+
+    return asyncio.run(_run())

@@ -76,9 +76,18 @@ class TestRegistry:
             assert backend.name == name
             assert get_backend_class(name) is type(backend)
 
-    def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError, match="unknown execution backend"):
+    def test_unknown_backend_keyerror_lists_registered_names(self):
+        # The message must name every registered backend so a typo on a CLI
+        # flag or a service config is immediately actionable.
+        with pytest.raises(KeyError, match="unknown execution backend") as excinfo:
             create_backend("does-not-exist")
+        message = str(excinfo.value)
+        for name in available_backends():
+            assert name in message
+
+    def test_available_backends_sorted(self):
+        names = available_backends()
+        assert names == sorted(names)
 
     def test_duplicate_registration_rejected(self):
         class Clone(ExecutionBackend):
