@@ -1,0 +1,86 @@
+"""Shared benchmark helpers: best-of-N timing and BENCH_*.json trajectories.
+
+Timing assertions on shared CI runners must not hinge on a single sample:
+load spikes only ever make a run *slower*, so the minimum over several runs
+is the noise-robust statistic for wall-clock comparisons.  These helpers
+were copy-pasted between ``bench_exec_backends.py`` and ``bench_serve.py``
+before living here.
+
+Every headline benchmark also emits a ``BENCH_<name>.json`` file (working
+directory by default, ``BENCH_OUTPUT_DIR`` overrides) recording the measured
+numbers, so future changes can diff performance trajectories instead of
+re-deriving them from CI logs.  ``BENCH_SMOKE=1`` switches the benchmarks to
+their reduced-size CI mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Optional, Tuple, TypeVar
+
+Result = TypeVar("Result")
+
+
+def smoke_mode() -> bool:
+    """Whether the reduced-size CI smoke configuration is requested."""
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def best_wall_time(fn: Callable[[], Result], rounds: int = 3
+                   ) -> Tuple[float, Result]:
+    """Best harness-clock time of ``fn`` over ``rounds`` runs.
+
+    Returns ``(min_seconds, last_result)``.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    best = float("inf")
+    result: Result = None  # type: ignore[assignment]
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def best_metric(fn: Callable[[], Result], metric: Callable[[Result], float],
+                rounds: int = 3) -> Tuple[float, Result]:
+    """Best internally-measured metric of ``fn`` over ``rounds`` runs.
+
+    ``metric`` extracts the run's own timing (e.g. a report's forward-only
+    wall time, a service's first-arrival-to-last-completion time), which
+    excludes prepare and harness overhead.  Returns ``(min_metric,
+    last_result)``.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    best = float("inf")
+    result: Result = None  # type: ignore[assignment]
+    for _ in range(rounds):
+        result = fn()
+        best = min(best, metric(result))
+    return best, result
+
+
+def write_bench_json(name: str, payload: dict,
+                     directory: Optional[str] = None) -> str:
+    """Write ``BENCH_<name>.json`` with the payload plus run metadata.
+
+    Returns the path written.  ``BENCH_OUTPUT_DIR`` (or ``directory``)
+    selects the target directory; default is the working directory.
+    """
+    target_dir = directory or os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(target_dir, exist_ok=True)
+    path = os.path.join(target_dir, f"BENCH_{name}.json")
+    document = {
+        "benchmark": name,
+        "unix_time": time.time(),
+        "smoke_mode": smoke_mode(),
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,11 +1,19 @@
 """Benchmark: per-backend inference throughput of the execution engine.
 
-Runs a 64-sample CNN inference through every registered execution backend
-and records samples/s, and races the batch-vectorised ``analog`` backend
-against the seed's per-sample full-array readout path (one sample at a
-time, every evaluation padded to all 576 rows and converting all 256 ADC
-channels).  The acceptance bar: the batched backend is at least 3x faster
-while agreeing with the reference within the integration-test tolerance.
+Three acceptance bars, measured on a small trained CNN:
+
+* every registered backend clears a sanity accuracy bound on the same
+  workload (throughput table),
+* the batch-vectorised ``analog`` backend is >= 3x faster than the seed's
+  per-sample full-array readout path (the PR-1 gate),
+* the compiled execution plan (LUT-fused FP8 conversion kernels, pre-packed
+  tiles) is >= 2x faster than the generic ``BatchRunner`` path on the analog
+  backend while producing **bit-identical** logits on every registered
+  backend (the plan gate).  The measured numbers land in ``BENCH_exec.json``
+  so future changes can track the performance trajectory.
+
+Timing uses the shared best-of-N helpers in :mod:`_timing`; ``BENCH_SMOKE=1``
+selects the reduced-size CI configuration.
 
 Run with::
 
@@ -15,25 +23,27 @@ Run with::
 import numpy as np
 import pytest
 
+from _timing import best_metric, smoke_mode, write_bench_json
 from repro.core import MacroConfig
 from repro.exec import AnalogBackend, available_backends, compare_backends, run_model
 from repro.nn import DatasetConfig, SGD, SyntheticImageDataset, Trainer, build_resnet_lite
 from repro.nn.quantize import CIMNonidealities
 from repro.rram.device import RRAMStatistics
 
-SAMPLES = 64
+SAMPLES = 32 if smoke_mode() else 64
+ROUNDS = 2 if smoke_mode() else 3
 
 
 @pytest.fixture(scope="module")
 def workload():
-    """A small trained CNN plus a 64-sample evaluation batch."""
+    """A small trained CNN plus an evaluation batch."""
     dataset = SyntheticImageDataset(DatasetConfig(num_classes=8, image_size=16,
                                                   noise_sigma=0.3, seed=7))
     x_train, y_train, x_test, y_test = dataset.train_test_split(320, SAMPLES)
     model = build_resnet_lite(num_classes=8, stage_widths=(8, 16), blocks_per_stage=1,
                               seed=7)
     Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32).fit(
-        x_train, y_train, epochs=2
+        x_train, y_train, epochs=1 if smoke_mode() else 2
     )
     quiet = RRAMStatistics(programming_sigma=0.01, read_noise_sigma=0.005,
                            stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
@@ -58,7 +68,7 @@ def test_backend_throughput_table(benchmark, workload):
         )
 
     reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    print("\nPer-backend throughput (64-sample CNN inference):")
+    print(f"\nPer-backend throughput ({SAMPLES}-sample CNN inference):")
     ideal = reports["ideal"].accuracy
     for name, report in sorted(reports.items()):
         print(f"  {name:12s} {report.samples_per_second:10.1f} samples/s  "
@@ -76,23 +86,21 @@ def test_batched_analog_vs_seed_per_sample_path(benchmark, workload):
                   max_mapped_layers=2, seed=0)
 
     # Batched: the default vectorised analog backend, whole batch at once.
-    # Timing assertions on shared CI runners must not hinge on a single
-    # sample: take the best of several runs on both sides (the minimum is
-    # the standard noise-robust statistic for wall-clock comparisons) and
-    # use each report's internal forward-only time, which excludes prepare
-    # and harness overhead.
+    # Each side's time is the best-of-N of the report's internal
+    # forward-only clock, which excludes prepare and harness overhead.
     batched_backend = AnalogBackend(vectorized=True)
     run_model(model, x_test[:1], backend=batched_backend, **kwargs)  # prepare once
-    batched_times = []
 
     def batched():
-        report = run_model(model, x_test, y_test, backend=batched_backend,
-                           batch_size=SAMPLES, **kwargs)
-        batched_times.append(report.wall_time_s)
-        return report
+        return run_model(model, x_test, y_test, backend=batched_backend,
+                         batch_size=SAMPLES, **kwargs)
 
-    batched_report = benchmark.pedantic(batched, rounds=3, iterations=1)
-    batched_time = min(batched_times)
+    def timed_batched():
+        time, report = best_metric(batched, lambda r: r.wall_time_s, rounds=ROUNDS)
+        return time, report
+
+    (batched_time, batched_report) = benchmark.pedantic(
+        timed_batched, rounds=1, iterations=1)
 
     # Seed path: one sample at a time through the original full-array,
     # two-pass readout (pads every evaluation to 576 rows, converts all 256
@@ -100,13 +108,10 @@ def test_batched_analog_vs_seed_per_sample_path(benchmark, workload):
     # the vectorised engine.
     reference_backend = AnalogBackend(vectorized=False)
     run_model(model, x_test[:1], backend=reference_backend, **kwargs)  # prepare once
-    reference_times = []
-    for _ in range(2):
-        reference_report = run_model(model, x_test, y_test,
-                                     backend=reference_backend,
-                                     batch_size=1, **kwargs)
-        reference_times.append(reference_report.wall_time_s)
-    per_sample_time = min(reference_times)
+    per_sample_time, reference_report = best_metric(
+        lambda: run_model(model, x_test, y_test, backend=reference_backend,
+                          batch_size=1, **kwargs),
+        lambda r: r.wall_time_s, rounds=2)
 
     speedup = per_sample_time / batched_time
     print(f"\nBatched analog: {batched_time:.3f}s "
@@ -119,3 +124,77 @@ def test_batched_analog_vs_seed_per_sample_path(benchmark, workload):
 
     assert speedup >= 3.0, f"batched analog only {speedup:.2f}x faster"
     assert abs(batched_report.accuracy - reference_report.accuracy) <= 0.2
+
+
+@pytest.mark.benchmark(group="exec-backends")
+def test_compiled_plan_beats_batchrunner_2x_bit_identical(benchmark, workload):
+    """The compiled execution plan is >= 2x faster than the generic
+    ``BatchRunner`` path on the analog backend, with bit-identical logits on
+    every registered backend, and writes the ``BENCH_exec.json`` trajectory.
+
+    Bit identity is checked with a *fresh* backend per path so both consume
+    identical random streams (programming noise at prepare, read noise per
+    forward) from the same seeds — the plan's LUT kernels then reproduce the
+    generic arithmetic exactly.
+    """
+    model, x_train, x_test, y_test, macro_config = workload
+    kwargs = dict(calibration=x_train[:16], macro_config=macro_config,
+                  max_mapped_layers=2, seed=0)
+
+    def check_identity():
+        outcomes = {}
+        for backend in available_backends():
+            planned = run_model(model, x_test, backend=backend,
+                                batch_size=SAMPLES, **kwargs)
+            generic = run_model(model, x_test, backend=backend,
+                                batch_size=SAMPLES, compile_plan=False, **kwargs)
+            outcomes[backend] = bool(
+                np.array_equal(planned.logits, generic.logits)
+                and planned.conversions == generic.conversions)
+        return outcomes
+
+    outcomes = benchmark.pedantic(check_identity, rounds=1, iterations=1)
+    print("\nPlanned-vs-generic bit identity:")
+    for backend, identical in sorted(outcomes.items()):
+        print(f"  {backend:12s} {'bit-identical' if identical else 'MISMATCH'}")
+    assert all(outcomes.values()), outcomes
+
+    # Steady-state speed: both backends prepared once, forward-only clocks.
+    planned_backend = AnalogBackend()
+    generic_backend = AnalogBackend()
+    run_model(model, x_test[:1], backend=planned_backend, **kwargs)
+    run_model(model, x_test[:1], backend=generic_backend, compile_plan=False,
+              **kwargs)
+    planned_time, planned_report = best_metric(
+        lambda: run_model(model, x_test, y_test, backend=planned_backend,
+                          batch_size=SAMPLES, **kwargs),
+        lambda r: r.wall_time_s, rounds=ROUNDS)
+    generic_time, _ = best_metric(
+        lambda: run_model(model, x_test, y_test, backend=generic_backend,
+                          batch_size=SAMPLES, compile_plan=False, **kwargs),
+        lambda r: r.wall_time_s, rounds=ROUNDS)
+
+    speedup = generic_time / planned_time
+    print(f"Compiled plan: {planned_time * 1e3:.1f} ms, "
+          f"generic BatchRunner: {generic_time * 1e3:.1f} ms, "
+          f"speedup {speedup:.2f}x")
+    if planned_report.stage_profile:
+        profile = planned_report.stage_profile
+        print("Plan stage breakdown: "
+              f"DAC {profile['dac_s'] * 1e3:.1f} ms, "
+              f"crossbar {profile['crossbar_s'] * 1e3:.1f} ms, "
+              f"ADC {profile['adc_s'] * 1e3:.1f} ms, "
+              f"digital {profile['digital_s'] * 1e3:.1f} ms")
+
+    path = write_bench_json("exec", {
+        "samples": SAMPLES,
+        "planned_s": planned_time,
+        "generic_s": generic_time,
+        "speedup": speedup,
+        "planned_samples_per_second": SAMPLES / planned_time,
+        "bit_identical": outcomes,
+        "stage_profile": planned_report.stage_profile,
+    })
+    print(f"Trajectory written to {path}")
+
+    assert speedup >= 2.0, f"compiled plan only {speedup:.2f}x faster"

@@ -67,8 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the AFPR-CIM paper's tables and figures.",
-        epilog="Serving subcommands: `python -m repro serve` and "
-               "`python -m repro loadtest` (see `python -m repro serve --help`).",
+        epilog="Other subcommands: `python -m repro run` (one-shot backend "
+               "inference, see `python -m repro run --help`), `python -m "
+               "repro serve` and `python -m repro loadtest` (see `python -m "
+               "repro serve --help`).",
     )
     parser.add_argument("experiment", choices=available_experiments(),
                         help="which experiment to run")
@@ -106,6 +108,10 @@ def main(argv: List[str] = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv)
+    if argv and argv[0] == "run":
+        from repro.exec.cli import main as run_main
+
+        return run_main(argv[1:])
     args = build_parser().parse_args(argv)
     print(run_experiment(args.experiment, quick=args.quick))
     return 0

@@ -20,6 +20,7 @@ example reproduces: ``I · T_S / C_unit = 5.38 µA · 100 ns / 105 fF ≈ 5.12 V
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Optional
 
 from repro.formats.fp8 import FloatFormat
@@ -27,6 +28,7 @@ from repro.rram.crossbar import CrossbarConfig
 from repro.rram.device import ConductanceLevels, RRAMStatistics
 
 
+@functools.lru_cache(maxsize=None)
 def hardware_activation_format(exponent_bits: int = 2, mantissa_bits: int = 5) -> FloatFormat:
     """The *hardware* FP code interpretation used at the macro interface.
 
@@ -34,6 +36,9 @@ def hardware_activation_format(exponent_bits: int = 2, mantissa_bits: int = 5) -
     exponent field used directly (no bias, no subnormals): the FP-DAC's PGA
     gain is ``2^E`` and the FP-ADC's range adaptation count is ``E``.  Codes
     therefore decode to values in ``[1, 2^(2^e) )`` plus exact zero.
+
+    Every DAC and quantiser construction asks for this format, so the
+    (frozen, hashable) instance is memoised rather than rebuilt each time.
     """
     return FloatFormat(
         exponent_bits=exponent_bits,

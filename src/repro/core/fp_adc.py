@@ -42,6 +42,30 @@ from repro.circuits.opamp import OpAmpModel
 from repro.circuits.single_slope import SingleSlopeConverter
 from repro.circuits.transient import TransientRecorder, TransientResult
 from repro.core.config import ADCConfig
+from repro.formats.fp8 import BucketIndexer, refine_step_boundaries
+
+
+@dataclasses.dataclass
+class ADCConversionLUT:
+    """The whole charge → FP-code conversion compiled into one table.
+
+    With mismatch-free capacitor ladders (every channel identical) and a
+    noiseless comparator, the adaptive-range exponent search, residual
+    voltage, single-slope mantissa rounding and code decode are one monotone
+    step function of the integrated charge.  ``values[indexer(charge)]``
+    reproduces ``FPADC.convert`` bit-for-bit; ``saturated`` / ``underflow``
+    flag the ranks whose codes clip, for the macro's statistics counters.
+    """
+
+    indexer: BucketIndexer
+    values: np.ndarray
+    saturated: np.ndarray
+    underflow: np.ndarray
+
+    @property
+    def max_charge(self) -> float:
+        """Clamp point for the indexer (top of the last bucket's boundary)."""
+        return float(self.indexer.bounds[-1])
 
 
 @dataclasses.dataclass
@@ -197,6 +221,7 @@ class FPADC:
         self.config = config
         self.channels = channels
         self._rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._conversion_lut: Optional[ADCConversionLUT] = None
         self.controller = AdaptiveRangeController(config, channels=channels, rng=self._rng)
         self.slope_converter = SingleSlopeConverter(
             bits=config.mantissa_bits,
@@ -324,6 +349,92 @@ class FPADC:
     def convert_value(self, currents: np.ndarray) -> np.ndarray:
         """Shorthand returning only the decoded code values."""
         return self.convert(currents).value
+
+    # ------------------------------------------------------------------
+    # Compiled charge -> code-value lookup table
+    # ------------------------------------------------------------------
+    def conversion_lut(self) -> Optional[ADCConversionLUT]:
+        """Compile the full conversion into an :class:`ADCConversionLUT`.
+
+        Valid only when the conversion is deterministic, identical across
+        channels and monotone in charge: no comparator noise, no capacitor
+        mismatch, normal (zero) underflow readout, and no comparator offset
+        (a positive offset makes range adaptations fire above ``V_th``,
+        opening a saturated sliver before each exponent crossing — a
+        non-monotone code sequence a single table cannot rank).  Returns
+        ``None`` otherwise.
+        """
+        cfg = self.config
+        if (cfg.comparator_noise > 0 or cfg.capacitor_mismatch_sigma > 0
+                or cfg.subnormal_readout or cfg.comparator_offset != 0.0):
+            return None
+        if self._conversion_lut is None:
+            self._conversion_lut = self._build_conversion_lut()
+        return self._conversion_lut
+
+    def _build_conversion_lut(self) -> ADCConversionLUT:
+        cfg = self.config
+        exponent_levels, levels = cfg.exponent_levels, cfg.mantissa_levels
+        # All channels are identical here, so channel 0 parameterises the
+        # whole conversion.
+        cumulative = self.controller.cumulative[0]
+        start = self.controller.start_voltages[0]
+        thresholds = self.controller.charge_thresholds[0]
+        conv = self.slope_converter
+        error = conv.comparator.effective_offset
+        half = (cfg.v_reset + cfg.v_threshold) / 2.0
+
+        def classify(charge: np.ndarray) -> np.ndarray:
+            charge = np.asarray(charge, dtype=np.float64)
+            exponent = np.sum(charge[..., None] >= thresholds[1:], axis=-1)
+            v_m = start[exponent] + (charge - thresholds[exponent]) / cumulative[exponent]
+            saturated = v_m >= cfg.v_threshold
+            v_m = np.clip(v_m, cfg.v_reset, cfg.v_threshold)
+            underflow = (exponent == 0) & (v_m < half)
+            position = (v_m - error - conv.v_low) / conv.lsb
+            mantissa = np.clip(np.rint(position), 0, conv.max_code).astype(np.int64)
+            mantissa = np.where(saturated, levels - 1, mantissa)
+            rank = 1 + exponent * levels + mantissa
+            rank = np.where(saturated, 1 + exponent_levels * levels, rank)
+            return np.where(underflow, 0, rank)
+
+        # Closed-form candidate transitions: the underflow edge, every
+        # half-LSB mantissa threshold inside each exponent range, the range
+        # adaptations themselves, and the saturation point.  Candidates that
+        # fall in empty buckets are dropped by the refinement.
+        candidates = [half * cumulative[0]]
+        for e in range(exponent_levels):
+            v_bounds = error + conv.v_low + (np.arange(1, levels) - 0.5) * conv.lsb
+            in_range = (v_bounds > start[e] - conv.lsb) & (v_bounds < cfg.v_threshold + conv.lsb)
+            candidates.append(thresholds[e] + (v_bounds[in_range] - start[e]) * cumulative[e])
+        candidates.append(thresholds[1:])
+        top = exponent_levels - 1
+        candidates.append([thresholds[top] + (cfg.v_threshold - start[top]) * cumulative[top]])
+        flat = np.concatenate([np.atleast_1d(np.asarray(c, dtype=np.float64))
+                               for c in candidates])
+        bounds = refine_step_boundaries(flat, classify)
+
+        # Build per-rank tables from the first charge of each bucket (rank 0
+        # starts at zero charge).  The decoded value uses the same float
+        # expression as `decode`, so the table entries match the reference
+        # conversion bit for bit.
+        reps = np.concatenate([[0.0], bounds])
+        exponent = np.sum(reps[..., None] >= thresholds[1:], axis=-1)
+        v_m = start[exponent] + (reps - thresholds[exponent]) / cumulative[exponent]
+        saturated = v_m >= cfg.v_threshold
+        v_m = np.clip(v_m, cfg.v_reset, cfg.v_threshold)
+        underflow = (exponent == 0) & (v_m < half)
+        position = (v_m - error - conv.v_low) / conv.lsb
+        mantissa = np.clip(np.rint(position), 0, conv.max_code).astype(np.int64)
+        mantissa = np.where(saturated, levels - 1, mantissa)
+        values = self.decode(exponent, mantissa)
+        values = np.where(underflow, 0.0, values)
+        return ADCConversionLUT(
+            indexer=BucketIndexer(bounds),
+            values=values,
+            saturated=saturated,
+            underflow=underflow,
+        )
 
     def transfer_curve(self, num_points: int = 512) -> np.ndarray:
         """``(current, value)`` samples across the full input range."""

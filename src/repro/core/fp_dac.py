@@ -18,7 +18,7 @@ every row of the macro has its own DAC driven in parallel.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,43 @@ from repro.circuits.opamp import OpAmpModel
 from repro.circuits.pga import ProgrammableGainAmplifier
 from repro.circuits.reference import ResistorStringReference
 from repro.core.config import DACConfig, hardware_activation_format
+from repro.formats.fp8 import BucketIndexer, refine_step_boundaries
+
+#: Static-mismatch state shared between DACs with identical configurations.
+#: The reference ladder's INL and the PGA's gain errors are drawn once at
+#: construction from a generator seeded by ``config.seed``, so two DACs with
+#: the same (frozen, hashable) config always end up with the same arrays —
+#: memoising the pair avoids re-drawing them for every macro tile.  Both
+#: objects are read-only after construction, which makes sharing safe.
+_STATIC_CHAIN_CACHE: Dict[DACConfig, Tuple[ResistorStringReference,
+                                           ProgrammableGainAmplifier]] = {}
+
+
+def _static_chain(config: DACConfig) -> Tuple[ResistorStringReference,
+                                              ProgrammableGainAmplifier]:
+    """The (reference ladder, PGA) pair for a config, drawn once and shared."""
+    chain = _STATIC_CHAIN_CACHE.get(config)
+    if chain is None:
+        static_rng = np.random.default_rng(config.seed + 1)
+        v_unit = config.volts_per_unit
+        reference = ResistorStringReference(
+            bits=config.mantissa_bits,
+            v_bottom=v_unit * 1.0,
+            v_top=v_unit * 2.0,
+            mismatch_sigma=config.reference_mismatch_sigma,
+            rng=static_rng,
+        )
+        # The PGA's op-amp must swing up to the full-scale DAC output.
+        pga_opamp = OpAmpModel(output_min=0.0, output_max=config.v_full_scale * 1.05)
+        pga = ProgrammableGainAmplifier(
+            exponent_bits=config.exponent_bits,
+            opamp=pga_opamp,
+            gain_error_sigma=config.pga_gain_error_sigma,
+            rng=static_rng,
+        )
+        chain = (reference, pga)
+        _STATIC_CHAIN_CACHE[config] = chain
+    return chain
 
 
 class FPDAC:
@@ -44,27 +81,14 @@ class FPDAC:
     def __init__(self, config: DACConfig = DACConfig(), rng: Optional[np.random.Generator] = None) -> None:
         self.config = config
         self._rng = rng if rng is not None else np.random.default_rng(config.seed)
-        static_rng = np.random.default_rng(config.seed + 1)
 
         self.format = hardware_activation_format(config.exponent_bits, config.mantissa_bits)
-        # The reference ladder spans the mantissa range [1.0, 2.0) expressed in
-        # volts-per-unit of the DAC transfer function.
-        v_unit = config.volts_per_unit
-        self.reference = ResistorStringReference(
-            bits=config.mantissa_bits,
-            v_bottom=v_unit * 1.0,
-            v_top=v_unit * 2.0,
-            mismatch_sigma=config.reference_mismatch_sigma,
-            rng=static_rng,
-        )
-        # The PGA's op-amp must swing up to the full-scale DAC output.
-        pga_opamp = OpAmpModel(output_min=0.0, output_max=config.v_full_scale * 1.05)
-        self.pga = ProgrammableGainAmplifier(
-            exponent_bits=config.exponent_bits,
-            opamp=pga_opamp,
-            gain_error_sigma=config.pga_gain_error_sigma,
-            rng=static_rng,
-        )
+        # The reference ladder spans the mantissa range [1.0, 2.0) expressed
+        # in volts-per-unit of the DAC transfer function; its mismatch draw
+        # (and the PGA's) is static per config, so the pair is shared between
+        # identically-configured DACs instead of re-drawn per instance.
+        self.reference, self.pga = _static_chain(config)
+        self._voltage_lut: Optional[Tuple[BucketIndexer, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Scalar / vector conversion from code fields
@@ -162,6 +186,48 @@ class FPDAC:
         """Quantise code values to the FP grid and produce output voltages."""
         exponent, mantissa, zero_mask = self.encode_value(value)
         return self.convert_fields(exponent, mantissa, zero_mask=zero_mask)
+
+    # ------------------------------------------------------------------
+    # Compiled code-value -> voltage lookup table
+    # ------------------------------------------------------------------
+    def voltage_lut(self) -> Optional[Tuple[BucketIndexer, np.ndarray]]:
+        """Compile the full code-value → output-voltage transfer into a LUT.
+
+        There are only ``2^(e+m)`` non-zero FP input codes (128 for FP8), so
+        with a noiseless output stage the whole encode (frexp field split,
+        mantissa rounding, zero flush, saturation) followed by the analog
+        reconstruction (reference tap, PGA gain incl. static mismatch)
+        collapses into ``volts[indexer(value)]`` — bit-identical to
+        :meth:`convert_value` for every non-negative code value, including
+        the round-to-nearest-even ties on binade boundaries, which the
+        boundary refinement resolves exactly.  Returns ``None`` when
+        per-conversion output noise makes the transfer stochastic.
+        """
+        if self.config.output_noise_rms > 0:
+            return None
+        if self._voltage_lut is None:
+            levels = self.config.mantissa_levels
+            exponents = np.repeat(np.arange(self.config.exponent_levels), levels)
+            mantissas = np.tile(np.arange(levels), self.config.exponent_levels)
+            code_values = (1.0 + mantissas / levels) * 2.0 ** exponents
+            volts = self.convert_fields(exponents, mantissas)
+
+            def classify(value: np.ndarray) -> np.ndarray:
+                exponent, mantissa, zero = self.encode_value(
+                    np.maximum(np.asarray(value, dtype=np.float64), 0.0))
+                bucket = 1 + exponent * levels + mantissa
+                return np.where(zero, 0, bucket)
+
+            candidates = np.concatenate([
+                [1.0 - 0.5 / levels],  # flush-to-zero threshold
+                0.5 * (code_values[:-1] + code_values[1:]),
+            ])
+            bounds = refine_step_boundaries(candidates, classify)
+            if bounds.size != code_values.size:
+                raise AssertionError("DAC voltage LUT has empty buckets")
+            table = np.concatenate([[0.0], volts])  # bucket 0 = exact zero
+            self._voltage_lut = (BucketIndexer(bounds), table)
+        return self._voltage_lut
 
     def ideal_voltage(self, value: np.ndarray) -> np.ndarray:
         """The ideal (mismatch-free) output voltage for given code values."""

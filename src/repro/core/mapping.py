@@ -205,6 +205,13 @@ class MappedLayer:
                 ideal=ideal_programming,
             )
             self.macros.append(macro)
+        # Tile placement is static, so group the row tiles of each output
+        # column range once instead of re-deriving the grouping per forward.
+        grouped = {}
+        for tile, macro in zip(self.tiles, self.macros):
+            key = (tile.col_start, tile.col_stop)
+            grouped.setdefault(key, []).append((tile, macro))
+        self.column_ranges = sorted(grouped.items())
 
     # ------------------------------------------------------------------
     @property
@@ -254,15 +261,11 @@ class MappedLayer:
                 f"activation length {acts.shape[1]} does not match {self.in_features}"
             )
         output = np.zeros((acts.shape[0], self.out_features), dtype=np.float64)
-        # Group tiles by column range so row tiles of the same columns are
-        # accumulated through the routing adder.
-        col_ranges = sorted({(t.col_start, t.col_stop) for t in self.tiles})
-        for col_start, col_stop in col_ranges:
-            partials = []
-            for tile, macro in zip(self.tiles, self.macros):
-                if (tile.col_start, tile.col_stop) != (col_start, col_stop):
-                    continue
-                partials.append(macro.matvec(acts[:, tile.row_start:tile.row_stop]))
+        # Row tiles of the same column range are accumulated through the
+        # routing adder (grouping precomputed at construction).
+        for (col_start, col_stop), placements in self.column_ranges:
+            partials = [macro.matvec(acts[:, tile.row_start:tile.row_stop])
+                        for tile, macro in placements]
             output[:, col_start:col_stop] = self.routing_adder.accumulate(partials)
         return output[0] if squeeze else output
 

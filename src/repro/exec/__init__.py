@@ -42,6 +42,13 @@ from repro.exec.engine import (
     run_model,
     run_ptq_sweep,
 )
+from repro.exec.plan import (
+    CompiledMappedLayer,
+    CompiledTile,
+    ModelPlan,
+    StageProfile,
+    build_plan,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -60,4 +67,9 @@ __all__ = [
     "compare_backends",
     "run_model",
     "run_ptq_sweep",
+    "CompiledMappedLayer",
+    "CompiledTile",
+    "ModelPlan",
+    "StageProfile",
+    "build_plan",
 ]

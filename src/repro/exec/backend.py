@@ -57,6 +57,11 @@ class ExecutionContext:
         Minibatch size of the evaluation loop.
     seed:
         Seed for the stochastic parts of a backend.
+    compile_plan:
+        Compile the prepared backend state into a :class:`~repro.exec.plan.
+        ModelPlan` with LUT-fused conversion kernels and pre-packed tiles
+        (bit-identical, faster).  ``False`` keeps the generic kernels — the
+        pre-plan execution path, used as the benchmark baseline.
     """
 
     calibration: Optional[np.ndarray] = None
@@ -67,6 +72,7 @@ class ExecutionContext:
     max_mapped_layers: Optional[int] = None
     batch_size: int = 64
     seed: int = 0
+    compile_plan: bool = True
 
 
 @dataclasses.dataclass
@@ -85,6 +91,9 @@ class ExecutionReport:
     prepare_time_s: float
     accuracy: Optional[float] = None
     conversions: int = 0
+    #: Per-stage (DAC / crossbar / ADC / digital) wall-clock breakdown from
+    #: the execution plan's instrumentation, when a plan ran the batches.
+    stage_profile: Optional[dict] = None
 
     @property
     def samples_per_second(self) -> float:

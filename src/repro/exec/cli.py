@@ -1,0 +1,98 @@
+"""CLI subcommand: ``python -m repro run`` — one-shot inference on a backend.
+
+Runs a small trained demo CNN through the chosen execution backend via the
+compiled-plan path and prints the throughput report.  ``--profile`` adds the
+plan's per-stage (DAC / crossbar / ADC / digital) wall-clock breakdown, and
+``--no-plan`` runs the generic kernels instead — handy for eyeballing the
+compiled-plan speedup from a shell::
+
+    python -m repro run --backend analog --profile
+    python -m repro run --backend analog --no-plan --profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.exec.backend import ExecutionContext
+from repro.exec.engine import run_model
+from repro.exec.plan import StageProfile
+from repro.exec.registry import available_backends
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``run`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description=(
+            "Run a demo CNN inference batch on one execution backend "
+            "through the compiled execution plan and report throughput."
+        ),
+    )
+    parser.add_argument("--backend", default="analog", choices=available_backends(),
+                        help="execution backend to run on")
+    parser.add_argument("--samples", type=int, default=64,
+                        help="number of evaluation samples")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="minibatch size of the evaluation loop")
+    parser.add_argument("--mapped-layers", type=int, default=1,
+                        help="matmul layers mapped onto macros (analog backend)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the plan's per-stage wall-clock breakdown")
+    parser.add_argument("--no-plan", action="store_true",
+                        help="run the generic kernels instead of the compiled plan")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the model, data and backend")
+    return parser
+
+
+def render_stage_profile(profile: dict) -> str:
+    """Render a stage-profile dict through :class:`StageProfile`."""
+    return StageProfile(
+        dac_s=profile.get("dac_s", 0.0),
+        crossbar_s=profile.get("crossbar_s", 0.0),
+        adc_s=profile.get("adc_s", 0.0),
+        total_s=profile.get("total_s", 0.0),
+        forwards=int(profile.get("forwards", 0)),
+    ).render()
+
+
+def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
+    """Execute the ``run`` subcommand; returns (report, exit code)."""
+    # Imported lazily: the serving CLI owns the demo-workload builder.
+    from repro.serve.cli import demo_workload
+
+    model, x_train, x_test = demo_workload(seed=args.seed,
+                                           test_samples=max(args.samples, 1))
+    images = x_test[: args.samples]
+    context = ExecutionContext(
+        calibration=x_train[:16],
+        max_mapped_layers=args.mapped_layers,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        compile_plan=not args.no_plan,
+    )
+    if args.backend == "ideal":
+        context = dataclasses.replace(context, calibration=None)
+    report = run_model(model, images, backend=args.backend, context=context)
+    lines = [
+        f"Backend {report.backend}: {report.samples} samples in "
+        f"{report.wall_time_s * 1e3:.1f} ms "
+        f"({report.samples_per_second:.1f} samples/s), "
+        f"prepare {report.prepare_time_s * 1e3:.1f} ms, "
+        f"{report.conversions} conversions, "
+        f"plan={'off' if args.no_plan else 'on'}",
+    ]
+    if args.profile and report.stage_profile is not None:
+        lines.append(render_stage_profile(report.stage_profile))
+    return "\n".join(lines), 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``run`` subcommand; returns an exit code."""
+    args = build_run_parser().parse_args(argv if argv is not None else [])
+    report, exit_code = run_run_command(args)
+    print(report)
+    return exit_code

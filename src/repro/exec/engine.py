@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.exec.backend import ExecutionBackend, ExecutionContext, ExecutionReport, FormatLike
+from repro.exec.plan import ModelPlan
 from repro.exec.registry import create_backend
 from repro.formats.fp8 import E2M5, E3M4
 from repro.formats.intq import INT8
@@ -72,32 +73,31 @@ class BatchRunner:
         self.context = ctx
         self.backend = _resolve_backend(backend)
         self._closed = False
-        prepare_start = time.perf_counter()
-        try:
-            # A failure mid-setup (bad calibration batch, unmappable layer)
-            # must still tear the backend off the model instead of leaving
-            # adapters attached.
-            self.backend.prepare(model, ctx)
-        except Exception:
-            self.backend.teardown(model)
-            raise
-        self.prepare_time_s = time.perf_counter() - prepare_start
+        # The plan prepares the backend (tearing it off again on failure)
+        # and compiles the prepared state into LUT-fused kernels unless the
+        # context opts out; BatchRunner is a thin wrapper over it.
+        self.plan = ModelPlan(model, self.backend, ctx)
+        self.prepare_time_s = self.plan.prepare_time_s
 
     def forward(self, images: np.ndarray) -> np.ndarray:
-        """Run one assembled batch through the prepared backend."""
+        """Run one assembled batch through the prepared plan."""
         if self._closed:
             raise RuntimeError("BatchRunner is closed")
-        return self.backend.forward(self.model, np.asarray(images, dtype=np.float64))
+        return self.plan.forward(images)
 
     def conversions(self) -> int:
         """Analog macro conversions spent so far by the backend."""
-        return self.backend.conversions()
+        return self.plan.conversions()
+
+    def stage_profile(self) -> Dict[str, float]:
+        """Per-stage (DAC / crossbar / ADC / digital) wall-clock breakdown."""
+        return self.plan.stage_profile()
 
     def close(self) -> None:
-        """Tear the backend off the model (idempotent)."""
+        """Restore generic kernels and tear the backend off (idempotent)."""
         if not self._closed:
             self._closed = True
-            self.backend.teardown(self.model)
+            self.plan.close()
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -152,6 +152,7 @@ def run_model(model: Model, images: np.ndarray,
             else np.zeros((0, 0), dtype=np.float64)
         )
         conversions = runner.conversions() - conversions_before
+        profile = runner.stage_profile()
     finally:
         runner.close()
 
@@ -164,6 +165,7 @@ def run_model(model: Model, images: np.ndarray,
         prepare_time_s=runner.prepare_time_s,
         accuracy=top1,
         conversions=conversions,
+        stage_profile=profile,
     )
 
 

@@ -1,0 +1,511 @@
+"""Compile-once / run-many execution plans.
+
+``run_model`` / ``BatchRunner`` historically re-derived the per-element FP8
+conversion math (frexp-based DAC field encode, adaptive-range ADC decode,
+quantiser rounding) and re-walked the Python-level tile bookkeeping on every
+forward.  A :class:`ModelPlan` pays those costs once per ``(model, backend,
+context)``:
+
+* every analog tile is compiled into a :class:`CompiledTile` — the tile's
+  conductance block packed contiguous, the DAC's 2^8 code→voltage transfer
+  and the ADC's charge→code conversion baked into lookup tables
+  (:meth:`~repro.core.fp_dac.FPDAC.voltage_lut`,
+  :meth:`~repro.core.fp_adc.FPADC.conversion_lut`), and scratch reused
+  across batches;
+* fake-quant adapters get LUT-compiled quantisers
+  (:func:`repro.formats.quantizer.compile_quantizer`);
+* per-layer tile/column index sets are precomputed so the forward walks
+  plain arrays instead of re-deriving the mapping.
+
+The compiled fast paths are **bit-identical** to the generic ones — the
+lookup tables are built with exact boundary refinement
+(:func:`repro.formats.fp8.refine_step_boundaries`) and stochastic parts
+(crossbar read noise) keep drawing from the same generators in the same
+order — so a plan is a pure speedup, not an approximation.  Tiles whose
+configuration breaks those guarantees (DAC output noise, ADC comparator
+noise/offset, capacitor mismatch, non-vectorised readout) transparently fall
+back to the generic macro path.
+
+Plans are picklable, which is what lets :mod:`repro.serve` ship one to each
+process of a ``workers="process"`` pool and run replicas on real cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.macro import AFPRMacro
+from repro.core.mapping import MappedLayer, conv_output_size, im2col
+from repro.exec.backend import ExecutionBackend, ExecutionContext
+from repro.exec.backends import AnalogBackend, FakeQuantBackend
+from repro.formats.quantizer import compile_quantizer
+from repro.nn.layers import Conv2d, Layer, Linear
+from repro.nn.model import Model
+
+
+@dataclasses.dataclass
+class StageProfile:
+    """Wall-clock accumulators of the plan's pipeline stages.
+
+    ``dac`` / ``crossbar`` / ``adc`` are metered inside the compiled tiles;
+    ``digital`` is everything else in the forward pass (digital layers,
+    im2col, routing adder, quantisers).  ``python -m repro run --profile``
+    renders this breakdown.
+    """
+
+    dac_s: float = 0.0
+    crossbar_s: float = 0.0
+    adc_s: float = 0.0
+    total_s: float = 0.0
+    forwards: int = 0
+
+    @property
+    def digital_s(self) -> float:
+        """Forward time not spent in the analog DAC/crossbar/ADC stages."""
+        return max(self.total_s - self.dac_s - self.crossbar_s - self.adc_s, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """The breakdown as a plain dict (for reports and JSON)."""
+        return {
+            "dac_s": self.dac_s,
+            "crossbar_s": self.crossbar_s,
+            "adc_s": self.adc_s,
+            "digital_s": self.digital_s,
+            "total_s": self.total_s,
+            "forwards": float(self.forwards),
+        }
+
+    def render(self) -> str:
+        """Human-readable per-stage breakdown."""
+        total = self.total_s or 1.0
+        rows = [("DAC", self.dac_s), ("crossbar", self.crossbar_s),
+                ("ADC", self.adc_s), ("digital", self.digital_s)]
+        lines = [f"Per-stage forward time over {self.forwards} forward(s):"]
+        for name, seconds in rows:
+            lines.append(f"  {name:9s} {seconds * 1e3:9.2f} ms  "
+                         f"({100.0 * seconds / total:5.1f} %)")
+        lines.append(f"  {'total':9s} {self.total_s * 1e3:9.2f} ms")
+        return "\n".join(lines)
+
+
+class CompiledTile:
+    """One macro tile compiled to LUT-fused kernels.
+
+    Replicates :meth:`AFPRMacro.matvec` (vectorised mode) bit for bit:
+
+    * DAC: ``volts[rank(acts / activation_scale)]`` instead of frexp field
+      extraction plus per-gain PGA passes,
+    * crossbar: the packed contiguous conductance block, read noise drawn
+      from the *same* device generator in the same order and shape,
+    * ADC: ``values[rank(charge)]`` instead of the adaptive-range search,
+      residual-voltage gathers and single-slope rounding,
+
+    and updates ``macro.stats`` exactly like the generic path.  Construction
+    raises :class:`TileNotCompilable` when the configuration has stochastic
+    converter stages the tables cannot represent.
+    """
+
+    def __init__(self, macro: AFPRMacro, profile: StageProfile) -> None:
+        config = macro.config
+        if not macro.vectorized_readout:
+            raise TileNotCompilable("full-array reference readout")
+        if macro._weights is None:
+            raise TileNotCompilable("macro not programmed")
+        if macro.crossbar.config.v_clamp != 0.0:
+            raise TileNotCompilable("non-zero source-line clamp")
+        dac_lut = macro.dac.voltage_lut()
+        if dac_lut is None:
+            raise TileNotCompilable("stochastic DAC output stage")
+        adc_lut = macro.adc.conversion_lut()
+        if adc_lut is None:
+            raise TileNotCompilable("stochastic or offset ADC conversion")
+
+        self.macro = macro
+        self.profile = profile
+        self.in_features = macro._in_features
+        self.out_features = macro._out_features
+        self.active_cols = macro.physical_columns
+        self.differential = config.differential_columns
+        # (a) pre-packed tile state: the active sub-array of the crossbar as
+        # one contiguous block (the generic path re-slices the 576x256 array
+        # on every evaluation).
+        self.conductances = np.ascontiguousarray(
+            macro.crossbar._conductances[: self.in_features, : self.active_cols])
+        self.read_noise_enabled = macro.crossbar.config.read_noise_enabled
+        ir_drop = (macro.crossbar.config.ir_drop_enabled
+                   and macro.crossbar.config.wire_resistance > 0.0)
+        if ir_drop:
+            r = macro.crossbar.config.wire_resistance
+            col_dist = np.arange(1, self.active_cols + 1, dtype=np.float64)[None, :]
+            row_dist = np.arange(1, self.in_features + 1, dtype=np.float64)[:, None]
+            self.wire_resistance: Optional[np.ndarray] = r * (col_dist + row_dist)
+        else:
+            self.wire_resistance = None
+
+        # (b) LUT-fused conversion kernels.
+        self.activation_scale = macro.activation_scale
+        dac_indexer, dac_volts = dac_lut
+        self.dac_indexer = dac_indexer
+        # Fold the crossbar's input clip into the table: voltages are
+        # per-code constants, so clipping the 129 entries equals clipping
+        # every converted element.  Offset mapping also needs the *raw*
+        # table — the generic path's common-mode voltage sum is taken
+        # before the crossbar clip.
+        v_max = macro.crossbar.config.v_input_max
+        self.dac_volts = np.clip(dac_volts, -v_max, v_max)
+        self.dac_volts_raw = dac_volts
+        self.dac_clamp = float(dac_indexer.bounds[-1])
+        self.adc = adc_lut
+        self.integration_time = config.adc.integration_time
+        # Fold the code-value → current reconstruction constant into the
+        # table (the reference multiplies elementwise by the same scalar).
+        self.adc_values = adc_lut.values * macro.adc.value_to_current(1.0)
+        self.adc_sat = adc_lut.saturated
+        self.adc_under = adc_lut.underflow
+        # Output scale chain, exactly as _current_to_output derives it.
+        g_span = macro.device.g_max - macro.device.g_min
+        if self.differential:
+            conductance_swing = g_span
+        else:
+            conductance_swing = 0.5 * g_span
+            self.g_mid = 0.5 * (macro.device.g_max + macro.device.g_min)
+        denom = macro.dac.volts_per_unit * conductance_swing
+        self.output_scale = (macro.activation_scale * macro.weight_scale / denom
+                             if macro.weight_scale > 0 else 0.0)
+        # (c) scratch reused across batches for the stacked sign passes.
+        self._stack_scratch = np.empty((0, self.in_features), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _analog_pass(self, non_negative: np.ndarray) -> np.ndarray:
+        """DAC → crossbar → ADC over one block, via the compiled kernels."""
+        macro = self.macro
+        block = macro.ANALOG_PASS_BLOCK_ROWS
+        if non_negative.shape[0] > block:
+            return np.concatenate([
+                self._analog_pass(non_negative[start:start + block])
+                for start in range(0, non_negative.shape[0], block)
+            ], axis=0)
+        profile = self.profile
+
+        tick = time.perf_counter()
+        code_values = non_negative / self.activation_scale
+        code_ranks = self.dac_indexer(np.minimum(code_values, self.dac_clamp))
+        voltages = self.dac_volts[code_ranks]
+        tock = time.perf_counter()
+        profile.dac_s += tock - tick
+
+        conductances = self.conductances
+        if self.read_noise_enabled:
+            # Same generator, order and shape as the generic crossbar path,
+            # so the noise sample (and every later draw) is identical.
+            conductances = macro.device.read_noise(conductances)
+        if self.wire_resistance is not None:
+            conductances = conductances / (1.0 + conductances * self.wire_resistance)
+        currents = voltages @ conductances
+        tick = time.perf_counter()
+        profile.crossbar_s += tick - tock
+
+        charge = np.clip(currents, 0.0, None) * self.integration_time
+        rank = self.adc.indexer(np.minimum(charge, self.adc.max_charge))
+        measured_current = self.adc_values[rank]
+
+        batch = non_negative.shape[0]
+        stats = macro.stats
+        stats.conversions += batch
+        stats.mac_operations += batch * 2 * self.in_features * self.out_features
+        stats.adc_saturations += int(np.count_nonzero(self.adc_sat[rank]))
+        stats.adc_underflows += int(np.count_nonzero(self.adc_under[rank]))
+
+        if self.differential:
+            logical = measured_current[..., 0::2] - measured_current[..., 1::2]
+        else:
+            # The generic path sums the DAC voltages *before* the crossbar
+            # input clip; gather the unclipped table for bit identity.
+            voltage_sum = np.sum(self.dac_volts_raw[code_ranks], axis=-1)
+            logical = measured_current - self.g_mid * voltage_sum[..., None]
+        out = logical * self.output_scale
+        profile.adc_s += time.perf_counter() - tick
+        return out
+
+    def matvec(self, activations: np.ndarray) -> np.ndarray:
+        """``activations @ W`` through the compiled pipeline (batched)."""
+        acts = np.asarray(activations, dtype=np.float64)
+        squeeze = acts.ndim == 1
+        acts = np.atleast_2d(acts)
+        if acts.shape[1] != self.in_features:
+            raise ValueError(
+                f"activation length {acts.shape[1]} does not match the "
+                f"{self.in_features} programmed input features"
+            )
+        positive = np.clip(acts, 0.0, None)
+        negative = np.clip(-acts, 0.0, None)
+        needs_negative = np.any(negative > 0, axis=1)
+
+        if np.any(needs_negative):
+            batch = acts.shape[0]
+            extra = int(np.count_nonzero(needs_negative))
+            stacked = self._stack_scratch
+            if stacked.shape[0] < batch + extra:
+                stacked = np.empty((batch + extra, self.in_features), dtype=np.float64)
+                self._stack_scratch = stacked
+            stacked = stacked[: batch + extra]
+            stacked[:batch] = positive
+            stacked[batch:] = negative[needs_negative]
+            result_stacked = self._analog_pass(stacked)
+            result = result_stacked[:batch]
+            result[needs_negative] -= result_stacked[batch:]
+        else:
+            result = self._analog_pass(positive)
+        result = result[..., : self.out_features]
+        return result[0] if squeeze else result
+
+
+class TileNotCompilable(Exception):
+    """Raised when a macro tile cannot be expressed as LUT kernels."""
+
+
+class _FallbackTile:
+    """Adapter presenting the generic ``macro.matvec`` as a compiled tile."""
+
+    def __init__(self, macro: AFPRMacro) -> None:
+        self.macro = macro
+
+    def matvec(self, activations: np.ndarray) -> np.ndarray:
+        return self.macro.matvec(activations)
+
+
+class CompiledMappedLayer:
+    """A :class:`MappedLayer` whose tiles run on compiled kernels.
+
+    Swapped into ``CIMExecutionAdapter.mapped`` by the plan; the original
+    mapped layer stays untouched (the plan restores it on ``close``).  The
+    per-layer column ranges and tile groupings are precomputed, so the
+    forward iterates plain lists instead of re-deriving the tiling, and the
+    shared routing adder keeps its accumulation format and counters.
+    """
+
+    def __init__(self, mapped: MappedLayer, profile: StageProfile) -> None:
+        self.mapped = mapped
+        self.profile = profile
+        tiles = []
+        for macro in mapped.macros:
+            try:
+                tiles.append(CompiledTile(macro, profile))
+            except TileNotCompilable:
+                tiles.append(_FallbackTile(macro))
+        self.tiles = tiles
+        # Mirror the mapped layer's own precomputed placement (same ranges,
+        # same accumulation order), substituting each macro's compiled tile.
+        tile_for_macro = {id(macro): tile
+                          for macro, tile in zip(mapped.macros, tiles)}
+        self.column_ranges = [
+            (key, [(spec.row_start, spec.row_stop, tile_for_macro[id(macro)])
+                   for spec, macro in placements])
+            for key, placements in mapped.column_ranges
+        ]
+
+    # The adapter probes these like the original MappedLayer.
+    @property
+    def in_features(self) -> int:
+        """Input feature count of the mapped layer."""
+        return self.mapped.in_features
+
+    @property
+    def out_features(self) -> int:
+        """Output feature count of the mapped layer."""
+        return self.mapped.out_features
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        """Compute ``activations @ weights`` through the compiled tiles."""
+        acts = np.asarray(activations, dtype=np.float64)
+        squeeze = acts.ndim == 1
+        acts = np.atleast_2d(acts)
+        if acts.shape[1] != self.in_features:
+            raise ValueError(
+                f"activation length {acts.shape[1]} does not match {self.in_features}"
+            )
+        output = np.zeros((acts.shape[0], self.out_features), dtype=np.float64)
+        adder = self.mapped.routing_adder
+        for (col_start, col_stop), placements in self.column_ranges:
+            partials = [tile.matvec(acts[:, row_start:row_stop])
+                        for row_start, row_stop, tile in placements]
+            output[:, col_start:col_stop] = adder.accumulate(partials)
+        return output[0] if squeeze else output
+
+    __call__ = forward
+
+    def total_conversions(self) -> int:
+        """Macro conversions performed so far (stats live on the macros)."""
+        return self.mapped.total_conversions()
+
+    def set_vectorized_readout(self, enabled: bool) -> None:
+        """Unsupported on a compiled layer — close the plan first."""
+        raise RuntimeError(
+            "cannot switch readout mode on a compiled layer; close the plan")
+
+    @property
+    def compiled_tiles(self) -> int:
+        """How many tiles run on LUT kernels (vs. generic fallback)."""
+        return sum(isinstance(t, CompiledTile) for t in self.tiles)
+
+
+class _PlannedMatmulForward:
+    """Picklable forward override for a macro-mapped Conv2d / Linear layer.
+
+    The hook path computes the layer's full digital output (im2col + GEMM +
+    bias) only for ``process_output`` to discard it and recompute the same
+    im2col for the macros.  This override runs the layer straight on the
+    compiled mapped layer — one im2col, no dead GEMM — producing the exact
+    arrays the hook path produced.  Being a plain object (not a closure or
+    bound method) it survives pickling, which keeps plans shippable to
+    process workers.
+    """
+
+    def __init__(self, layer: Layer, mapped) -> None:
+        if isinstance(layer, Conv2d) and layer.groups != 1:
+            raise TileNotCompilable("grouped convolutions stay on the hook path")
+        self.layer = layer
+        self.mapped = mapped
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        layer = self.layer
+        if training:
+            return type(layer).forward(layer, x, training=True)
+        x = np.asarray(x, dtype=np.float64)
+        if isinstance(layer, Linear):
+            result = self.mapped.forward(x)
+            if layer.bias is not None:
+                result = result + layer.bias.value
+            return result
+        n = x.shape[0]
+        h_out = conv_output_size(x.shape[2], layer.kernel_size, layer.stride,
+                                 layer.padding)
+        w_out = conv_output_size(x.shape[3], layer.kernel_size, layer.stride,
+                                 layer.padding)
+        cols = im2col(x, layer.kernel_size, layer.stride, layer.padding)
+        result = self.mapped.forward(cols)
+        result = result.reshape(n, h_out, w_out, layer.out_channels).transpose(0, 3, 1, 2)
+        if layer.bias is not None:
+            result = result + layer.bias.value[None, :, None, None]
+        return result
+
+
+class ModelPlan:
+    """A prepared, compiled ``(model, backend, context)`` execution plan.
+
+    Construction prepares the backend on the model (programming/calibrating
+    macros, attaching adapters) and then compiles the prepared state:
+    analog mapped layers get :class:`CompiledMappedLayer` kernels, fake
+    quantisation adapters get LUT quantisers, the ``ideal`` backend needs
+    nothing.  ``forward`` runs batches through the compiled state;
+    ``close`` restores the backend exactly as the generic path would leave
+    it.  Set ``context.compile_plan=False`` to keep the generic kernels (the
+    pre-plan behaviour, used as the benchmark baseline).
+
+    Plans are picklable: a pickled plan carries its replica model, packed
+    tiles and generator states, so a process pool can reconstruct identical
+    execution in another interpreter.
+    """
+
+    def __init__(self, model: Model, backend: ExecutionBackend,
+                 context: ExecutionContext) -> None:
+        self.model = model
+        self.backend = backend
+        self.context = context
+        self.profile = StageProfile()
+        self._swapped: List[Tuple[object, MappedLayer]] = []
+        self._patched_layers: List[Layer] = []
+        prepare_start = time.perf_counter()
+        try:
+            # A failure mid-setup (bad calibration batch, unmappable layer)
+            # must still tear the backend off the model instead of leaving
+            # adapters attached.
+            backend.prepare(model, context)
+            if getattr(context, "compile_plan", True):
+                self._compile()
+        except Exception:
+            self.close()
+            raise
+        self.prepare_time_s = time.perf_counter() - prepare_start
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        backend = self.backend
+        if isinstance(backend, AnalogBackend) and backend._mapped is not None:
+            for adapter in backend._mapped.adapters:
+                original = adapter.mapped
+                if isinstance(original, CompiledMappedLayer):
+                    # Another live plan on the same backend instance; leave
+                    # its compiled state alone (its close restores it).
+                    continue
+                compiled = CompiledMappedLayer(original, self.profile)
+                adapter.mapped = compiled
+                self._swapped.append((adapter, original))
+                try:
+                    override = _PlannedMatmulForward(adapter.layer, compiled)
+                except TileNotCompilable:
+                    continue
+                adapter.layer.forward = override
+                self._patched_layers.append(adapter.layer)
+        elif isinstance(backend, FakeQuantBackend):
+            for adapter in backend._adapters:
+                adapter.activation_quantizer = compile_quantizer(
+                    adapter.activation_quantizer)
+                adapter.weight_quantizer = compile_quantizer(
+                    adapter.weight_quantizer)
+
+    @property
+    def compiled(self) -> bool:
+        """Whether any compiled kernels are active on the backend."""
+        if self._swapped:
+            return True
+        return (isinstance(self.backend, FakeQuantBackend)
+                and getattr(self.context, "compile_plan", True))
+
+    # ------------------------------------------------------------------
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Run one assembled batch through the compiled backend state."""
+        start = time.perf_counter()
+        logits = self.backend.forward(
+            self.model, np.asarray(images, dtype=np.float64))
+        self.profile.total_s += time.perf_counter() - start
+        self.profile.forwards += 1
+        return logits
+
+    def conversions(self) -> int:
+        """Analog macro conversions spent so far by the backend."""
+        return self.backend.conversions()
+
+    def stage_profile(self) -> Dict[str, float]:
+        """Per-stage wall-clock breakdown accumulated so far."""
+        return self.profile.as_dict()
+
+    def close(self) -> None:
+        """Restore the generic kernels and tear the backend off the model."""
+        for layer in self._patched_layers:
+            layer.__dict__.pop("forward", None)
+        self._patched_layers = []
+        for adapter, original in self._swapped:
+            adapter.mapped = original
+        self._swapped = []
+        self.backend.teardown(self.model)
+
+    def __enter__(self) -> "ModelPlan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def build_plan(model: Model, backend: ExecutionBackend,
+               context: Optional[ExecutionContext] = None,
+               **context_overrides) -> ModelPlan:
+    """Convenience constructor mirroring ``run_model``'s context handling."""
+    ctx = context if context is not None else ExecutionContext()
+    if context_overrides:
+        ctx = dataclasses.replace(ctx, **context_overrides)
+    return ModelPlan(model, backend, ctx)

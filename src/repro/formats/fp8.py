@@ -23,7 +23,8 @@ All array operations are vectorised over numpy arrays.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+import functools
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -311,6 +312,182 @@ class FloatFormat:
             f"FloatFormat({self.name}, bias={self.bias}, "
             f"max={self.max_value:g}, min_sub={self.min_subnormal:g})"
         )
+
+
+# ----------------------------------------------------------------------
+# Lookup-table compilation of monotone quantisation kernels
+# ----------------------------------------------------------------------
+def refine_step_boundaries(candidates: np.ndarray,
+                           classify: Callable[[np.ndarray], np.ndarray],
+                           domain_min: float = 0.0) -> np.ndarray:
+    """Exact float64 thresholds of a monotone step function.
+
+    ``classify`` maps values to integer bucket indices and must be monotone
+    non-decreasing.  ``candidates`` are *approximate* transition points (from
+    closed-form midpoint / threshold formulas, accurate to a few ulps).  For
+    each real transition this returns the smallest float64 ``b`` whose bucket
+    equals the upper side, found by bisection on the float lattice — so
+
+        ``np.searchsorted(bounds, v, side="right")``
+
+    reproduces ``classify`` bit-exactly for every value in the domain, rank
+    ``r`` meaning "past ``r`` transitions".  Candidates whose neighbourhood
+    shows no bucket change (empty buckets, duplicated thresholds) are
+    dropped.  This is what lets per-element FP8 encode / ADC decode math be
+    replaced by one ``searchsorted`` + ``take`` without losing bit identity.
+    """
+    candidates = np.unique(np.asarray(candidates, dtype=np.float64))
+    if candidates.size == 0:
+        return candidates
+    # Expand brackets until each straddles a transition; analytic candidates
+    # are ulp-accurate, so a couple of widenings suffice, and a bracket that
+    # never straddles marks an empty bucket to drop.  All candidates are
+    # bisected simultaneously so `classify` runs a few dozen vectorised
+    # calls, not thousands of scalar ones.
+    delta = np.maximum(np.abs(candidates) * 1e-12, np.finfo(np.float64).tiny)
+    lo = np.maximum(candidates - delta, domain_min)
+    hi = candidates + delta
+    for _ in range(24):
+        undecided = classify(lo) == classify(hi)
+        if not np.any(undecided):
+            break
+        delta = np.where(undecided, delta * 4.0, delta)
+        lo = np.where(undecided, np.maximum(candidates - delta, domain_min), lo)
+        hi = np.where(undecided, candidates + delta, hi)
+    keep = classify(lo) != classify(hi)
+    lo, hi = lo[keep], hi[keep]
+    lo_bucket = classify(lo)
+    # Bisect down to adjacent floats: hi always classifies above lo, so the
+    # final hi is the smallest float of the upper bucket.
+    while True:
+        active = np.nextafter(lo, hi) < hi
+        if not np.any(active):
+            break
+        mid = lo + 0.5 * (hi - lo)
+        stuck = ~((lo < mid) & (mid < hi))
+        mid = np.where(stuck, np.nextafter(lo, hi), mid)
+        up = classify(mid) > lo_bucket
+        hi = np.where(active & up, mid, hi)
+        lo = np.where(active & ~up, mid, lo)
+    return np.unique(hi)
+
+
+class BucketIndexer:
+    """Rank values against exact step boundaries in O(1) per element.
+
+    ``np.searchsorted`` is exact but costs a branchy binary search per
+    element.  This indexer precomputes a uniform coarse grid finer than the
+    smallest boundary gap, so each cell contains at most one boundary: the
+    rank of a value is the precomputed rank of its cell's left edge plus one
+    comparison against the only boundary that can follow it.  The result is
+    bit-identical to ``searchsorted(bounds, v, side="right")`` for every
+    value at or above ``domain_min`` (NaN ranks 0), in a handful of cheap
+    vectorised passes.
+
+    Grids larger than ``max_cells`` (huge dynamic ranges, e.g. FP16) fall
+    back to plain ``searchsorted`` — still exact, just slower.
+    """
+
+    def __init__(self, bounds: np.ndarray, domain_min: float = 0.0,
+                 max_cells: int = 1 << 20) -> None:
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        if self.bounds.size == 0 or np.any(np.diff(self.bounds) <= 0):
+            raise ValueError("bounds must be non-empty and strictly increasing")
+        self.domain_min = float(domain_min)
+        #: Boundary following bucket ``r`` (+inf past the last one) and the
+        #: boundary entering it (-inf before the first one): one comparison
+        #: against each corrects any ±1-cell rounding of the grid index.
+        self._next_bound = np.append(self.bounds, np.inf)
+        self._prev_bound = np.concatenate([[-np.inf], self.bounds])
+        span = float(self.bounds[-1]) - self.domain_min
+        min_gap = float(np.min(np.diff(self.bounds))) if self.bounds.size > 1 else span
+        min_gap = min(min_gap, float(self.bounds[0]) - self.domain_min) or span
+        step = min_gap / 2.0
+        cells_needed = np.ceil(span / step) + 2 if step > 0 else np.inf
+        if np.isfinite(cells_needed) and 0 < cells_needed <= max_cells:
+            cells = int(cells_needed)
+            self._inv_step = 1.0 / step
+            edges = self.domain_min + np.arange(cells) * step
+            self._coarse: Optional[np.ndarray] = np.searchsorted(
+                self.bounds, edges, side="right")
+            self._cells = cells
+        else:
+            self._inv_step = 0.0
+            self._coarse = None
+            self._cells = 0
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        """Rank of each element: how many boundaries are ≤ it.
+
+        Elements must be ≥ ``domain_min`` and finite (or NaN, which ranks 0
+        like ``searchsorted``'s ordering places nothing below it); callers
+        clamp infinities to ``bounds[-1]`` beforehand.
+        """
+        v = np.asarray(v, dtype=np.float64)
+        if self._coarse is None:
+            return np.searchsorted(self.bounds, v, side="right")
+        with np.errstate(invalid="ignore"):
+            # NaN casts to INT64_MIN on the supported platforms, clips to
+            # cell 0 and fails both ordered comparisons below: rank 0.
+            cell = ((v - self.domain_min) * self._inv_step).astype(np.int64)
+        np.clip(cell, 0, self._cells - 1, out=cell)
+        rank = self._coarse[cell]
+        rank += v >= self._next_bound[rank]
+        rank -= v < self._prev_bound[rank]
+        return rank
+
+
+@functools.lru_cache(maxsize=None)
+def quantization_lut(fmt: FloatFormat) -> Tuple[BucketIndexer, np.ndarray]:
+    """Compile ``fmt.quantize`` into ``(indexer, values)`` tables.
+
+    ``values[indexer(|x|)]`` equals ``|fmt.quantize(x)|`` bit-for-bit for
+    every finite ``x`` (round to nearest even).  Only signed, saturating
+    formats compile; the tables are cached per format instance
+    (``FloatFormat`` is frozen and hashable).
+    """
+    if not (fmt.signed and fmt.saturate):
+        raise ValueError("only signed, saturating formats compile to a LUT")
+    # The image of `quantize`, built explicitly rather than via all_values():
+    # for subnormal-free formats `decode` reserves code (0, 0) for zero, yet
+    # `quantize` still produces the magnitude 1.0 * 2^min_exponent.
+    exponents = np.arange(fmt.min_exponent, fmt.max_exponent + 1, dtype=np.float64)
+    fractions = 1.0 + np.arange(fmt.mantissa_levels) / fmt.mantissa_levels
+    magnitudes = [np.zeros(1), (fractions[None, :] * 2.0 ** exponents[:, None]).ravel()]
+    if fmt.subnormals:
+        magnitudes.append(
+            np.arange(1, fmt.mantissa_levels) / fmt.mantissa_levels
+            * 2.0 ** fmt.min_exponent)
+    values = np.unique(np.concatenate(magnitudes))
+    assert values[0] == 0.0
+
+    def classify(v: np.ndarray) -> np.ndarray:
+        q = fmt.quantize(np.abs(np.asarray(v, dtype=np.float64)))
+        idx = np.searchsorted(values, q)
+        if not np.all(values[np.minimum(idx, values.size - 1)] == q):
+            raise AssertionError("quantize produced an off-grid value")
+        return idx
+
+    candidates = 0.5 * (values[:-1] + values[1:])
+    bounds = refine_step_boundaries(candidates, classify)
+    if bounds.size != values.size - 1:
+        raise AssertionError("quantisation LUT has empty buckets")
+    return BucketIndexer(bounds), values
+
+
+def quantize_via_lut(fmt: FloatFormat, x: np.ndarray) -> np.ndarray:
+    """LUT-based fake quantisation, bit-identical to ``fmt.quantize(x)``.
+
+    The per-element exponent/mantissa arithmetic collapses to one bucket
+    ranking against precompiled boundaries plus a table gather.  Non-finite
+    values follow the reference semantics (infinities saturate, NaN
+    propagates through the sign multiply).
+    """
+    indexer, values = quantization_lut(fmt)
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    mag = np.minimum(np.abs(x), indexer.bounds[-1])
+    return sign * values[indexer(mag)]
 
 
 def decompose(x: np.ndarray, fmt: FloatFormat) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

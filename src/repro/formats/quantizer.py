@@ -22,7 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.formats.fp8 import FloatFormat
+from repro.formats.fp8 import FloatFormat, quantize_via_lut
 from repro.formats.intq import IntFormat, fake_quant_int
 from repro.formats.rounding import RoundingMode
 
@@ -218,6 +218,41 @@ class FloatQuantizer(TensorQuantizer):
 
     def _fake_quant(self, x: np.ndarray, scale: float) -> np.ndarray:
         return self.fmt.quantize(x / scale, rounding=self.rounding) * scale
+
+
+@dataclasses.dataclass
+class LUTFloatQuantizer(FloatQuantizer):
+    """A :class:`FloatQuantizer` whose rounding runs through a compiled LUT.
+
+    ``compile_quantizer`` swaps calibrated quantisers for this class inside
+    execution plans: the per-element FP encode collapses to one bucket
+    ranking plus a table gather (:func:`repro.formats.fp8.quantize_via_lut`),
+    bit-identical to the generic ``fmt.quantize`` path.
+    """
+
+    def _fake_quant(self, x: np.ndarray, scale: float) -> np.ndarray:
+        return quantize_via_lut(self.fmt, x / scale) * scale
+
+
+def compile_quantizer(quantizer: TensorQuantizer) -> TensorQuantizer:
+    """Return a LUT-compiled equivalent of ``quantizer`` when one exists.
+
+    Float quantisers with a signed, saturating format and round-to-nearest-
+    even compile to :class:`LUTFloatQuantizer` (carrying over the calibrated
+    scale); everything else — integer quantisers, exotic formats, stochastic
+    rounding — is returned unchanged, so callers can compile unconditionally.
+    """
+    if (type(quantizer) is FloatQuantizer
+            and quantizer.rounding is RoundingMode.NEAREST_EVEN
+            and quantizer.fmt.signed and quantizer.fmt.saturate):
+        return LUTFloatQuantizer(
+            method=quantizer.method,
+            percentile=quantizer.percentile,
+            rounding=quantizer.rounding,
+            scale=quantizer.scale,
+            fmt=quantizer.fmt,
+        )
+    return quantizer
 
 
 def make_quantizer(

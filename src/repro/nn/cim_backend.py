@@ -38,6 +38,13 @@ class CIMExecutionAdapter:
     it intercepts the *output*: the hook contract only lets us post-process,
     so the adapter recomputes the layer's matrix product on the macro and
     replaces the digital result.
+
+    The execution-plan layer (:mod:`repro.exec.plan`) builds on two swap
+    points of this adapter: ``self.mapped`` may be replaced by a
+    :class:`~repro.exec.plan.CompiledMappedLayer` exposing the same
+    ``forward`` / ``total_conversions`` surface, and ``self.layer.forward``
+    may be overridden to skip the discarded digital matmul entirely.  Both
+    swaps are reverted when the plan closes.
     """
 
     def __init__(self, layer: Layer, macro_config: MacroConfig,
@@ -46,6 +53,14 @@ class CIMExecutionAdapter:
         self.layer = layer
         self.macro_config = macro_config
         if isinstance(layer, Conv2d):
+            if layer.groups != 1:
+                # A grouped kernel flattens to (C_in/groups)*k*k rows but
+                # im2col expands C_in*k*k patch features; mapping it would
+                # only fail later with a confusing shape error.
+                raise ValueError(
+                    "grouped/depthwise convolutions cannot be macro-mapped; "
+                    "cap max_mapped_layers before the first grouped layer"
+                )
             weight_matrix = conv_weights_to_matrix(layer.weight.value)
         elif isinstance(layer, Linear):
             weight_matrix = layer.weight.value

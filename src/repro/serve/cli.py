@@ -68,6 +68,13 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                         help="flush a non-full batch after this many ms")
     parser.add_argument("--workers", type=int, default=1,
                         help="model replicas (each with its own backend)")
+    parser.add_argument("--worker-mode", default="thread",
+                        choices=("thread", "process"),
+                        help="run replicas in service threads or ship each "
+                             "replica's execution plan to its own process")
+    parser.add_argument("--profile", action="store_true",
+                        help="print each worker's per-stage (DAC/crossbar/"
+                             "ADC/digital) breakdown after the run")
     parser.add_argument("--macros-per-worker", type=int, default=8,
                         help="modelled AFPR macros per worker")
     parser.add_argument("--policy", default="round_robin", choices=available_policies(),
@@ -101,6 +108,7 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         num_workers=args.workers,
+        workers=args.worker_mode,
         macros_per_worker=args.macros_per_worker,
         policy=args.policy,
         queue_capacity=args.queue_capacity,
@@ -120,13 +128,19 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
         )
     result = run_loadtest(model, x_test, config, pattern=args.pattern,
                           rate_rps=args.rate, num_requests=args.requests,
-                          seed=args.seed)
+                          seed=args.seed, collect_profile=args.profile)
     lines = [
         f"In-process inference service: backend={args.backend} "
         f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
-        f"workers={args.workers} policy={args.policy}",
+        f"workers={args.workers} ({args.worker_mode}) policy={args.policy}",
         result.render(),
     ]
+    if args.profile and result.stage_profiles:
+        from repro.exec.cli import render_stage_profile
+
+        for index, profile in enumerate(result.stage_profiles):
+            lines.append(f"worker {index} ({args.worker_mode}):")
+            lines.append(render_stage_profile(profile))
     if getattr(args, "compare_batch1", False):
         batch1_config = dataclasses.replace(config, max_batch=1)
         batch1 = run_loadtest(model, x_test, batch1_config, pattern=args.pattern,

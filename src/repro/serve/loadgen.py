@@ -132,6 +132,8 @@ class LoadResult:
     offered_rate_rps: float
     wall_time_s: float
     failures: int
+    #: Per-worker plan-stage breakdowns, when the load test collected them.
+    stage_profiles: Optional[List[Dict[str, float]]] = None
 
     @property
     def achieved_rps(self) -> float:
@@ -208,8 +210,14 @@ async def run_open_loop(service: InferenceService, images: np.ndarray,
 def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig] = None,
                  pattern: str = "poisson", rate_rps: float = 2000.0,
                  num_requests: int = 256, seed: int = 0,
-                 time_scale: float = 1.0) -> LoadResult:
-    """Start a service, drive it with a seeded arrival process, drain, report."""
+                 time_scale: float = 1.0,
+                 collect_profile: bool = False) -> LoadResult:
+    """Start a service, drive it with a seeded arrival process, drain, report.
+
+    ``collect_profile=True`` additionally gathers every worker's plan-stage
+    breakdown (fetched from the worker processes in ``workers="process"``
+    mode) before shutting the service down.
+    """
     arrivals = make_arrivals(pattern, rate_rps, num_requests, seed=seed)
 
     async def _run() -> LoadResult:
@@ -218,6 +226,9 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
         try:
             result = await run_open_loop(service, images, arrivals,
                                          time_scale=time_scale)
+            if collect_profile:
+                result = dataclasses.replace(
+                    result, stage_profiles=await service.stage_profiles())
         finally:
             await service.stop()
         return result

@@ -52,6 +52,7 @@ class WorkerSnapshot:
     rows: int
     conversions: int
     busy_seconds: float
+    mode: str = "thread"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,7 +101,8 @@ class MetricsSnapshot:
             lines.append("per-worker load:")
             for worker in self.workers:
                 lines.append(
-                    f"  worker {worker.index}: {worker.batches} batches, "
+                    f"  worker {worker.index} ({worker.mode}): "
+                    f"{worker.batches} batches, "
                     f"{worker.rows} rows, {worker.conversions} conversions, "
                     f"busy {worker.busy_seconds * 1e6:.1f} us"
                 )

@@ -31,12 +31,20 @@ from repro.core.config import MacroConfig
 
 @dataclasses.dataclass
 class WorkerState:
-    """Scheduling-relevant state of one serving worker."""
+    """Scheduling-relevant state of one serving worker.
+
+    ``mode`` records the execution substrate the worker dispatches to —
+    ``"thread"`` for the in-loop replicas sharing the service process,
+    ``"process"`` for a dedicated interpreter on its own core running a
+    shipped execution plan.  Placement policies treat both identically; the
+    tag flows into the per-worker metrics snapshots.
+    """
 
     index: int
     accelerator: AFPRAccelerator
     assigned_rows: int = 0
     assigned_batches: int = 0
+    mode: str = "thread"
 
     @property
     def inflight_conversions(self) -> int:
@@ -137,13 +145,14 @@ class LeastLoadedScheduler(Scheduler):
 
 
 def build_worker_states(num_workers: int, macro_config: Optional[MacroConfig] = None,
-                        macros_per_worker: int = 8) -> List[WorkerState]:
+                        macros_per_worker: int = 8,
+                        mode: str = "thread") -> List[WorkerState]:
     """Create one occupancy-tracking accelerator per worker."""
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     config = macro_config if macro_config is not None else MacroConfig()
     return [
-        WorkerState(index=i,
+        WorkerState(index=i, mode=mode,
                     accelerator=AFPRAccelerator(config, num_macros=macros_per_worker))
         for i in range(num_workers)
     ]

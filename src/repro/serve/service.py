@@ -23,8 +23,10 @@ bit-identical regardless of how the batcher happened to split the traffic.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import copy
 import dataclasses
+import pickle
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -45,6 +47,110 @@ from repro.serve.batcher import (
 from repro.serve.energy import estimate_conversions_per_sample
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics, WorkerSnapshot
 from repro.serve.scheduler import WorkerState, build_worker_states, create_scheduler
+
+
+#: Execution plan owned by one process-pool worker (set by the initializer).
+_PROCESS_PLAN = None
+
+
+def _init_process_worker(payload: bytes) -> None:
+    """Process-pool initializer: unpickle the shipped execution plan.
+
+    Runs once per worker process.  The plan arrives as explicit pickle bytes
+    (not fork-inherited state) so ``workers="process"`` behaves identically
+    under every multiprocessing start method.
+    """
+    global _PROCESS_PLAN
+    _PROCESS_PLAN = pickle.loads(payload)
+
+
+def _process_ready() -> Optional[int]:
+    """Probe task: the plan's conversion counter, or None if uninitialised.
+
+    The counter is non-zero right after prepare (macro calibration spends
+    conversions), so the parent records it as the metering baseline — the
+    first served batch must not be billed for preparation, exactly as the
+    thread workers' per-forward deltas never are.
+    """
+    if _PROCESS_PLAN is None:
+        return None
+    return _PROCESS_PLAN.conversions()
+
+
+def _process_forward(images: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Run one batch on the worker's plan; returns (logits, total conversions)."""
+    return _PROCESS_PLAN.forward(images), _PROCESS_PLAN.conversions()
+
+
+def _process_profile() -> Dict[str, float]:
+    """Per-stage wall-clock breakdown of the worker's plan."""
+    return _PROCESS_PLAN.stage_profile()
+
+
+class _ThreadWorker:
+    """In-loop worker: a prepared BatchRunner driven via ``asyncio.to_thread``."""
+
+    mode = "thread"
+
+    def __init__(self, runner: BatchRunner) -> None:
+        self.runner = runner
+
+    async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Run one batch; returns (logits, measured conversions)."""
+        before = self.runner.conversions()
+        logits = await asyncio.to_thread(self.runner.forward, images)
+        return logits, self.runner.conversions() - before
+
+    async def stage_profile(self) -> Dict[str, float]:
+        """The runner's plan-stage breakdown."""
+        return self.runner.stage_profile()
+
+    async def close(self) -> None:
+        """Tear the backend off the replica."""
+        await asyncio.to_thread(self.runner.close)
+
+
+class _ProcessWorker:
+    """Out-of-process worker: a pickled plan running in its own interpreter.
+
+    One single-process executor per worker keeps batch→worker affinity (the
+    scheduler's placement decisions stay meaningful) and gives each plan a
+    real core of its own — NumPy sections that hold the GIL no longer
+    serialise against the other replicas.
+    """
+
+    mode = "process"
+
+    def __init__(self, payload: bytes) -> None:
+        self.executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=1, initializer=_init_process_worker, initargs=(payload,))
+        self._conversions_total = 0
+
+    async def start(self) -> None:
+        """Fail fast if the worker process cannot reconstruct the plan."""
+        loop = asyncio.get_running_loop()
+        baseline = await loop.run_in_executor(self.executor, _process_ready)
+        if baseline is None:
+            raise RuntimeError("process worker failed to initialise its plan")
+        self._conversions_total = baseline
+
+    async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Run one batch; returns (logits, measured conversions)."""
+        loop = asyncio.get_running_loop()
+        logits, total = await loop.run_in_executor(
+            self.executor, _process_forward, images)
+        measured = total - self._conversions_total
+        self._conversions_total = total
+        return logits, measured
+
+    async def stage_profile(self) -> Dict[str, float]:
+        """The remote plan's stage breakdown."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, _process_profile)
+
+    async def close(self) -> None:
+        """Shut the worker process down."""
+        await asyncio.to_thread(self.executor.shutdown, True)
 
 
 class ServiceClosedError(RuntimeError):
@@ -72,6 +178,14 @@ class ServeConfig:
         Flush a non-full batch this long after its oldest request.
     num_workers:
         Model replicas (each with its own prepared backend).
+    workers:
+        Worker substrate: ``"thread"`` (default) runs each replica's
+        forwards in worker threads of the service process; ``"process"``
+        builds each replica's execution plan once, pickles it and ships it
+        to a dedicated single-process executor — real cores instead of
+        GIL-shared threads, with deterministic per-worker state (replica
+        ``i`` is constructed by the same seeded recipe in both modes, so
+        served logits match the in-loop workers bit for bit).
     macros_per_worker:
         Modelled AFPR macros per worker (occupancy accounting).
     policy:
@@ -95,6 +209,7 @@ class ServeConfig:
     max_batch: int = 64
     max_wait_ms: float = 2.0
     num_workers: int = 1
+    workers: str = "thread"
     macros_per_worker: int = 8
     policy: str = "round_robin"
     queue_capacity: Optional[int] = None
@@ -113,13 +228,18 @@ class InferenceService:
                 "a backend instance cannot be shared across workers; "
                 "pass a registered backend name for num_workers > 1"
             )
+        if self.config.workers not in ("thread", "process"):
+            raise ValueError(
+                f"unknown worker mode {self.config.workers!r}; "
+                "choose 'thread' or 'process'"
+            )
         self.metrics = ServiceMetrics(
             energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
         )
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[DynamicBatcher] = None
         self._worker_states: List[WorkerState] = []
-        self._runners: List[BatchRunner] = []
+        self._workers: List[Union[_ThreadWorker, _ProcessWorker]] = []
         self._worker_queues: List[asyncio.Queue] = []
         self._tasks: List[asyncio.Task] = []
         self._scheduler = None
@@ -142,17 +262,20 @@ class InferenceService:
         self._batcher = DynamicBatcher(self._queue, max_batch=config.max_batch,
                                        max_wait_s=config.max_wait_ms / 1e3)
         self._worker_queues = []
-        self._runners = []
+        self._workers = []
         self._outstanding = 0
         self._worker_states = build_worker_states(
             config.num_workers, macro_config=config.context.macro_config,
-            macros_per_worker=config.macros_per_worker,
+            macros_per_worker=config.macros_per_worker, mode=config.workers,
         )
         self._scheduler = create_scheduler(config.policy, self._worker_states)
         try:
             for index in range(config.num_workers):
                 # Each worker serves its own replica so concurrent forwards
                 # on different workers cannot race on shared layer state.
+                # The replica recipe (deepcopy + same seeded context) is the
+                # same in both worker modes, which is what keeps process
+                # serving bit-identical to in-loop serving.
                 replica = copy.deepcopy(self.model)
                 backend = (
                     config.backend if isinstance(config.backend, ExecutionBackend)
@@ -161,14 +284,25 @@ class InferenceService:
                 runner = await asyncio.to_thread(
                     BatchRunner, replica, backend, context=config.context
                 )
-                self._runners.append(runner)
+                if config.workers == "process":
+                    # Ship the compiled plan to a dedicated interpreter; the
+                    # parent copy served only to build and pickle it.  The
+                    # worker joins the pool before its readiness probe so a
+                    # failed start still shuts its executor down below.
+                    payload = await asyncio.to_thread(pickle.dumps, runner.plan)
+                    await asyncio.to_thread(runner.close)
+                    worker: Union[_ThreadWorker, _ProcessWorker] = _ProcessWorker(payload)
+                    self._workers.append(worker)
+                    await worker.start()
+                else:
+                    self._workers.append(_ThreadWorker(runner))
                 self._worker_queues.append(asyncio.Queue())
         except Exception:
-            # A failed prepare mid-pool must not leave earlier runners
+            # A failed prepare mid-pool must not leave earlier workers
             # attached or the service half-initialised for a retry.
-            for runner in self._runners:
-                await asyncio.to_thread(runner.close)
-            self._runners = []
+            for worker in self._workers:
+                await worker.close()
+            self._workers = []
             self._worker_queues = []
             self._worker_states = []
             self._scheduler = None
@@ -208,9 +342,9 @@ class InferenceService:
                     first_error = outcome
         finally:
             self._tasks = []
-            for runner in self._runners:
-                await asyncio.to_thread(runner.close)
-            self._runners = []
+            for worker in self._workers:
+                await worker.close()
+            self._workers = []
             self._started = False
         if first_error is not None:
             # Cleanup succeeded; still surface the crash rather than hide it.
@@ -339,7 +473,7 @@ class InferenceService:
 
     async def _worker_loop(self, index: int) -> None:
         queue = self._worker_queues[index]
-        runner = self._runners[index]
+        worker = self._workers[index]
         state = self._worker_states[index]
         loop = asyncio.get_running_loop()
         while True:
@@ -349,10 +483,8 @@ class InferenceService:
             batch, estimate = item
             try:
                 inputs = stack_requests(batch)
-                conversions_before = runner.conversions()
-                logits = await asyncio.to_thread(runner.forward, inputs)
+                logits, measured = await worker.forward(inputs)
                 now = loop.time()
-                measured = runner.conversions() - conversions_before
                 # Retire the booked estimate from the in-flight gauge but
                 # credit the measured cost, so neither an optimistic nor a
                 # pessimistic estimate leaves phantom load behind.
@@ -387,9 +519,19 @@ class InferenceService:
                 rows=state.assigned_rows,
                 conversions=state.accelerator.completed_conversions,
                 busy_seconds=state.accelerator.busy_seconds,
+                mode=state.mode,
             )
             for state in self._worker_states
         ]
+
+    async def stage_profiles(self) -> List[Dict[str, float]]:
+        """Per-worker plan-stage (DAC/crossbar/ADC/digital) breakdowns.
+
+        Collect before :meth:`stop` — thread workers read their runner's
+        plan directly, process workers fetch the breakdown from the worker
+        interpreter.
+        """
+        return [await worker.stage_profile() for worker in self._workers]
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """Freeze the service metrics (latency, batching, energy, workers)."""

@@ -1,0 +1,506 @@
+"""Tests for the compiled execution-plan layer (:mod:`repro.exec.plan`).
+
+The plan's contract is *bit identity*: LUT-fused DAC/ADC kernels, pre-packed
+tiles and compiled quantisers must reproduce the generic execution paths bit
+for bit — including round-to-nearest-even ties, FP8 underflow/overflow codes
+and the stochastic read-noise draws — while being measurably faster.  These
+tests pin that contract at every level: the LUT primitives, single tiles,
+multi-tile layers, whole-model plans on all four backends, pickled plans,
+and process-pool serving.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import ADCConfig, DACConfig, MacroConfig, hardware_activation_format
+from repro.core.fp_adc import FPADC
+from repro.core.fp_dac import FPDAC
+from repro.core.macro import AFPRMacro
+from repro.core.mapping import MappedLayer
+from repro.exec import (
+    AnalogBackend,
+    BatchRunner,
+    CompiledMappedLayer,
+    ExecutionContext,
+    StageProfile,
+    available_backends,
+    run_model,
+)
+from repro.exec.plan import CompiledTile, TileNotCompilable
+from repro.formats.fp8 import (
+    E2M5,
+    E3M4,
+    BucketIndexer,
+    quantization_lut,
+    quantize_via_lut,
+    refine_step_boundaries,
+)
+from repro.formats.quantizer import (
+    CalibrationMethod,
+    FloatQuantizer,
+    IntQuantizer,
+    LUTFloatQuantizer,
+    compile_quantizer,
+)
+from repro.nn import DatasetConfig, SGD, Sequential, SyntheticImageDataset, Trainer
+from repro.nn.layers import Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU
+from repro.rram.device import RRAMStatistics
+
+
+def quiet_stats(**overrides):
+    defaults = dict(programming_sigma=0.01, read_noise_sigma=0.005,
+                    drift_coefficient=0.0,
+                    stuck_at_lrs_probability=0.0, stuck_at_hrs_probability=0.0)
+    defaults.update(overrides)
+    return RRAMStatistics(**defaults)
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """float64 equality down to the bit pattern (NaNs and signed zeros too)."""
+    a, b = np.asarray(a, np.float64), np.asarray(b, np.float64)
+    return a.shape == b.shape and np.array_equal(a.view(np.int64), b.view(np.int64))
+
+
+# ----------------------------------------------------------------------
+# LUT primitives
+# ----------------------------------------------------------------------
+class TestBucketIndexer:
+    def test_matches_searchsorted_everywhere(self):
+        rng = np.random.default_rng(0)
+        bounds = np.sort(rng.uniform(0.1, 10.0, size=40))
+        indexer = BucketIndexer(bounds)
+        values = np.concatenate([
+            rng.uniform(0.0, 11.0, size=10000),
+            bounds, np.nextafter(bounds, 0.0), np.nextafter(bounds, np.inf),
+            [0.0, bounds[-1]],
+        ])
+        assert np.array_equal(indexer(values),
+                              np.searchsorted(bounds, values, side="right"))
+
+    def test_fallback_for_huge_dynamic_range(self):
+        bounds = np.array([1e-300, 1.0, 1e300])
+        indexer = BucketIndexer(bounds)
+        assert indexer._coarse is None  # grid infeasible -> searchsorted
+        v = np.array([0.0, 1e-300, 0.5, 2.0, 1e300])
+        assert np.array_equal(indexer(v), np.searchsorted(bounds, v, side="right"))
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            BucketIndexer(np.array([2.0, 1.0]))
+
+
+class TestRefineStepBoundaries:
+    def test_exact_threshold_recovery(self):
+        # A step function with known float thresholds: floor(4x) buckets.
+        def classify(v):
+            return np.floor(np.asarray(v, dtype=np.float64) * 4.0).astype(np.int64)
+
+        candidates = np.array([0.25, 0.5, 0.75]) + 1e-13  # deliberately off
+        bounds = refine_step_boundaries(candidates, classify)
+        assert bounds.size == 3
+        for b in bounds:
+            assert classify(b) > classify(np.nextafter(b, 0.0))
+
+    def test_empty_bucket_candidates_dropped(self):
+        def classify(v):
+            return (np.asarray(v, dtype=np.float64) >= 1.0).astype(np.int64)
+
+        bounds = refine_step_boundaries(np.array([0.5, 1.0, 1.5]), classify)
+        assert bounds.size == 1 and bounds[0] == 1.0
+
+
+class TestQuantizeViaLUT:
+    @pytest.mark.parametrize("fmt", [E2M5, E3M4,
+                                     hardware_activation_format(2, 5),
+                                     hardware_activation_format(3, 4)])
+    def test_bit_identical_to_quantize(self, fmt):
+        indexer, values = quantization_lut(fmt)
+        bounds = indexer.bounds
+        rng = np.random.default_rng(3)
+        x = np.concatenate([
+            rng.standard_normal(20000) * 10,
+            rng.standard_normal(2000) * 1e-3,  # subnormal / underflow region
+            bounds, -bounds,
+            np.nextafter(bounds, -np.inf), np.nextafter(bounds, np.inf),
+            values, -values,
+            [0.0, -0.0, np.inf, -np.inf, 1e308, -1e308, 5e-324, np.nan],
+        ])
+        with np.errstate(over="ignore"):  # 5e-324 overflows the reference's
+            reference = fmt.quantize(x)   # mag/step divide; outcome is exact
+            fast = quantize_via_lut(fmt, x)
+        assert bitwise_equal(reference, fast)
+
+    def test_compile_quantizer_swaps_float_and_keeps_int(self):
+        fq = FloatQuantizer(fmt=E2M5)
+        fq.calibrate(np.linspace(-3, 3, 100))
+        compiled = compile_quantizer(fq)
+        assert isinstance(compiled, LUTFloatQuantizer)
+        assert compiled.scale == fq.scale
+        x = np.random.default_rng(0).standard_normal(5000)
+        assert bitwise_equal(fq.quantize(x), compiled.quantize(x))
+
+        iq = IntQuantizer()
+        assert compile_quantizer(iq) is iq
+        pct = FloatQuantizer(fmt=E2M5, method=CalibrationMethod.PERCENTILE)
+        assert isinstance(compile_quantizer(pct), LUTFloatQuantizer)
+
+
+class TestDACVoltageLUT:
+    @pytest.mark.parametrize("config", [
+        DACConfig(),
+        DACConfig(exponent_bits=3, mantissa_bits=4),
+        DACConfig(reference_mismatch_sigma=0.01, pga_gain_error_sigma=0.005, seed=5),
+    ])
+    def test_bit_identical_to_convert_value(self, config):
+        dac = FPDAC(config)
+        indexer, table = dac.voltage_lut()
+        rng = np.random.default_rng(4)
+        values = np.concatenate([
+            rng.uniform(0.0, config.max_code_value * 1.2, size=20000),
+            rng.uniform(0.0, 1.2, size=5000),  # flush-to-zero region
+            indexer.bounds, np.nextafter(indexer.bounds, 0.0),
+            [0.0, config.max_code_value],
+        ])
+        reference = dac.convert_value(np.clip(values, 0.0, config.max_code_value))
+        fast = table[indexer(np.minimum(values, indexer.bounds[-1]))]
+        assert bitwise_equal(reference, fast)
+
+    def test_stochastic_output_stage_declines(self):
+        assert FPDAC(DACConfig(output_noise_rms=1e-4)).voltage_lut() is None
+
+    def test_static_mismatch_shared_between_identical_configs(self):
+        config = DACConfig(reference_mismatch_sigma=0.01, seed=9)
+        assert FPDAC(config).reference is FPDAC(config).reference
+        other = DACConfig(reference_mismatch_sigma=0.01, seed=10)
+        assert FPDAC(config).reference is not FPDAC(other).reference
+
+
+class TestADCConversionLUT:
+    @pytest.mark.parametrize("config", [
+        ADCConfig(),
+        ADCConfig(exponent_bits=3, mantissa_bits=4),
+        ADCConfig(unit_capacitance=37e-15),
+    ])
+    def test_bit_identical_to_convert(self, config):
+        adc = FPADC(config, channels=8)
+        lut = adc.conversion_lut()
+        fs = adc.full_scale_current
+        rng = np.random.default_rng(5)
+        currents = np.concatenate([
+            rng.uniform(-0.1 * fs, 1.3 * fs, size=20000),  # incl. overflow
+            rng.uniform(0.0, 0.02 * fs, size=5000),        # underflow region
+            lut.indexer.bounds / config.integration_time,
+            np.nextafter(lut.indexer.bounds, 0.0) / config.integration_time,
+            [0.0, fs, 2.0 * fs],
+        ]).reshape(-1, 1)
+        currents = np.tile(currents, (1, 4))
+        reference = adc.convert(currents)
+        charge = np.clip(currents, 0.0, None) * config.integration_time
+        rank = lut.indexer(np.minimum(charge, lut.max_charge))
+        assert bitwise_equal(reference.value, lut.values[rank])
+        assert np.array_equal(reference.saturated, lut.saturated[rank])
+        assert np.array_equal(reference.underflow, lut.underflow[rank])
+
+    @pytest.mark.parametrize("config", [
+        ADCConfig(comparator_noise=1e-4),
+        ADCConfig(comparator_offset=0.01),
+        ADCConfig(capacitor_mismatch_sigma=0.01),
+        ADCConfig(subnormal_readout=True),
+    ])
+    def test_stochastic_or_nonmonotone_configs_decline(self, config):
+        assert FPADC(config, channels=4).conversion_lut() is None
+
+
+# ----------------------------------------------------------------------
+# Tile and layer level
+# ----------------------------------------------------------------------
+def programmed_macro_pair(config=None, in_features=48, out_features=12, seed=11):
+    """Two identically-constructed macros (generic vs. to-be-compiled)."""
+    config = config if config is not None else MacroConfig(
+        device_statistics=quiet_stats())
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((in_features, out_features)) * 0.2
+    calibration = np.abs(rng.standard_normal((16, in_features)))
+    macros = []
+    for _ in range(2):
+        macro = AFPRMacro(config, rng=np.random.default_rng(seed))
+        macro.program_weights(weights)
+        macro.calibrate(calibration)
+        macros.append(macro)
+    return macros
+
+
+class TestCompiledTile:
+    def test_bit_identical_including_sign_passes(self):
+        generic, compiled_host = programmed_macro_pair()
+        tile = CompiledTile(compiled_host, StageProfile())
+        rng = np.random.default_rng(12)
+        acts = rng.standard_normal((20, generic.in_features))  # mixed signs
+        assert bitwise_equal(generic.matvec(acts), tile.matvec(acts))
+        assert generic.stats.conversions == compiled_host.stats.conversions
+
+    def test_bit_identical_on_underflow_and_overflow_codes(self):
+        # Activations spanning far beyond the calibrated range exercise DAC
+        # saturation, flush-to-zero, ADC saturation and ADC underflow codes.
+        generic, compiled_host = programmed_macro_pair()
+        tile = CompiledTile(compiled_host, StageProfile())
+        rng = np.random.default_rng(13)
+        base = rng.standard_normal((24, generic.in_features))
+        extremes = np.concatenate([
+            base * 1e3,   # overflow: DAC and ADC saturation
+            base * 1e-5,  # underflow: flush-to-zero and sub-threshold charge
+            base,
+        ])
+        out_generic = generic.matvec(extremes)
+        out_compiled = tile.matvec(extremes)
+        assert bitwise_equal(out_generic, out_compiled)
+        assert generic.stats.adc_saturations == compiled_host.stats.adc_saturations
+        assert generic.stats.adc_underflows == compiled_host.stats.adc_underflows
+        assert generic.stats.adc_saturations > 0
+        assert generic.stats.adc_underflows > 0
+
+    def test_offset_mapping_with_clipped_dac_voltages_bit_identical(self):
+        # Offset (non-differential) mapping removes the common-mode current
+        # using the voltage sum taken *before* the crossbar input clip; a
+        # PGA gain error pushes some DAC outputs past v_input_max, so this
+        # pins the compiled tile to the generic path's pre-clip sum.
+        config = MacroConfig(
+            differential_columns=False,
+            device_statistics=quiet_stats(),
+            dac=DACConfig(pga_gain_error_sigma=0.05, seed=3),
+        )
+        generic, compiled_host = programmed_macro_pair(config=config)
+        dac_table = compiled_host.dac.voltage_lut()[1]
+        assert np.max(dac_table) > config.dac.v_full_scale  # clip engages
+        tile = CompiledTile(compiled_host, StageProfile())
+        rng = np.random.default_rng(17)
+        acts = rng.standard_normal((16, generic.in_features))
+        assert bitwise_equal(generic.matvec(acts), tile.matvec(acts))
+
+    def test_blocked_batches_match(self):
+        generic, compiled_host = programmed_macro_pair(in_features=8, out_features=4)
+        tile = CompiledTile(compiled_host, StageProfile())
+        rows = AFPRMacro.ANALOG_PASS_BLOCK_ROWS + 37  # forces block split
+        rng = np.random.default_rng(14)
+        acts = rng.standard_normal((rows, 8))
+        assert bitwise_equal(generic.matvec(acts), tile.matvec(acts))
+
+    def test_non_vectorized_readout_declines(self):
+        macro, _ = programmed_macro_pair()
+        macro.vectorized_readout = False
+        with pytest.raises(TileNotCompilable):
+            CompiledTile(macro, StageProfile())
+
+
+class TestCompiledMappedLayer:
+    def test_multi_tile_layer_bit_identical(self):
+        # 600 input features x 150 outputs: two row tiles (576 + 24) and two
+        # column tiles (128 + 22), exercising the routing adder across both.
+        config = MacroConfig(device_statistics=quiet_stats())
+        rng = np.random.default_rng(15)
+        weights = rng.standard_normal((600, 150)) * 0.1
+        calibration = np.abs(rng.standard_normal((8, 600)))
+        generic = MappedLayer(weights, macro_config=config)
+        generic.calibrate(calibration)
+        host = MappedLayer(weights, macro_config=config)
+        host.calibrate(calibration)
+        compiled = CompiledMappedLayer(host, StageProfile())
+        assert len(host.macros) == 4
+        assert compiled.compiled_tiles == 4
+
+        acts = rng.standard_normal((10, 600))
+        assert bitwise_equal(generic.forward(acts), compiled.forward(acts))
+        assert generic.total_conversions() == compiled.total_conversions()
+        # Routing-adder accounting matches too (FP16 accumulation ran).
+        assert generic.routing_adder.additions == host.routing_adder.additions
+
+    def test_stochastic_tiles_fall_back_but_still_match(self):
+        # DAC output noise forces the generic fallback inside the compiled
+        # layer; results still match because it *is* the generic path.
+        config = MacroConfig(device_statistics=quiet_stats(),
+                             dac=DACConfig(output_noise_rms=1e-5))
+        rng = np.random.default_rng(16)
+        weights = rng.standard_normal((32, 8)) * 0.1
+        calibration = np.abs(rng.standard_normal((8, 32)))
+        generic = MappedLayer(weights, macro_config=config)
+        generic.calibrate(calibration)
+        host = MappedLayer(weights, macro_config=config)
+        host.calibrate(calibration)
+        compiled = CompiledMappedLayer(host, StageProfile())
+        assert compiled.compiled_tiles == 0
+        acts = rng.standard_normal((6, 32))
+        assert bitwise_equal(generic.forward(acts), compiled.forward(acts))
+
+
+# ----------------------------------------------------------------------
+# Whole-model plans
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def plan_setup():
+    """A trained CNN (with a >576-feature Linear → multi-tile mapping)."""
+    dataset = SyntheticImageDataset(DatasetConfig(num_classes=4, image_size=14,
+                                                  noise_sigma=0.3, seed=31))
+    x_train, y_train, x_test, y_test = dataset.train_test_split(192, 32)
+    model = Sequential(
+        Flatten(),
+        Linear(588, 150, rng=np.random.default_rng(0)),
+        ReLU(),
+        Linear(150, 4, rng=np.random.default_rng(1)),
+    )
+    Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32).fit(
+        x_train, y_train, epochs=1
+    )
+    return model, x_train, x_test, y_test
+
+
+def plan_context(x_train, **overrides):
+    defaults = dict(
+        calibration=x_train[:12],
+        macro_config=MacroConfig(device_statistics=quiet_stats()),
+        max_mapped_layers=1,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ExecutionContext(**defaults)
+
+
+class TestModelPlan:
+    @pytest.mark.parametrize("backend", ["ideal", "fake_quant", "fast_noise", "analog"])
+    def test_planned_bit_identical_to_generic_all_backends(self, plan_setup, backend):
+        model, x_train, x_test, y_test = plan_setup
+        context = plan_context(x_train)
+        planned = run_model(model, x_test, y_test, backend=backend, context=context)
+        generic = run_model(model, x_test, y_test, backend=backend,
+                            context=plan_context(x_train, compile_plan=False))
+        assert bitwise_equal(planned.logits, generic.logits), backend
+        assert planned.conversions == generic.conversions
+        assert planned.accuracy == generic.accuracy
+
+    def test_registered_backends_are_the_expected_four(self):
+        assert set(available_backends()) == {"ideal", "fake_quant",
+                                             "fast_noise", "analog"}
+
+    def test_multi_tile_model_plan_compiles_all_tiles(self, plan_setup):
+        model, x_train, x_test, _ = plan_setup
+        backend = AnalogBackend()
+        runner = BatchRunner(model, backend, context=plan_context(x_train))
+        try:
+            adapter = backend._mapped.adapters[0]
+            assert isinstance(adapter.mapped, CompiledMappedLayer)
+            assert adapter.mapped.compiled_tiles == len(adapter.mapped.tiles) == 4
+            logits = runner.forward(x_test[:8])
+            assert logits.shape == (8, 4)
+            profile = runner.stage_profile()
+            assert profile["dac_s"] > 0 and profile["adc_s"] > 0
+        finally:
+            runner.close()
+        # close() restored the generic mapped layer and the layer forwards.
+        assert not isinstance(adapter.mapped, CompiledMappedLayer)
+        for layer in model.matmul_layers():
+            assert "forward" not in layer.__dict__
+            assert layer.quantization is None
+
+    def test_plan_survives_pickling_bit_identically(self, plan_setup):
+        import copy
+
+        model, x_train, x_test, _ = plan_setup
+        replica = copy.deepcopy(model)
+        runner = BatchRunner(replica, "analog", context=plan_context(x_train))
+        try:
+            clone = pickle.loads(pickle.dumps(runner.plan))
+            a = runner.plan.forward(x_test[:6])
+            b = clone.forward(x_test[:6])
+            assert bitwise_equal(a, b)
+            assert runner.conversions() == clone.conversions()
+        finally:
+            runner.close()
+
+    def test_prepared_backend_reuse_still_caches(self, plan_setup):
+        # Passing the same analog backend instance to successive runners
+        # must keep reusing the programmed macros (no re-programming).
+        model, x_train, x_test, _ = plan_setup
+        backend = AnalogBackend()
+        context = plan_context(x_train)
+        r1 = BatchRunner(model, backend, context=context)
+        mapped_first = backend._mapped
+        r1.close()
+        r2 = BatchRunner(model, backend, context=context)
+        try:
+            assert backend._mapped is mapped_first
+        finally:
+            r2.close()
+
+    def test_report_carries_stage_profile(self, plan_setup):
+        model, x_train, x_test, _ = plan_setup
+        report = run_model(model, x_test[:8], backend="analog",
+                           context=plan_context(x_train))
+        assert report.stage_profile is not None
+        assert report.stage_profile["total_s"] > 0
+        generic = run_model(model, x_test[:8], backend="analog",
+                            context=plan_context(x_train, compile_plan=False))
+        assert generic.stage_profile["dac_s"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Process-pool serving
+# ----------------------------------------------------------------------
+class TestProcessServing:
+    def test_process_pool_reproduces_in_loop_logits(self, plan_setup):
+        from repro.serve import ServeConfig, serve_requests
+
+        model, x_train, x_test, _ = plan_setup
+        context = plan_context(x_train,
+                               macro_config=MacroConfig(
+                                   device_statistics=quiet_stats(
+                                       programming_sigma=0.0,
+                                       read_noise_sigma=0.0),
+                                   read_noise_enabled=False))
+        images = x_test[:16]
+        in_loop, _ = serve_requests(
+            model, images, ServeConfig(backend="analog", max_batch=16,
+                                       context=context, workers="thread"))
+        process, snapshot = serve_requests(
+            model, images, ServeConfig(backend="analog", max_batch=16,
+                                       context=context, workers="process"))
+        assert bitwise_equal(in_loop, process)
+        assert all(worker.mode == "process" for worker in snapshot.workers)
+
+    def test_process_multiworker_matches_thread_multiworker(self, plan_setup):
+        from repro.serve import ServeConfig, serve_requests
+
+        model, x_train, x_test, _ = plan_setup
+        context = plan_context(x_train)
+        images = x_test[:24]
+        thread, _ = serve_requests(
+            model, images, ServeConfig(backend="fake_quant", max_batch=8,
+                                       num_workers=2, policy="round_robin",
+                                       context=context, workers="thread"))
+        process, _ = serve_requests(
+            model, images, ServeConfig(backend="fake_quant", max_batch=8,
+                                       num_workers=2, policy="round_robin",
+                                       context=context, workers="process"))
+        assert bitwise_equal(thread, process)
+
+    def test_process_conversion_metering_matches_thread_mode(self, plan_setup):
+        # Prepare-time calibration spends conversions before any batch is
+        # served; neither worker mode may bill them to the first batch.
+        from repro.serve import ServeConfig, serve_requests
+
+        model, x_train, x_test, _ = plan_setup
+        context = plan_context(x_train)
+        images = x_test[:8]
+        snapshots = {}
+        for mode in ("thread", "process"):
+            _, snapshots[mode] = serve_requests(
+                model, images, ServeConfig(backend="analog", max_batch=8,
+                                           context=context, workers=mode))
+        assert snapshots["thread"].conversions == snapshots["process"].conversions
+
+    def test_unknown_worker_mode_rejected(self, plan_setup):
+        from repro.serve import InferenceService, ServeConfig
+
+        model, _, _, _ = plan_setup
+        with pytest.raises(ValueError, match="worker mode"):
+            InferenceService(model, ServeConfig(workers="fiber"))

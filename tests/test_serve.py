@@ -314,10 +314,13 @@ class TestInferenceService:
         assert np.array_equal(logits, direct.logits)
 
     @pytest.mark.slow
-    def test_served_logits_bit_identical_exact_batch_all_backends(self, trained_setup):
+    @pytest.mark.parametrize("worker_mode", ["thread", "process"])
+    def test_served_logits_bit_identical_exact_batch_all_backends(
+            self, trained_setup, worker_mode):
         # When the coalesced batch equals the direct batch, every registered
         # backend — including the batch-sensitive analog path — serves
-        # bit-identical logits.
+        # bit-identical logits, whether the replica runs in a worker thread
+        # or as a shipped execution plan in its own process.
         from repro.exec import available_backends
 
         model, x_train, x_test, _ = trained_setup
@@ -328,7 +331,8 @@ class TestInferenceService:
         for backend in available_backends():
             logits, _ = serve_requests(
                 model, images,
-                ServeConfig(backend=backend, max_batch=32, context=context))
+                ServeConfig(backend=backend, max_batch=32, context=context,
+                            workers=worker_mode))
             direct = run_model(model, images, backend=backend,
                                context=context, batch_size=32)
             assert np.array_equal(logits, direct.logits), backend
