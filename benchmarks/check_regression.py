@@ -1,0 +1,139 @@
+"""CI perf-regression gate: diff fresh ``BENCH_*.json`` against baselines.
+
+The bench-smoke job measures the benchmark suite on whatever runner it got,
+writes fresh ``BENCH_exec.json`` / ``BENCH_serve.json`` trajectories, and
+then runs this script against the baselines committed under
+``benchmarks/baselines/``.  Absolute wall times are machine-dependent, so
+the gate compares the **speedup ratios** — code-domain vs float plan,
+compiled plan vs generic, shared-memory vs pickle transport, dynamic
+batching vs batch-1 — which are measured within one run on one machine and
+therefore travel across runners.  A fresh ratio dropping more than its
+per-key floor below the committed baseline (20-50% depending on the
+ratio's observed variance; ``--threshold`` overrides all of them) fails
+the job.
+
+Refresh the baselines intentionally (and commit the diff) after a change
+that legitimately moves them::
+
+    BENCH_SMOKE=1 BENCH_OUTPUT_DIR=benchmarks/baselines PYTHONPATH=src \
+        python -m pytest benchmarks/bench_exec_backends.py benchmarks/bench_serve.py -q
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh bench-results \
+        [--baselines benchmarks/baselines] [--threshold 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: file stem -> {ratio key: allowed fractional drop below baseline}.  The
+#: per-key floors reflect each ratio's observed cross-run variance: the
+#: code-domain and transport ratios are steady-state interleaved best-of-N
+#: measurements (stable within ~10%) and get a tight floor; plan_speedup
+#: divides two separately-timed runs and swings more with machine load; the
+#: dynamic-batching ratios time whole asyncio serving runs whose batch-1
+#: side is hundreds of tiny forwards — run-to-run variance of 25%+ on one
+#: machine is normal, so their floor is widest.  Every guarded ratio also
+#: carries a hard absolute assert inside its benchmark, so widening a floor
+#: here never lets an outright failure through.
+GUARDED_RATIOS: Dict[str, Dict[str, float]] = {
+    "BENCH_exec.json": {"code_domain_speedup": 0.25, "plan_speedup": 0.4},
+    "BENCH_serve.json": {"transport_speedup": 0.25,
+                         "modes.thread.speedup": 0.5,
+                         "modes.process.speedup": 0.5},
+}
+
+
+def _lookup(document: dict, dotted: str):
+    value = document
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def compare(fresh_dir: str, baseline_dir: str,
+            threshold: Optional[float] = None) -> Tuple[List[str], List[str]]:
+    """Return (report lines, failure lines) for all guarded ratios."""
+    lines: List[str] = []
+    failures: List[str] = []
+    compared = 0
+    for filename, keys in GUARDED_RATIOS.items():
+        fresh_path = os.path.join(fresh_dir, filename)
+        baseline_path = os.path.join(baseline_dir, filename)
+        if not os.path.exists(baseline_path):
+            lines.append(f"{filename}: no committed baseline, skipping")
+            continue
+        if not os.path.exists(fresh_path):
+            failures.append(f"{filename}: fresh trajectory missing from "
+                            f"{fresh_dir} (benchmarks did not run?)")
+            continue
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        for key, key_threshold in keys.items():
+            fresh_value = _lookup(fresh, key)
+            base_value = _lookup(baseline, key)
+            if base_value is None or base_value <= 0:
+                lines.append(f"{filename}:{key}: not in the baseline, skipping")
+                continue
+            if fresh_value is None:
+                # A baselined ratio the fresh run did not measure means the
+                # gate silently stopped guarding it (filtered bench run,
+                # renamed key) — fail loudly instead.
+                failures.append(
+                    f"{filename}:{key} is baselined but missing from the "
+                    f"fresh trajectory (did the benchmark run completely?)")
+                continue
+            compared += 1
+            drop = key_threshold if threshold is None else threshold
+            floor = base_value * (1.0 - drop)
+            verdict = "ok" if fresh_value >= floor else "REGRESSION"
+            lines.append(
+                f"{filename}:{key}: fresh {fresh_value:.2f}x vs baseline "
+                f"{base_value:.2f}x (floor {floor:.2f}x) {verdict}"
+            )
+            if fresh_value < floor:
+                failures.append(
+                    f"{filename}:{key} regressed: {fresh_value:.2f}x < "
+                    f"{floor:.2f}x ({(1 - fresh_value / base_value) * 100:.0f}% "
+                    f"below the committed baseline)"
+                )
+    if compared == 0:
+        failures.append("no ratios compared — baselines or fresh results missing")
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding the freshly measured BENCH_*.json")
+    parser.add_argument("--baselines", default="benchmarks/baselines",
+                        help="directory holding the committed baselines")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="override the allowed fractional drop below "
+                             "baseline for every ratio (e.g. 0.05 = strict "
+                             "5%%); default: each ratio's own floor")
+    args = parser.parse_args(argv)
+    lines, failures = compare(args.fresh, args.baselines, args.threshold)
+    for line in lines:
+        print(line)
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

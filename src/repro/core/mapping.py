@@ -43,25 +43,42 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def im2col(inputs: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+def im2col(inputs: np.ndarray, kernel: int, stride: int = 1, padding: int = 0,
+           dtype=np.float64, out: Optional[np.ndarray] = None,
+           pad_buffer: Optional[np.ndarray] = None) -> np.ndarray:
     """Expand NCHW inputs into convolution patches.
 
     Returns an array of shape ``(N * H_out * W_out, C * kernel * kernel)``
     whose rows are the flattened receptive fields, ready to be multiplied by
     a ``(C * k * k, C_out)`` weight matrix.
+
+    ``dtype`` is the working dtype (``None`` keeps the input's own dtype —
+    the code-domain execution plan expands uint16 FP8 activation codes, 4x
+    less memory traffic than float64).  ``out`` (a C-contiguous
+    ``(N, H_out, W_out, C, kernel, kernel)`` staging buffer) and
+    ``pad_buffer`` (``(N, C, H+2p, W+2p)``) let callers reuse arena slabs
+    across batches instead of allocating per call; values are identical
+    either way.
     """
-    inputs = np.asarray(inputs, dtype=np.float64)
+    inputs = np.asarray(inputs) if dtype is None else np.asarray(inputs, dtype=dtype)
     if inputs.ndim != 4:
         raise ValueError("inputs must be NCHW")
     n, c, h, w = inputs.shape
     h_out = conv_output_size(h, kernel, stride, padding)
     w_out = conv_output_size(w, kernel, stride, padding)
     if padding > 0:
-        inputs = np.pad(
-            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
-        )
+        if pad_buffer is not None:
+            pad_buffer.fill(0)
+            pad_buffer[:, :, padding:padding + h, padding:padding + w] = inputs
+            inputs = pad_buffer
+        else:
+            inputs = np.pad(
+                inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                mode="constant"
+            )
     # Gather patches with stride tricks-free indexing (clear over clever).
-    patches = np.empty((n, h_out, w_out, c, kernel, kernel), dtype=np.float64)
+    patches = (out if out is not None
+               else np.empty((n, h_out, w_out, c, kernel, kernel), dtype=inputs.dtype))
     for i in range(kernel):
         i_end = i + stride * h_out
         for j in range(kernel):

@@ -43,19 +43,28 @@ def build_run_parser() -> argparse.ArgumentParser:
                         help="print the plan's per-stage wall-clock breakdown")
     parser.add_argument("--no-plan", action="store_true",
                         help="run the generic kernels instead of the compiled plan")
+    parser.add_argument("--no-code-domain", action="store_true",
+                        help="keep the float-domain compiled kernels (the "
+                             "PR-3 plan behaviour) instead of code-domain "
+                             "execution")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the model, data and backend")
     return parser
 
 
 def render_stage_profile(profile: dict) -> str:
-    """Render a stage-profile dict through :class:`StageProfile`."""
+    """Render a stage-profile dict through :class:`StageProfile`.
+
+    The rendering carries a percent-of-total column for every stage and a
+    ``transport`` row whenever process-worker transport time was metered.
+    """
     return StageProfile(
         dac_s=profile.get("dac_s", 0.0),
         crossbar_s=profile.get("crossbar_s", 0.0),
         adc_s=profile.get("adc_s", 0.0),
         total_s=profile.get("total_s", 0.0),
         forwards=int(profile.get("forwards", 0)),
+        transport_s=profile.get("transport_s", 0.0),
     ).render()
 
 
@@ -73,6 +82,7 @@ def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
         batch_size=args.batch_size,
         seed=args.seed,
         compile_plan=not args.no_plan,
+        code_domain=not args.no_code_domain,
     )
     if args.backend == "ideal":
         context = dataclasses.replace(context, calibration=None)
@@ -83,7 +93,7 @@ def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
         f"({report.samples_per_second:.1f} samples/s), "
         f"prepare {report.prepare_time_s * 1e3:.1f} ms, "
         f"{report.conversions} conversions, "
-        f"plan={'off' if args.no_plan else 'on'}",
+        f"plan={report.plan_mode}",
     ]
     if args.profile and report.stage_profile is not None:
         lines.append(render_stage_profile(report.stage_profile))

@@ -85,6 +85,18 @@ class BatchRunner:
             raise RuntimeError("BatchRunner is closed")
         return self.plan.forward(images)
 
+    @property
+    def plan_mode(self) -> str:
+        """``"code-domain"``, ``"float-plan"`` or ``"generic"`` execution.
+
+        ``generic`` also covers compiled plans that had nothing to compile
+        (the ``ideal`` backend, or analog configs whose every tile fell
+        back) — no plan kernels actually ran there.
+        """
+        if not getattr(self.context, "compile_plan", True) or not self.plan.compiled:
+            return "generic"
+        return "code-domain" if self.plan.code_domain else "float-plan"
+
     def conversions(self) -> int:
         """Analog macro conversions spent so far by the backend."""
         return self.plan.conversions()
@@ -153,6 +165,7 @@ def run_model(model: Model, images: np.ndarray,
         )
         conversions = runner.conversions() - conversions_before
         profile = runner.stage_profile()
+        plan_mode = runner.plan_mode
     finally:
         runner.close()
 
@@ -166,6 +179,7 @@ def run_model(model: Model, images: np.ndarray,
         accuracy=top1,
         conversions=conversions,
         stage_profile=profile,
+        plan_mode=plan_mode,
     )
 
 

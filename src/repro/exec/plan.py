@@ -10,24 +10,47 @@ context)``:
   conductance block packed contiguous, the DAC's 2^8 code→voltage transfer
   and the ADC's charge→code conversion baked into lookup tables
   (:meth:`~repro.core.fp_dac.FPDAC.voltage_lut`,
-  :meth:`~repro.core.fp_adc.FPADC.conversion_lut`), and scratch reused
-  across batches;
+  :meth:`~repro.core.fp_adc.FPADC.conversion_lut`);
+* compiled layers run in the **code domain**: the layer input is encoded
+  *once* at the layer boundary into FP8 activation codes (sign + the DAC's
+  7-bit exponent/mantissa rank, plus the zero-detect level, stored as
+  uint16), and the codes thread through im2col, the two sign passes and
+  every tile of the layer.  Each tile's quantiser (flush-to-zero, RNE
+  rounding, saturation — the DAC bucket indexer) is composed with its
+  reference-ladder/PGA voltage reconstruction and the crossbar input clip
+  into one signed code→voltage table (and a code→raw-voltage twin for
+  offset mapping) at compile time, so ``_analog_pass`` performs zero
+  per-batch bucket ranking — conv layers even expand patches as uint16
+  code gathers, 4x less memory traffic than float64 im2col;
+* planned execution is **allocation-free** in steady state: a per-plan
+  :class:`PlanArena` provides reusable scratch slabs for the DAC gathers,
+  the crossbar matmul, the charge clip, the ADC gather and the blocked-row
+  path (which writes block slices into one arena output instead of
+  recursively concatenating), and im2col / code staging reuses the same
+  slabs across batches;
 * fake-quant adapters get LUT-compiled quantisers
-  (:func:`repro.formats.quantizer.compile_quantizer`);
-* per-layer tile/column index sets are precomputed so the forward walks
-  plain arrays instead of re-deriving the mapping.
+  (:func:`repro.formats.quantizer.compile_quantizer`).
 
 The compiled fast paths are **bit-identical** to the generic ones — the
 lookup tables are built with exact boundary refinement
-(:func:`repro.formats.fp8.refine_step_boundaries`) and stochastic parts
-(crossbar read noise) keep drawing from the same generators in the same
-order — so a plan is a pure speedup, not an approximation.  Tiles whose
+(:func:`repro.formats.fp8.refine_step_boundaries`), the code domain is an
+exact re-encoding of the float activations (`|x|` ranks identically to the
+sign-split parts the generic path ranks), and stochastic parts (crossbar
+read noise) keep drawing from the same generators in the same order and
+shapes — so a plan is a pure speedup, not an approximation.  Tiles whose
 configuration breaks those guarantees (DAC output noise, ADC comparator
-noise/offset, capacitor mismatch, non-vectorised readout) transparently fall
-back to the generic macro path.
+noise/offset, capacitor mismatch, non-vectorised readout) transparently
+fall back to the generic macro path, and a layer whose row tiles cannot
+share one code table falls back to the float-domain compiled kernels for
+exactly those rows.  ``ExecutionContext.code_domain=False`` keeps the
+float-domain compiled kernels everywhere (the PR-3 plan behaviour); the
+cross-layer digital ops (bias, activation, pooling, routing-adder FP16
+accumulation) stay in the float domain by construction, which is what
+pins bit identity against the generic kernels.
 
 Plans are picklable, which is what lets :mod:`repro.serve` ship one to each
-process of a ``workers="process"`` pool and run replicas on real cores.
+process of a ``workers="process"`` pool and run replicas on real cores (the
+arena's scratch slabs are dropped on pickling and regrown by the worker).
 """
 
 from __future__ import annotations
@@ -42,19 +65,65 @@ from repro.core.macro import AFPRMacro
 from repro.core.mapping import MappedLayer, conv_output_size, im2col
 from repro.exec.backend import ExecutionBackend, ExecutionContext
 from repro.exec.backends import AnalogBackend, FakeQuantBackend
+from repro.formats.fp8 import quantization_lut, quantize_via_lut
 from repro.formats.quantizer import compile_quantizer
 from repro.nn.layers import Conv2d, Layer, Linear
 from repro.nn.model import Model
+
+
+class PlanArena:
+    """Named, growable scratch slabs shared by one plan's compiled kernels.
+
+    ``take(name, shape, dtype)`` returns a dense view of a cached flat slab,
+    growing it when a larger request arrives (first batch, or a bigger batch
+    than seen before) and reusing it allocation-free afterwards.  Names are
+    namespaced by their tile / layer, so two buffers that are alive at the
+    same time never share a slab; buffers are only valid until the same name
+    is taken again (the next batch).
+
+    The slabs are deliberately not pickled — a plan shipped to a process
+    worker regrows its scratch on first forward instead of shipping
+    megabytes of dead scratch bytes.
+    """
+
+    def __init__(self) -> None:
+        self._slabs: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+
+    def take(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A C-contiguous ``shape``-d scratch view, contents undefined."""
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        key = (name, np.dtype(dtype))
+        slab = self._slabs.get(key)
+        if slab is None or slab.size < size:
+            slab = np.empty(max(size, 1), dtype=dtype)
+            self._slabs[key] = slab
+        return slab[:size].reshape(shape)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena's slabs."""
+        return sum(slab.nbytes for slab in self._slabs.values())
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._slabs = {}
 
 
 @dataclasses.dataclass
 class StageProfile:
     """Wall-clock accumulators of the plan's pipeline stages.
 
-    ``dac`` / ``crossbar`` / ``adc`` are metered inside the compiled tiles;
-    ``digital`` is everything else in the forward pass (digital layers,
-    im2col, routing adder, quantisers).  ``python -m repro run --profile``
-    renders this breakdown.
+    ``dac`` / ``crossbar`` / ``adc`` are metered inside the compiled tiles
+    (code-domain layer-boundary encoding counts as DAC time — it *is* the
+    DAC's quantiser); ``digital`` is everything else in the forward pass
+    (digital layers, im2col, routing adder, quantisers).  ``transport`` is
+    time spent moving batches to and from process workers — zero for
+    in-process execution, filled in by :mod:`repro.serve` for
+    ``workers="process"``.  ``python -m repro run --profile`` and the serve
+    CLIs render this breakdown with a percent-of-total column.
     """
 
     dac_s: float = 0.0
@@ -62,6 +131,7 @@ class StageProfile:
     adc_s: float = 0.0
     total_s: float = 0.0
     forwards: int = 0
+    transport_s: float = 0.0
 
     @property
     def digital_s(self) -> float:
@@ -75,21 +145,96 @@ class StageProfile:
             "crossbar_s": self.crossbar_s,
             "adc_s": self.adc_s,
             "digital_s": self.digital_s,
+            "transport_s": self.transport_s,
             "total_s": self.total_s,
             "forwards": float(self.forwards),
         }
 
     def render(self) -> str:
-        """Human-readable per-stage breakdown."""
-        total = self.total_s or 1.0
+        """Human-readable per-stage breakdown with a percent-of-total column."""
+        grand_total = self.total_s + self.transport_s
+        denom = grand_total or 1.0
         rows = [("DAC", self.dac_s), ("crossbar", self.crossbar_s),
                 ("ADC", self.adc_s), ("digital", self.digital_s)]
+        if self.transport_s > 0:
+            rows.append(("transport", self.transport_s))
         lines = [f"Per-stage forward time over {self.forwards} forward(s):"]
         for name, seconds in rows:
             lines.append(f"  {name:9s} {seconds * 1e3:9.2f} ms  "
-                         f"({100.0 * seconds / total:5.1f} %)")
-        lines.append(f"  {'total':9s} {self.total_s * 1e3:9.2f} ms")
+                         f"({100.0 * seconds / denom:5.1f} %)")
+        lines.append(f"  {'total':9s} {grand_total * 1e3:9.2f} ms")
         return "\n".join(lines)
+
+
+class TileNotCompilable(Exception):
+    """Raised when a macro tile cannot be expressed as LUT kernels."""
+
+
+class RowCodec:
+    """Layer-boundary FP8 encoder shared by every tile of one row range.
+
+    Composes the DAC's quantiser (the exact bucket indexer over the float
+    lattice) with the sign split into one uint16 code per activation:
+    ``code = rank(|x| / scale)`` for non-negative ``x`` and
+    ``code = levels + rank`` for negative ``x``.  The fused signed
+    code→voltage tables (:attr:`volts_pos` / :attr:`volts_neg`, raw twins
+    for offset mapping) then turn a code directly into the voltage the
+    generic path would have produced for the matching sign pass — zero
+    voltage for the opposite sign, exactly like ``clip(±x, 0)`` ranking to
+    the zero bucket.
+    """
+
+    def __init__(self, tile: "CompiledTile") -> None:
+        self.activation_scale = tile.activation_scale
+        self.indexer = tile.dac_indexer
+        self.clamp = tile.dac_clamp
+        #: Number of magnitude levels (zero + the DAC's non-zero codes).
+        self.levels = int(tile.dac_volts.shape[0])
+        zeros = np.zeros(self.levels, dtype=np.float64)
+        self.volts_pos = np.ascontiguousarray(
+            np.concatenate([tile.dac_volts, zeros]))
+        self.volts_neg = np.ascontiguousarray(
+            np.concatenate([zeros, tile.dac_volts]))
+        self.raw_pos = np.ascontiguousarray(
+            np.concatenate([tile.dac_volts_raw, zeros]))
+        self.raw_neg = np.ascontiguousarray(
+            np.concatenate([zeros, tile.dac_volts_raw]))
+
+    def matches(self, tile: "CompiledTile") -> bool:
+        """Whether ``tile`` can consume this codec's codes bit-identically."""
+        return (tile.activation_scale == self.activation_scale
+                and tile.dac_clamp == self.clamp
+                and tile.dac_volts.shape[0] == self.levels
+                and np.array_equal(tile.dac_indexer.bounds, self.indexer.bounds)
+                and np.array_equal(tile.dac_volts, self.volts_pos[:self.levels])
+                and np.array_equal(tile.dac_volts_raw, self.raw_pos[:self.levels]))
+
+    def encode(self, acts: np.ndarray, arena: PlanArena, key: str) -> np.ndarray:
+        """Encode float activations of any shape into signed uint16 codes.
+
+        Bit-exact against the generic sign-split ranking: for ``x >= 0`` the
+        positive part equals ``|x|`` and for ``x < 0`` the negative part
+        equals ``|x|`` (exact negation), so ranking ``|x| / scale`` once
+        reproduces the rank either sign pass would compute, and the opposite
+        pass's zero-clip collapses to the zero entries of the signed tables.
+        """
+        shape = acts.shape
+        mag = arena.take(key + ":mag", shape)
+        np.abs(acts, out=mag)
+        np.divide(mag, self.activation_scale, out=mag)
+        np.minimum(mag, self.clamp, out=mag)
+        rank = arena.take(key + ":rank", shape, np.int64)
+        work = arena.take(key + ":work", shape)
+        work_int = arena.take(key + ":wint", shape, np.int64)
+        rank = self.indexer(mag, out=rank, work=work, work_int=work_int)
+        codes = arena.take(key + ":codes", shape, np.uint16)
+        np.copyto(codes, rank, casting="unsafe")
+        negative = arena.take(key + ":neg", shape, bool)
+        np.less(acts, 0.0, out=negative)
+        offset = arena.take(key + ":off", shape, np.uint16)
+        np.multiply(negative, np.uint16(self.levels), out=offset, casting="unsafe")
+        codes += offset
+        return codes
 
 
 class CompiledTile:
@@ -98,18 +243,24 @@ class CompiledTile:
     Replicates :meth:`AFPRMacro.matvec` (vectorised mode) bit for bit:
 
     * DAC: ``volts[rank(acts / activation_scale)]`` instead of frexp field
-      extraction plus per-gain PGA passes,
+      extraction plus per-gain PGA passes — or, in code-domain layers, one
+      gather through the fused signed code→voltage table with no ranking at
+      all,
     * crossbar: the packed contiguous conductance block, read noise drawn
       from the *same* device generator in the same order and shape,
     * ADC: ``values[rank(charge)]`` instead of the adaptive-range search,
       residual-voltage gathers and single-slope rounding,
 
-    and updates ``macro.stats`` exactly like the generic path.  Construction
-    raises :class:`TileNotCompilable` when the configuration has stochastic
-    converter stages the tables cannot represent.
+    and updates ``macro.stats`` exactly like the generic path.  All scratch
+    comes from the plan's :class:`PlanArena`; the blocked-row path writes
+    block slices into one arena output instead of recursively concatenating.
+    Construction raises :class:`TileNotCompilable` when the configuration
+    has stochastic converter stages the tables cannot represent.
     """
 
-    def __init__(self, macro: AFPRMacro, profile: StageProfile) -> None:
+    def __init__(self, macro: AFPRMacro, profile: StageProfile,
+                 arena: Optional[PlanArena] = None, key: str = "tile",
+                 use_arena: bool = True) -> None:
         config = macro.config
         if not macro.vectorized_readout:
             raise TileNotCompilable("full-array reference readout")
@@ -126,10 +277,17 @@ class CompiledTile:
 
         self.macro = macro
         self.profile = profile
+        self.arena = arena if arena is not None else PlanArena()
+        self.key = key
+        self.use_arena = use_arena
+        #: Legacy (PR-3) float-path scratch, used when ``use_arena`` is off.
+        self._stack_scratch = np.empty((0, macro._in_features), dtype=np.float64)
         self.in_features = macro._in_features
         self.out_features = macro._out_features
         self.active_cols = macro.physical_columns
         self.differential = config.differential_columns
+        self.out_width = (self.active_cols // 2 if self.differential
+                          else self.active_cols)
         # (a) pre-packed tile state: the active sub-array of the crossbar as
         # one contiguous block (the generic path re-slices the 576x256 array
         # on every evaluation).
@@ -176,17 +334,139 @@ class CompiledTile:
         denom = macro.dac.volts_per_unit * conductance_swing
         self.output_scale = (macro.activation_scale * macro.weight_scale / denom
                              if macro.weight_scale > 0 else 0.0)
-        # (c) scratch reused across batches for the stacked sign passes.
-        self._stack_scratch = np.empty((0, self.in_features), dtype=np.float64)
+
+    def reserve(self, rows: int) -> None:
+        """Pre-size the arena slabs for ``rows`` stacked activation rows."""
+        block = min(rows, self.macro.ANALOG_PASS_BLOCK_ROWS)
+        self.arena.take(self.key + ":volts", (rows, self.in_features))
+        self.arena.take(self.key + ":out", (rows, self.out_width))
+        self.arena.take(self.key + ":cur", (block, self.active_cols))
+        self.arena.take(self.key + ":crank", (block, self.active_cols), np.int64)
+        self.arena.take(self.key + ":cwork", (block, self.active_cols))
+        self.arena.take(self.key + ":cwint", (block, self.active_cols), np.int64)
+        self.arena.take(self.key + ":meas", (block, self.active_cols))
+        self.arena.take(self.key + ":flags", (block, self.active_cols), bool)
 
     # ------------------------------------------------------------------
+    def _block_conductances(self) -> np.ndarray:
+        """Per-block conductances with read noise / IR drop applied."""
+        conductances = self.conductances
+        if self.read_noise_enabled:
+            # Same generator, order and shape as the generic crossbar path,
+            # so the noise sample (and every later draw) is identical.
+            conductances = self.macro.device.read_noise(conductances)
+        if self.wire_resistance is not None:
+            conductances = conductances / (1.0 + conductances * self.wire_resistance)
+        return conductances
+
+    def _convert_block(self, voltages: np.ndarray,
+                       voltage_sum: Optional[np.ndarray],
+                       out_block: np.ndarray) -> None:
+        """Crossbar → ADC → scaled logical output for one ≤block row slab.
+
+        ``voltages`` are the DAC outputs of the block (arena scratch);
+        ``voltage_sum`` is the pre-clip common-mode sum for offset mapping
+        (``None`` for differential columns); the scaled result lands in
+        ``out_block``.
+        """
+        arena, key, profile = self.arena, self.key, self.profile
+        rows = voltages.shape[0]
+
+        tick = time.perf_counter()
+        conductances = self._block_conductances()
+        currents = arena.take(key + ":cur", (rows, self.active_cols))
+        np.matmul(voltages, conductances, out=currents)
+        tock = time.perf_counter()
+        profile.crossbar_s += tock - tick
+
+        # charge = clip(I, 0) * T_int, clamped to the table's top bucket —
+        # all in place on the current buffer.
+        np.clip(currents, 0.0, None, out=currents)
+        currents *= self.integration_time
+        np.minimum(currents, self.adc.max_charge, out=currents)
+        rank = arena.take(key + ":crank", (rows, self.active_cols), np.int64)
+        rank = self.adc.indexer(
+            currents, out=rank,
+            work=arena.take(key + ":cwork", (rows, self.active_cols)),
+            work_int=arena.take(key + ":cwint", (rows, self.active_cols), np.int64))
+        measured = arena.take(key + ":meas", (rows, self.active_cols))
+        np.take(self.adc_values, rank, out=measured, mode="clip")
+
+        stats = self.macro.stats
+        stats.conversions += rows
+        stats.mac_operations += rows * 2 * self.in_features * self.out_features
+        flags = arena.take(key + ":flags", (rows, self.active_cols), bool)
+        np.take(self.adc_sat, rank, out=flags, mode="clip")
+        stats.adc_saturations += int(np.count_nonzero(flags))
+        np.take(self.adc_under, rank, out=flags, mode="clip")
+        stats.adc_underflows += int(np.count_nonzero(flags))
+
+        if self.differential:
+            np.subtract(measured[..., 0::2], measured[..., 1::2], out=out_block)
+        else:
+            # The generic path sums the DAC voltages *before* the crossbar
+            # input clip; the caller gathered the unclipped table.  Each
+            # block's sum slice is consumed exactly once, so the common-mode
+            # scale folds in place.
+            voltage_sum *= self.g_mid
+            np.subtract(measured, voltage_sum[..., None], out=out_block)
+        out_block *= self.output_scale
+        profile.adc_s += time.perf_counter() - tock
+
+    # ------------------------------------------------------------------
+    # Float-domain path (PR-3 behaviour, also the per-layer fallback)
+    # ------------------------------------------------------------------
     def _analog_pass(self, non_negative: np.ndarray) -> np.ndarray:
-        """DAC → crossbar → ADC over one block, via the compiled kernels."""
+        """DAC → crossbar → ADC over stacked rows, via the compiled kernels.
+
+        Rows beyond ``ANALOG_PASS_BLOCK_ROWS`` are processed block by block
+        into one arena output (the generic path's recursive concatenate,
+        without the copies).
+        """
+        arena, key, profile = self.arena, self.key, self.profile
+        rows = non_negative.shape[0]
+        block = self.macro.ANALOG_PASS_BLOCK_ROWS
+        out = arena.take(key + ":out", (rows, self.out_width))
+        for start in range(0, max(rows, 1), block):
+            chunk = non_negative[start:start + block]
+            if chunk.shape[0] == 0:
+                break
+            tick = time.perf_counter()
+            scaled = arena.take(key + ":scaled", chunk.shape)
+            np.divide(chunk, self.activation_scale, out=scaled)
+            np.minimum(scaled, self.dac_clamp, out=scaled)
+            ranks = arena.take(key + ":rank", chunk.shape, np.int64)
+            ranks = self.dac_indexer(
+                scaled, out=ranks,
+                work=arena.take(key + ":work", chunk.shape),
+                work_int=arena.take(key + ":wint", chunk.shape, np.int64))
+            volts = arena.take(key + ":volts", chunk.shape)
+            np.take(self.dac_volts, ranks, out=volts, mode="clip")
+            voltage_sum = None
+            if not self.differential:
+                raw = arena.take(key + ":raw", chunk.shape)
+                np.take(self.dac_volts_raw, ranks, out=raw, mode="clip")
+                voltage_sum = np.sum(
+                    raw, axis=-1, out=arena.take(key + ":vsum", (chunk.shape[0],)))
+            profile.dac_s += time.perf_counter() - tick
+            self._convert_block(volts, voltage_sum, out[start:start + chunk.shape[0]])
+        return out
+
+    # -- legacy float path: the PR-3 plan kernels, kept verbatim ---------
+    def _analog_pass_legacy(self, non_negative: np.ndarray) -> np.ndarray:
+        """The PR-3 allocating float pipeline (the ≥1.5x gate's baseline).
+
+        Selected by ``ExecutionContext.code_domain=False``: per-batch bucket
+        ranking, fresh temporaries and a recursive concatenate for blocked
+        rows — exactly the plan execution PR 3 shipped, preserved so the
+        code-domain benchmarks measure against the real predecessor rather
+        than a partially-upgraded one.
+        """
         macro = self.macro
         block = macro.ANALOG_PASS_BLOCK_ROWS
         if non_negative.shape[0] > block:
             return np.concatenate([
-                self._analog_pass(non_negative[start:start + block])
+                self._analog_pass_legacy(non_negative[start:start + block])
                 for start in range(0, non_negative.shape[0], block)
             ], axis=0)
         profile = self.profile
@@ -198,13 +478,7 @@ class CompiledTile:
         tock = time.perf_counter()
         profile.dac_s += tock - tick
 
-        conductances = self.conductances
-        if self.read_noise_enabled:
-            # Same generator, order and shape as the generic crossbar path,
-            # so the noise sample (and every later draw) is identical.
-            conductances = macro.device.read_noise(conductances)
-        if self.wire_resistance is not None:
-            conductances = conductances / (1.0 + conductances * self.wire_resistance)
+        conductances = self._block_conductances()
         currents = voltages @ conductances
         tick = time.perf_counter()
         profile.crossbar_s += tick - tock
@@ -223,24 +497,13 @@ class CompiledTile:
         if self.differential:
             logical = measured_current[..., 0::2] - measured_current[..., 1::2]
         else:
-            # The generic path sums the DAC voltages *before* the crossbar
-            # input clip; gather the unclipped table for bit identity.
             voltage_sum = np.sum(self.dac_volts_raw[code_ranks], axis=-1)
             logical = measured_current - self.g_mid * voltage_sum[..., None]
         out = logical * self.output_scale
         profile.adc_s += time.perf_counter() - tick
         return out
 
-    def matvec(self, activations: np.ndarray) -> np.ndarray:
-        """``activations @ W`` through the compiled pipeline (batched)."""
-        acts = np.asarray(activations, dtype=np.float64)
-        squeeze = acts.ndim == 1
-        acts = np.atleast_2d(acts)
-        if acts.shape[1] != self.in_features:
-            raise ValueError(
-                f"activation length {acts.shape[1]} does not match the "
-                f"{self.in_features} programmed input features"
-            )
+    def _matvec_legacy(self, acts: np.ndarray) -> np.ndarray:
         positive = np.clip(acts, 0.0, None)
         negative = np.clip(-acts, 0.0, None)
         needs_negative = np.any(negative > 0, axis=1)
@@ -255,6 +518,42 @@ class CompiledTile:
             stacked = stacked[: batch + extra]
             stacked[:batch] = positive
             stacked[batch:] = negative[needs_negative]
+            result_stacked = self._analog_pass_legacy(stacked)
+            result = result_stacked[:batch]
+            result[needs_negative] -= result_stacked[batch:]
+        else:
+            result = self._analog_pass_legacy(positive)
+        return result[..., : self.out_features]
+
+    def matvec(self, activations: np.ndarray) -> np.ndarray:
+        """``activations @ W`` through the compiled pipeline (batched)."""
+        acts = np.asarray(activations, dtype=np.float64)
+        squeeze = acts.ndim == 1
+        acts = np.atleast_2d(acts)
+        if acts.shape[1] != self.in_features:
+            raise ValueError(
+                f"activation length {acts.shape[1]} does not match the "
+                f"{self.in_features} programmed input features"
+            )
+        if not self.use_arena:
+            result = self._matvec_legacy(acts)
+            return result[0] if squeeze else result
+        arena, key = self.arena, self.key
+        positive = arena.take(key + ":pos", acts.shape)
+        np.clip(acts, 0.0, None, out=positive)
+        negative = arena.take(key + ":negp", acts.shape)
+        np.negative(acts, out=negative)
+        np.clip(negative, 0.0, None, out=negative)
+        sign_flags = arena.take(key + ":sflag", acts.shape, bool)
+        np.greater(negative, 0.0, out=sign_flags)
+        needs_negative = np.any(sign_flags, axis=1)
+
+        if np.any(needs_negative):
+            batch = acts.shape[0]
+            extra = int(np.count_nonzero(needs_negative))
+            stacked = arena.take(key + ":stack", (batch + extra, self.in_features))
+            stacked[:batch] = positive
+            np.compress(needs_negative, negative, axis=0, out=stacked[batch:])
             result_stacked = self._analog_pass(stacked)
             result = result_stacked[:batch]
             result[needs_negative] -= result_stacked[batch:]
@@ -263,9 +562,149 @@ class CompiledTile:
         result = result[..., : self.out_features]
         return result[0] if squeeze else result
 
+    # ------------------------------------------------------------------
+    # Code-domain path
+    # ------------------------------------------------------------------
+    def matvec_codes(self, codec: RowCodec, codes: np.ndarray,
+                     codes_negative: np.ndarray,
+                     needs_negative: np.ndarray) -> np.ndarray:
+        """``activations @ W`` from pre-encoded signed activation codes.
 
-class TileNotCompilable(Exception):
-    """Raised when a macro tile cannot be expressed as LUT kernels."""
+        ``codes`` is the whole batch (``(batch, in_features)`` uint16),
+        ``codes_negative`` the pre-compressed rows that need the second sign
+        pass, ``needs_negative`` the matching mask — all computed once per
+        layer row range and shared by every column tile.  The DAC stage is
+        two table gathers; ranking already happened at the layer boundary.
+        """
+        arena, key, profile = self.arena, self.key, self.profile
+        batch = codes.shape[0]
+        extra = codes_negative.shape[0]
+        rows = batch + extra
+
+        tick = time.perf_counter()
+        volts = arena.take(key + ":volts", (rows, self.in_features))
+        np.take(codec.volts_pos, codes, out=volts[:batch], mode="clip")
+        if extra:
+            np.take(codec.volts_neg, codes_negative, out=volts[batch:], mode="clip")
+        voltage_sums: Optional[np.ndarray] = None
+        if not self.differential:
+            raw = arena.take(key + ":raw", (rows, self.in_features))
+            np.take(codec.raw_pos, codes, out=raw[:batch], mode="clip")
+            if extra:
+                np.take(codec.raw_neg, codes_negative, out=raw[batch:], mode="clip")
+            voltage_sums = np.sum(raw, axis=-1,
+                                  out=arena.take(key + ":vsum", (rows,)))
+        profile.dac_s += time.perf_counter() - tick
+
+        block = self.macro.ANALOG_PASS_BLOCK_ROWS
+        out = arena.take(key + ":out", (rows, self.out_width))
+        for start in range(0, max(rows, 1), block):
+            stop = min(start + block, rows)
+            if stop <= start:
+                break
+            self._convert_block(
+                volts[start:stop],
+                None if voltage_sums is None else voltage_sums[start:stop],
+                out[start:stop])
+        result = out[:batch]
+        if extra:
+            result[needs_negative] -= out[batch:]
+        return result[..., : self.out_features]
+
+
+def _is_fp16_grid(fmt) -> bool:
+    """Whether ``fmt`` is the repository's FP16 grid (binary16 layout,
+    no codes reserved for inf/NaN, so the top binade reaches 131008)."""
+    return (fmt.exponent_bits == 5 and fmt.mantissa_bits == 10
+            and fmt.bias == 15 and fmt.signed and fmt.subnormals
+            and fmt.saturate)
+
+
+def _quantize_fp16_grid(x: np.ndarray) -> np.ndarray:
+    """``FP16.quantize(x)`` as one hardware float16 cast plus a top-binade fix.
+
+    The reference quantiser divides by a power-of-two step (exact in
+    float64) and rounds the exact quotient to nearest-even — which *is* the
+    IEEE round-to-nearest-even float16 conversion the CPU performs, for
+    normals, subnormals and ties alike.  The repository's FP16 format
+    reserves no codes for inf/NaN, so unlike IEEE binary16 its top binade
+    extends to 131008: exactly the magnitudes the cast turns into
+    infinities (≥ 65520, and infinite inputs) are re-rounded with the top
+    binade's power-of-two step and saturated — still exact-quotient RNE.
+    Pinned bit-for-bit against the reference by the plan tests.
+    """
+    with np.errstate(over="ignore"):  # saturating values overflow the cast
+        cast = x.astype(np.float16).astype(np.float64)
+    overflow = np.isinf(cast)
+    if np.any(overflow):
+        mag = np.abs(x[overflow])
+        top = np.minimum(np.rint(mag / 64.0) * 64.0, 131008.0)
+        cast[overflow] = np.copysign(top, x[overflow])
+    # Zero inputs short-circuit the reference's sign multiply (sign(±0)=+0),
+    # so exact zeros come out positive — while *underflowed* negatives keep
+    # their sign, which the cast already reproduces.
+    cast[x == 0.0] = 0.0
+    return cast
+
+
+class _CompiledRoutingAdder:
+    """The mapped layer's routing adder with a compiled accumulation quantiser.
+
+    Reproduces :meth:`repro.core.mapping.RoutingAdder.accumulate` bit for
+    bit — same accumulation order, same data-dependent scale, same
+    ``additions`` counter (incremented on the *wrapped* adder, so generic
+    and compiled runs stay comparable) — but rounds onto the accumulation
+    format through a single float16 cast (FP16-grid formats, the default
+    adder) or :func:`repro.formats.fp8.quantize_via_lut` instead of
+    the per-element exponent arithmetic of ``FloatFormat.quantize``.
+    """
+
+    def __init__(self, adder, cast_half: bool) -> None:
+        self.adder = adder
+        self.accumulate_format = adder.accumulate_format
+        self.cast_half = cast_half
+
+    def accumulate(self, partials) -> np.ndarray:
+        fmt = self.adder.accumulate_format
+        partials = list(partials)
+        if not partials:
+            raise ValueError("need at least one partial result")
+        total = np.zeros_like(np.asarray(partials[0], dtype=np.float64))
+        for partial in partials:
+            total = total + np.asarray(partial, dtype=np.float64)
+            self.adder.additions += total.size
+            if fmt is not None:
+                scale = float(np.max(np.abs(total))) or 1.0
+                norm = fmt.max_value
+                if self.cast_half:
+                    total = _quantize_fp16_grid(total / scale * norm) / norm * scale
+                else:
+                    total = quantize_via_lut(fmt, total / scale * norm) / norm * scale
+        return total
+
+
+def _compile_routing_adder(adder):
+    """Compile a routing adder's quantiser when a faster exact path exists.
+
+    FP16-grid accumulation (the default) compiles to the float16 cast;
+    other signed saturating formats compile to the quantisation LUT only
+    when its coarse bucket grid is feasible — the plain-``searchsorted``
+    fallback of huge-dynamic-range formats is slower than the generic
+    quantiser on large partials, so those keep the generic adder.
+    """
+    fmt = adder.accumulate_format
+    if fmt is None:
+        return adder
+    if _is_fp16_grid(fmt):
+        return _CompiledRoutingAdder(adder, cast_half=True)
+    if fmt.signed and fmt.saturate:
+        try:
+            indexer, _ = quantization_lut(fmt)
+        except (ValueError, AssertionError):
+            return adder
+        if indexer.has_coarse_grid:
+            return _CompiledRoutingAdder(adder, cast_half=False)
+    return adder
 
 
 class _FallbackTile:
@@ -286,15 +725,29 @@ class CompiledMappedLayer:
     per-layer column ranges and tile groupings are precomputed, so the
     forward iterates plain lists instead of re-deriving the tiling, and the
     shared routing adder keeps its accumulation format and counters.
+
+    In code-domain mode (the default) each row range whose tiles all
+    compiled and share one DAC transfer gets a :class:`RowCodec`: the
+    forward encodes that row slice into FP8 codes once and every column
+    tile consumes the codes through its fused tables.  Row ranges without a
+    codec (fallback tiles, mismatched calibration scales) take the
+    float-domain compiled path for exactly those rows.
     """
 
-    def __init__(self, mapped: MappedLayer, profile: StageProfile) -> None:
+    def __init__(self, mapped: MappedLayer, profile: StageProfile,
+                 arena: Optional[PlanArena] = None, key: str = "layer",
+                 code_domain: bool = True) -> None:
         self.mapped = mapped
         self.profile = profile
+        self.arena = arena if arena is not None else PlanArena()
+        self.key = key
+        self.code_domain = code_domain
         tiles = []
-        for macro in mapped.macros:
+        for index, macro in enumerate(mapped.macros):
             try:
-                tiles.append(CompiledTile(macro, profile))
+                tiles.append(CompiledTile(macro, profile, self.arena,
+                                          key=f"{key}:t{index}",
+                                          use_arena=code_domain))
             except TileNotCompilable:
                 tiles.append(_FallbackTile(macro))
         self.tiles = tiles
@@ -303,10 +756,28 @@ class CompiledMappedLayer:
         tile_for_macro = {id(macro): tile
                           for macro, tile in zip(mapped.macros, tiles)}
         self.column_ranges = [
-            (key, [(spec.row_start, spec.row_stop, tile_for_macro[id(macro)])
-                   for spec, macro in placements])
-            for key, placements in mapped.column_ranges
+            (key_, [(spec.row_start, spec.row_stop, tile_for_macro[id(macro)])
+                    for spec, macro in placements])
+            for key_, placements in mapped.column_ranges
         ]
+        # Code-domain mode also LUT-compiles the routing adder's FP16
+        # accumulation rounding (float-plan mode keeps the generic adder —
+        # the PR-3 baseline the benchmarks compare against).
+        self.routing_adder = (_compile_routing_adder(mapped.routing_adder)
+                              if code_domain else mapped.routing_adder)
+        # One codec per row range whose tiles can all consume shared codes.
+        self.codecs: Dict[Tuple[int, int], RowCodec] = {}
+        if code_domain:
+            grouped: Dict[Tuple[int, int], List[object]] = {}
+            for _, placements in self.column_ranges:
+                for row_start, row_stop, tile in placements:
+                    grouped.setdefault((row_start, row_stop), []).append(tile)
+            for row_range, row_tiles in grouped.items():
+                if not all(isinstance(t, CompiledTile) for t in row_tiles):
+                    continue
+                codec = RowCodec(row_tiles[0])
+                if all(codec.matches(t) for t in row_tiles):
+                    self.codecs[row_range] = codec
 
     # The adapter probes these like the original MappedLayer.
     @property
@@ -319,6 +790,46 @@ class CompiledMappedLayer:
         """Output feature count of the mapped layer."""
         return self.mapped.out_features
 
+    @property
+    def full_row_codec(self) -> Optional[RowCodec]:
+        """The codec covering the whole input, when the layer has one.
+
+        This is what lets conv layers encode *before* im2col — codes thread
+        through the patch expansion as uint16 gathers.
+        """
+        return self.codecs.get((0, self.in_features))
+
+    def _encode_rows(self, acts: np.ndarray) -> Dict[Tuple[int, int], tuple]:
+        """Encode each codec'd row slice once: (codes, compressed, mask)."""
+        encoded = {}
+        tick = time.perf_counter()
+        for (row_start, row_stop), codec in self.codecs.items():
+            codes = codec.encode(acts[:, row_start:row_stop], self.arena,
+                                 f"{self.key}:r{row_start}")
+            encoded[(row_start, row_stop)] = self._split_signs(
+                codec, codes, f"{self.key}:r{row_start}")
+        self.profile.dac_s += time.perf_counter() - tick
+        return encoded
+
+    def _split_signs(self, codec: RowCodec, codes: np.ndarray,
+                     key: str) -> tuple:
+        """Compress the rows needing a negative pass (shared by all tiles).
+
+        A code at or beyond ``levels`` carries the sign bit, so
+        ``any(code >= levels)`` is exactly the generic path's
+        ``any(clip(-x, 0) > 0)`` — including tiny negatives that flush to
+        the zero rank but still owe a (zero-voltage) second pass.
+        """
+        sign_flags = self.arena.take(key + ":sflag", codes.shape, bool)
+        np.greater_equal(codes, np.uint16(codec.levels), out=sign_flags)
+        needs_negative = np.any(sign_flags, axis=1)
+        extra = int(np.count_nonzero(needs_negative))
+        compressed = self.arena.take(key + ":cneg", (extra, codes.shape[1]),
+                                     np.uint16)
+        if extra:
+            np.compress(needs_negative, codes, axis=0, out=compressed)
+        return codes, compressed, needs_negative
+
     def forward(self, activations: np.ndarray) -> np.ndarray:
         """Compute ``activations @ weights`` through the compiled tiles."""
         acts = np.asarray(activations, dtype=np.float64)
@@ -328,15 +839,50 @@ class CompiledMappedLayer:
             raise ValueError(
                 f"activation length {acts.shape[1]} does not match {self.in_features}"
             )
-        output = np.zeros((acts.shape[0], self.out_features), dtype=np.float64)
-        adder = self.mapped.routing_adder
-        for (col_start, col_stop), placements in self.column_ranges:
-            partials = [tile.matvec(acts[:, row_start:row_stop])
-                        for row_start, row_stop, tile in placements]
-            output[:, col_start:col_stop] = adder.accumulate(partials)
+        encoded = self._encode_rows(acts) if self.codecs else {}
+        output = self._accumulate(acts, encoded)
         return output[0] if squeeze else output
 
     __call__ = forward
+
+    def forward_coded(self, cols_codes: np.ndarray, codec: RowCodec) -> np.ndarray:
+        """Forward pre-encoded codes covering the whole input width.
+
+        Used by the planned conv forward, which encodes the NCHW input once
+        and expands patches in the code domain; ``cols_codes`` is the
+        ``(rows, in_features)`` uint16 im2col matrix of those codes.
+        """
+        tick = time.perf_counter()
+        encoded = {(0, self.in_features): self._split_signs(
+            codec, cols_codes, f"{self.key}:r0")}
+        self.profile.dac_s += time.perf_counter() - tick
+        return self._accumulate(None, encoded)
+
+    def _accumulate(self, acts: Optional[np.ndarray],
+                    encoded: Dict[Tuple[int, int], tuple]) -> np.ndarray:
+        """Run every placement and accumulate partials per column range."""
+        adder = self.routing_adder
+        output: Optional[np.ndarray] = None
+        for (col_start, col_stop), placements in self.column_ranges:
+            partials = []
+            for row_start, row_stop, tile in placements:
+                row_range = (row_start, row_stop)
+                if row_range in encoded and isinstance(tile, CompiledTile):
+                    codes, compressed, mask = encoded[row_range]
+                    partials.append(tile.matvec_codes(
+                        self.codecs[row_range], codes, compressed, mask))
+                else:
+                    partials.append(tile.matvec(acts[:, row_start:row_stop]))
+            accumulated = adder.accumulate(partials)
+            if output is None:
+                # Fresh per call: the result escapes the plan (bias add,
+                # activation, final logits), so it must not be arena scratch
+                # that the next batch would clobber.
+                output = np.zeros((accumulated.shape[0], self.out_features),
+                                  dtype=np.float64)
+            output[:, col_start:col_stop] = accumulated
+        assert output is not None  # column_ranges is never empty
+        return output
 
     def total_conversions(self) -> int:
         """Macro conversions performed so far (stats live on the macros)."""
@@ -352,6 +898,11 @@ class CompiledMappedLayer:
         """How many tiles run on LUT kernels (vs. generic fallback)."""
         return sum(isinstance(t, CompiledTile) for t in self.tiles)
 
+    @property
+    def coded_row_ranges(self) -> int:
+        """How many row ranges run in the code domain."""
+        return len(self.codecs)
+
 
 class _PlannedMatmulForward:
     """Picklable forward override for a macro-mapped Conv2d / Linear layer.
@@ -360,16 +911,47 @@ class _PlannedMatmulForward:
     bias) only for ``process_output`` to discard it and recompute the same
     im2col for the macros.  This override runs the layer straight on the
     compiled mapped layer — one im2col, no dead GEMM — producing the exact
-    arrays the hook path produced.  Being a plain object (not a closure or
-    bound method) it survives pickling, which keeps plans shippable to
-    process workers.
+    arrays the hook path produced.  When the layer has a full-width code
+    table, the input is encoded into FP8 codes *before* im2col and the
+    patch expansion happens in the code domain (uint16 gathers staged in
+    arena slabs); otherwise the float im2col itself is staged in the arena.
+    Being a plain object (not a closure or bound method) it survives
+    pickling, which keeps plans shippable to process workers.
     """
 
-    def __init__(self, layer: Layer, mapped) -> None:
+    def __init__(self, layer: Layer, mapped, arena: Optional[PlanArena] = None,
+                 key: str = "fwd") -> None:
         if isinstance(layer, Conv2d) and layer.groups != 1:
             raise TileNotCompilable("grouped convolutions stay on the hook path")
         self.layer = layer
         self.mapped = mapped
+        self.arena = arena if arena is not None else PlanArena()
+        self.key = key
+
+    def _conv_cols(self, x: np.ndarray, h_out: int, w_out: int):
+        """The im2col matrix — code-domain uint16 when the layer allows it."""
+        layer, arena, key = self.layer, self.arena, self.key
+        n, c = x.shape[0], x.shape[1]
+        k = layer.kernel_size
+        codec = getattr(self.mapped, "full_row_codec", None)
+        staging = arena.take(key + ":patches", (n, h_out, w_out, c, k, k),
+                             np.uint16 if codec is not None else np.float64)
+        pad_buffer = None
+        if layer.padding > 0:
+            pad_buffer = arena.take(
+                key + ":pad",
+                (n, c, x.shape[2] + 2 * layer.padding, x.shape[3] + 2 * layer.padding),
+                np.uint16 if codec is not None else np.float64)
+        if codec is None:
+            cols = im2col(x, k, layer.stride, layer.padding,
+                          out=staging, pad_buffer=pad_buffer)
+            return cols, None
+        tick = time.perf_counter()
+        codes = codec.encode(x, arena, key + ":x")
+        self.mapped.profile.dac_s += time.perf_counter() - tick
+        cols = im2col(codes, k, layer.stride, layer.padding, dtype=None,
+                      out=staging, pad_buffer=pad_buffer)
+        return cols, codec
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         layer = self.layer
@@ -386,8 +968,11 @@ class _PlannedMatmulForward:
                                  layer.padding)
         w_out = conv_output_size(x.shape[3], layer.kernel_size, layer.stride,
                                  layer.padding)
-        cols = im2col(x, layer.kernel_size, layer.stride, layer.padding)
-        result = self.mapped.forward(cols)
+        cols, codec = self._conv_cols(x, h_out, w_out)
+        if codec is not None:
+            result = self.mapped.forward_coded(cols, codec)
+        else:
+            result = self.mapped.forward(cols)
         result = result.reshape(n, h_out, w_out, layer.out_channels).transpose(0, 3, 1, 2)
         if layer.bias is not None:
             result = result + layer.bias.value[None, :, None, None]
@@ -399,7 +984,8 @@ class ModelPlan:
 
     Construction prepares the backend on the model (programming/calibrating
     macros, attaching adapters) and then compiles the prepared state:
-    analog mapped layers get :class:`CompiledMappedLayer` kernels, fake
+    analog mapped layers get :class:`CompiledMappedLayer` kernels (running
+    in the code domain unless ``context.code_domain`` is off), fake
     quantisation adapters get LUT quantisers, the ``ideal`` backend needs
     nothing.  ``forward`` runs batches through the compiled state;
     ``close`` restores the backend exactly as the generic path would leave
@@ -407,8 +993,9 @@ class ModelPlan:
     pre-plan behaviour, used as the benchmark baseline).
 
     Plans are picklable: a pickled plan carries its replica model, packed
-    tiles and generator states, so a process pool can reconstruct identical
-    execution in another interpreter.
+    tiles, code tables and generator states, so a process pool can
+    reconstruct identical execution in another interpreter (arena scratch
+    regrows there).
     """
 
     def __init__(self, model: Model, backend: ExecutionBackend,
@@ -417,6 +1004,7 @@ class ModelPlan:
         self.backend = backend
         self.context = context
         self.profile = StageProfile()
+        self.arena = PlanArena()
         self._swapped: List[Tuple[object, MappedLayer]] = []
         self._patched_layers: List[Layer] = []
         prepare_start = time.perf_counter()
@@ -435,18 +1023,34 @@ class ModelPlan:
     # ------------------------------------------------------------------
     def _compile(self) -> None:
         backend = self.backend
+        context = self.context
+        code_domain = getattr(context, "code_domain", True)
         if isinstance(backend, AnalogBackend) and backend._mapped is not None:
-            for adapter in backend._mapped.adapters:
+            for index, adapter in enumerate(backend._mapped.adapters):
                 original = adapter.mapped
                 if isinstance(original, CompiledMappedLayer):
                     # Another live plan on the same backend instance; leave
                     # its compiled state alone (its close restores it).
                     continue
-                compiled = CompiledMappedLayer(original, self.profile)
+                compiled = CompiledMappedLayer(
+                    original, self.profile, arena=self.arena,
+                    key=f"L{index}", code_domain=code_domain)
                 adapter.mapped = compiled
                 self._swapped.append((adapter, original))
+                # Size the layer's scratch for the context's batch up front:
+                # Linear geometry is static, so steady-state forwards start
+                # allocation-free (conv slabs grow once on the first batch,
+                # when the spatial extent is known).  Float-plan tiles run
+                # the legacy kernels and never touch the arena.
+                if code_domain and isinstance(adapter.layer, Linear):
+                    rows = 2 * max(int(getattr(context, "batch_size", 0)), 1)
+                    for tile in compiled.tiles:
+                        if isinstance(tile, CompiledTile):
+                            tile.reserve(rows)
                 try:
-                    override = _PlannedMatmulForward(adapter.layer, compiled)
+                    override = _PlannedMatmulForward(
+                        adapter.layer, compiled, arena=self.arena,
+                        key=f"F{index}")
                 except TileNotCompilable:
                     continue
                 adapter.layer.forward = override
@@ -460,11 +1064,25 @@ class ModelPlan:
 
     @property
     def compiled(self) -> bool:
-        """Whether any compiled kernels are active on the backend."""
-        if self._swapped:
+        """Whether any compiled kernels are active on the backend.
+
+        An analog plan whose every tile fell back to the generic macro path
+        (stochastic converters everywhere) reports ``False`` — no plan
+        kernel actually executes there.
+        """
+        if any(isinstance(adapter.mapped, CompiledMappedLayer)
+               and adapter.mapped.compiled_tiles > 0
+               for adapter, _ in self._swapped):
             return True
         return (isinstance(self.backend, FakeQuantBackend)
                 and getattr(self.context, "compile_plan", True))
+
+    @property
+    def code_domain(self) -> bool:
+        """Whether any compiled layer is executing in the code domain."""
+        return any(isinstance(adapter.mapped, CompiledMappedLayer)
+                   and adapter.mapped.coded_row_ranges > 0
+                   for adapter, _ in self._swapped)
 
     # ------------------------------------------------------------------
     def forward(self, images: np.ndarray) -> np.ndarray:

@@ -416,25 +416,66 @@ class BucketIndexer:
             self._coarse = None
             self._cells = 0
 
-    def __call__(self, v: np.ndarray) -> np.ndarray:
+    @property
+    def has_coarse_grid(self) -> bool:
+        """Whether the O(1) coarse grid compiled (vs. the ``searchsorted``
+        fallback for huge dynamic ranges) — callers deciding whether a
+        LUT path will actually be fast can probe this."""
+        return self._coarse is not None
+
+    def __call__(self, v: np.ndarray,
+                 out: Optional[np.ndarray] = None,
+                 work: Optional[np.ndarray] = None,
+                 work_int: Optional[np.ndarray] = None) -> np.ndarray:
         """Rank of each element: how many boundaries are ≤ it.
 
         Elements must be ≥ ``domain_min`` and finite (or NaN, which ranks 0
         like ``searchsorted``'s ordering places nothing below it); callers
         clamp infinities to ``bounds[-1]`` beforehand.
+
+        ``out`` (int64), ``work`` (float64) and ``work_int`` (int64) are
+        optional preallocated buffers of ``v``'s shape; when all three are
+        given the ranking runs without allocating (the execution-plan arena
+        passes its scratch slabs here).  The result is written into ``out``
+        and returned, bit-identical to the allocating path.
         """
         v = np.asarray(v, dtype=np.float64)
         if self._coarse is None:
             return np.searchsorted(self.bounds, v, side="right")
+        buffered = out is not None and work is not None and work_int is not None
         with np.errstate(invalid="ignore"):
             # NaN casts to INT64_MIN on the supported platforms, clips to
             # cell 0 and fails both ordered comparisons below: rank 0.
-            cell = ((v - self.domain_min) * self._inv_step).astype(np.int64)
+            if buffered:
+                np.subtract(v, self.domain_min, out=work)
+                np.multiply(work, self._inv_step, out=work)
+                # C-style float→int truncation, same conversion as astype.
+                np.copyto(out, work, casting="unsafe")
+                cell = out
+            else:
+                cell = ((v - self.domain_min) * self._inv_step).astype(np.int64)
         np.clip(cell, 0, self._cells - 1, out=cell)
-        rank = self._coarse[cell]
-        rank += v >= self._next_bound[rank]
-        rank -= v < self._prev_bound[rank]
-        return rank
+        if not buffered:
+            rank = self._coarse[cell]
+            rank += v >= self._next_bound[rank]
+            rank -= v < self._prev_bound[rank]
+            return rank
+        # All indices are in range by construction (cell is clipped, ranks
+        # stay within the padded bound tables), so mode="clip" is value-
+        # identical to the default while skipping its internal buffering.
+        # No gather aliases its own index array: the rank accumulates in
+        # `work_int` while `out` (whose cell contents are dead after the
+        # first gather) serves as the comparison scratch, and the result is
+        # copied into `out` at the end to keep the documented contract.
+        rank = np.take(self._coarse, cell, out=work_int, mode="clip")
+        np.take(self._next_bound, rank, out=work, mode="clip")
+        np.greater_equal(v, work, out=out, casting="unsafe")
+        rank += out
+        np.take(self._prev_bound, rank, out=work, mode="clip")
+        np.less(v, work, out=out, casting="unsafe")
+        rank -= out
+        np.copyto(out, rank)
+        return out
 
 
 @functools.lru_cache(maxsize=None)

@@ -22,7 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.formats.fp8 import FloatFormat, quantize_via_lut
+from repro.formats.fp8 import FloatFormat, quantization_lut
 from repro.formats.intq import IntFormat, fake_quant_int
 from repro.formats.rounding import RoundingMode
 
@@ -227,11 +227,30 @@ class LUTFloatQuantizer(FloatQuantizer):
     ``compile_quantizer`` swaps calibrated quantisers for this class inside
     execution plans: the per-element FP encode collapses to one bucket
     ranking plus a table gather (:func:`repro.formats.fp8.quantize_via_lut`),
-    bit-identical to the generic ``fmt.quantize`` path.
+    bit-identical to the generic ``fmt.quantize`` path.  The compiled
+    ``(indexer, values)`` pair is cached on the instance after the first
+    batch — the quantiser sits on the per-layer fake-quant hot path, where
+    even the format-keyed cache lookup shows up — and is dropped on
+    pickling (process workers rebuild it from the shared format cache).
     """
 
     def _fake_quant(self, x: np.ndarray, scale: float) -> np.ndarray:
-        return quantize_via_lut(self.fmt, x / scale) * scale
+        tables = self.__dict__.get("_tables")
+        if tables is None:
+            tables = self.__dict__["_tables"] = quantization_lut(self.fmt)
+        indexer, values = tables
+        y = x / scale
+        sign = np.sign(y)
+        mag = np.minimum(np.abs(y), indexer.bounds[-1])
+        return sign * values[indexer(mag)] * scale
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_tables", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 def compile_quantizer(quantizer: TensorQuantizer) -> TensorQuantizer:

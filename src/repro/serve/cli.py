@@ -72,6 +72,11 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                         choices=("thread", "process"),
                         help="run replicas in service threads or ship each "
                              "replica's execution plan to its own process")
+    parser.add_argument("--transport", default="shm",
+                        choices=("shm", "pickle"),
+                        help="process-worker batch transport: zero-copy "
+                             "shared-memory rings (default) or the legacy "
+                             "pickle-per-batch pipe")
     parser.add_argument("--profile", action="store_true",
                         help="print each worker's per-stage (DAC/crossbar/"
                              "ADC/digital) breakdown after the run")
@@ -109,6 +114,7 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         max_wait_ms=args.max_wait_ms,
         num_workers=args.workers,
         workers=args.worker_mode,
+        transport=args.transport,
         macros_per_worker=args.macros_per_worker,
         policy=args.policy,
         queue_capacity=args.queue_capacity,
@@ -129,10 +135,13 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
     result = run_loadtest(model, x_test, config, pattern=args.pattern,
                           rate_rps=args.rate, num_requests=args.requests,
                           seed=args.seed, collect_profile=args.profile)
+    transport_tag = (f", transport={args.transport}"
+                     if args.worker_mode == "process" else "")
     lines = [
         f"In-process inference service: backend={args.backend} "
         f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
-        f"workers={args.workers} ({args.worker_mode}) policy={args.policy}",
+        f"workers={args.workers} ({args.worker_mode}{transport_tag}) "
+        f"policy={args.policy}",
         result.render(),
     ]
     if args.profile and result.stage_profiles:

@@ -53,6 +53,8 @@ class WorkerSnapshot:
     conversions: int
     busy_seconds: float
     mode: str = "thread"
+    #: Seconds spent moving batches to/from the worker (process transport).
+    transport_s: float = 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,15 +99,22 @@ class MetricsSnapshot:
             f"{', estimated' if self.conversions_estimated else ''})",
             "batch-size histogram " + _render_histogram(self.batch_histogram),
         ]
+        transport = sum(worker.transport_s for worker in self.workers)
+        if transport > 0:
+            lines.append(f"transport            {transport * 1e3:.2f} ms "
+                         f"moving batches to/from process workers")
         if len(self.workers) > 1:
             lines.append("per-worker load:")
             for worker in self.workers:
-                lines.append(
+                line = (
                     f"  worker {worker.index} ({worker.mode}): "
                     f"{worker.batches} batches, "
                     f"{worker.rows} rows, {worker.conversions} conversions, "
                     f"busy {worker.busy_seconds * 1e6:.1f} us"
                 )
+                if worker.transport_s > 0:
+                    line += f", transport {worker.transport_s * 1e3:.2f} ms"
+                lines.append(line)
         return "\n".join(lines)
 
 

@@ -45,6 +45,9 @@ class WorkerState:
     assigned_rows: int = 0
     assigned_batches: int = 0
     mode: str = "thread"
+    #: Seconds spent moving batches to/from the worker (process transport);
+    #: updated by the worker loop so snapshots survive worker shutdown.
+    transport_s: float = 0.0
 
     @property
     def inflight_conversions(self) -> int:

@@ -27,6 +27,8 @@ import concurrent.futures
 import copy
 import dataclasses
 import pickle
+import time
+import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -47,10 +49,14 @@ from repro.serve.batcher import (
 from repro.serve.energy import estimate_conversions_per_sample
 from repro.serve.metrics import MetricsSnapshot, ServiceMetrics, WorkerSnapshot
 from repro.serve.scheduler import WorkerState, build_worker_states, create_scheduler
+from repro.serve.shm import ShmChannel, SlotRing
 
 
 #: Execution plan owned by one process-pool worker (set by the initializer).
 _PROCESS_PLAN = None
+
+#: Worker-side (requests, responses) ring pair once the parent attached one.
+_PROCESS_RINGS: Optional[Tuple[SlotRing, SlotRing]] = None
 
 
 def _init_process_worker(payload: bytes) -> None:
@@ -77,9 +83,43 @@ def _process_ready() -> Optional[int]:
     return _PROCESS_PLAN.conversions()
 
 
-def _process_forward(images: np.ndarray) -> Tuple[np.ndarray, int]:
-    """Run one batch on the worker's plan; returns (logits, total conversions)."""
-    return _PROCESS_PLAN.forward(images), _PROCESS_PLAN.conversions()
+def _process_forward(images: np.ndarray) -> Tuple[np.ndarray, int, float]:
+    """Pickle-transport batch: returns (logits, total conversions, forward s)."""
+    start = time.perf_counter()
+    logits = _PROCESS_PLAN.forward(images)
+    return logits, _PROCESS_PLAN.conversions(), time.perf_counter() - start
+
+
+def _process_attach_rings(request_name: str, response_name: str, slots: int,
+                          request_nbytes: int, response_nbytes: int) -> bool:
+    """Attach the parent's shared-memory rings (worker side, never unlinks)."""
+    global _PROCESS_RINGS
+    _PROCESS_RINGS = (
+        SlotRing.attach(request_name, slots, request_nbytes),
+        SlotRing.attach(response_name, slots, response_nbytes),
+    )
+    return True
+
+
+def _process_forward_shm(slot: int, shape: Tuple[int, ...]) -> Tuple:
+    """Shared-memory batch: read the request slot, run, fill the response slot.
+
+    The plan consumes a zero-copy view of the request slot (forwards never
+    mutate their input) and the logits are written into the matching
+    response slot; only these few coordinates cross the executor pipe.
+    Logits too large for the slot fall back to being returned by value.
+    """
+    requests, responses = _PROCESS_RINGS
+    images = requests.view(slot, shape)
+    start = time.perf_counter()
+    logits = _PROCESS_PLAN.forward(images)
+    forward_s = time.perf_counter() - start
+    logits = np.ascontiguousarray(logits, dtype=np.float64)
+    total = _PROCESS_PLAN.conversions()
+    if responses.fits(logits.nbytes):
+        responses.write(slot, logits)
+        return ("shm", logits.shape, total, forward_s)
+    return ("pickle", logits, total, forward_s)
 
 
 def _process_profile() -> Dict[str, float]:
@@ -117,14 +157,33 @@ class _ProcessWorker:
     scheduler's placement decisions stay meaningful) and gives each plan a
     real core of its own — NumPy sections that hold the GIL no longer
     serialise against the other replicas.
+
+    Transport: ``"shm"`` (default) serves steady-state batches through the
+    parent-owned shared-memory rings of :mod:`repro.serve.shm` — one copy
+    in, one copy out, a fixed slot count with backpressure and only slot
+    coordinates on the executor pipe.  The first batch rides the pickle
+    path and teaches the ring its slot layout; batches that do not fit a
+    slot (oversized one-off requests) fall back to pickling per batch.
+    ``"pickle"`` keeps the original serialise-every-batch transport (the
+    benchmark baseline).  ``transport_s`` accumulates the time each batch
+    spent outside the remote forward — serialisation, copies and executor
+    round-trip — and feeds the ``--profile`` transport row.
     """
 
     mode = "process"
 
-    def __init__(self, payload: bytes) -> None:
+    def __init__(self, payload: bytes, transport: str = "shm",
+                 max_batch: int = 64, slots: int = 4) -> None:
         self.executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=1, initializer=_init_process_worker, initargs=(payload,))
+        self.transport = transport
+        self.max_batch = max(int(max_batch), 1)
+        self.slots = max(int(slots), 1)
+        self.transport_s = 0.0
         self._conversions_total = 0
+        self._channel: Optional[ShmChannel] = None
+        self._free_slots: Optional[asyncio.Queue] = None
+        self._logit_row_nbytes = 0
 
     async def start(self) -> None:
         """Fail fast if the worker process cannot reconstruct the plan."""
@@ -134,23 +193,96 @@ class _ProcessWorker:
             raise RuntimeError("process worker failed to initialise its plan")
         self._conversions_total = baseline
 
+    async def _build_channel(self, images: np.ndarray, logits: np.ndarray) -> None:
+        """Size and attach the rings from the first served batch's layout."""
+        rows = max(int(images.shape[0]), 1)
+        row_nbytes = max(images.nbytes // rows, 1)
+        logit_row_nbytes = max(logits.nbytes // rows, 8)
+        slot_rows = max(self.max_batch, rows)
+        loop = asyncio.get_running_loop()
+        channel: Optional[ShmChannel] = None
+        try:
+            channel = ShmChannel(self.slots, slot_rows * row_nbytes,
+                                 slot_rows * logit_row_nbytes)
+            await loop.run_in_executor(self.executor, _process_attach_rings,
+                                       *channel.describe())
+        except Exception as exc:  # noqa: BLE001 — /dev/shm unavailable, worker dead…
+            # Shared memory is an optimisation; keep serving over pickle —
+            # but loudly, so an unmounted /dev/shm cannot silently turn an
+            # A/B transport comparison into pickle-vs-pickle.
+            if channel is not None:
+                channel.close(unlink=True)
+            self.transport = "pickle"
+            warnings.warn(
+                f"shared-memory transport unavailable ({exc!r}); "
+                "process worker falls back to the pickle transport",
+                RuntimeWarning, stacklevel=2)
+            return
+        self._channel = channel
+        self._logit_row_nbytes = logit_row_nbytes
+        self._free_slots = asyncio.Queue()
+        for slot in range(self.slots):
+            self._free_slots.put_nowait(slot)
+
+    def _slot_serves(self, images: np.ndarray) -> bool:
+        return (self._channel is not None
+                and self._channel.requests.fits(images.nbytes)
+                and self._channel.responses.fits(
+                    int(images.shape[0]) * self._logit_row_nbytes))
+
+    @property
+    def shm_segment_names(self) -> List[str]:
+        """Names of this worker's segments (empty on the pickle transport)."""
+        return [] if self._channel is None else self._channel.segment_names
+
     async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
         """Run one batch; returns (logits, measured conversions)."""
         loop = asyncio.get_running_loop()
-        logits, total = await loop.run_in_executor(
-            self.executor, _process_forward, images)
+        start = time.perf_counter()
+        if self._slot_serves(images):
+            # Backpressure: wait for a free slot instead of buffering.
+            slot = await self._free_slots.get()
+            try:
+                self._channel.requests.write(slot, images)
+                outcome = await loop.run_in_executor(
+                    self.executor, _process_forward_shm, slot, images.shape)
+                if outcome[0] == "shm":
+                    _, shape, total, forward_s = outcome
+                    # Copy out before the slot is released for reuse.
+                    logits = np.array(self._channel.responses.view(slot, shape))
+                else:
+                    _, logits, total, forward_s = outcome
+            finally:
+                self._free_slots.put_nowait(slot)
+        else:
+            logits, total, forward_s = await loop.run_in_executor(
+                self.executor, _process_forward, images)
+            if self.transport == "shm" and self._channel is None:
+                await self._build_channel(images, logits)
         measured = total - self._conversions_total
         self._conversions_total = total
+        self.transport_s += max(time.perf_counter() - start - forward_s, 0.0)
         return logits, measured
 
     async def stage_profile(self) -> Dict[str, float]:
-        """The remote plan's stage breakdown."""
+        """The remote plan's stage breakdown plus parent-side transport time."""
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self.executor, _process_profile)
+        profile = await loop.run_in_executor(self.executor, _process_profile)
+        profile["transport_s"] = self.transport_s
+        return profile
 
     async def close(self) -> None:
-        """Shut the worker process down."""
-        await asyncio.to_thread(self.executor.shutdown, True)
+        """Shut the worker process down and unlink its shared memory.
+
+        The parent owns the segments, so they are removed even when the
+        worker process already crashed mid-batch.
+        """
+        try:
+            await asyncio.to_thread(self.executor.shutdown, True)
+        finally:
+            if self._channel is not None:
+                self._channel.close(unlink=True)
+                self._channel = None
 
 
 class ServiceClosedError(RuntimeError):
@@ -186,6 +318,16 @@ class ServeConfig:
         GIL-shared threads, with deterministic per-worker state (replica
         ``i`` is constructed by the same seeded recipe in both modes, so
         served logits match the in-loop workers bit for bit).
+    transport:
+        Batch transport of ``workers="process"``: ``"shm"`` (default)
+        moves images and logits through parent-owned shared-memory rings
+        (zero-copy views in the worker, fixed slot count with backpressure,
+        unlinked on close); ``"pickle"`` serialises every batch through the
+        executor pipe — the pre-shared-memory behaviour, kept as the
+        benchmark baseline.  Ignored by thread workers.
+    transport_slots:
+        Ring slots per process worker (the in-flight bound of the
+        shared-memory transport).
     macros_per_worker:
         Modelled AFPR macros per worker (occupancy accounting).
     policy:
@@ -210,6 +352,8 @@ class ServeConfig:
     max_wait_ms: float = 2.0
     num_workers: int = 1
     workers: str = "thread"
+    transport: str = "shm"
+    transport_slots: int = 4
     macros_per_worker: int = 8
     policy: str = "round_robin"
     queue_capacity: Optional[int] = None
@@ -232,6 +376,11 @@ class InferenceService:
             raise ValueError(
                 f"unknown worker mode {self.config.workers!r}; "
                 "choose 'thread' or 'process'"
+            )
+        if self.config.transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"unknown process transport {self.config.transport!r}; "
+                "choose 'shm' or 'pickle'"
             )
         self.metrics = ServiceMetrics(
             energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
@@ -291,7 +440,10 @@ class InferenceService:
                     # failed start still shuts its executor down below.
                     payload = await asyncio.to_thread(pickle.dumps, runner.plan)
                     await asyncio.to_thread(runner.close)
-                    worker: Union[_ThreadWorker, _ProcessWorker] = _ProcessWorker(payload)
+                    worker: Union[_ThreadWorker, _ProcessWorker] = _ProcessWorker(
+                        payload, transport=config.transport,
+                        max_batch=config.max_batch,
+                        slots=config.transport_slots)
                     self._workers.append(worker)
                     await worker.start()
                 else:
@@ -396,9 +548,22 @@ class InferenceService:
         return await self.submit_nowait(images)
 
     async def submit_many(self, images: np.ndarray) -> np.ndarray:
-        """Submit each sample as its own request (N concurrent clients)."""
+        """Submit ``images`` as contiguous ``max_batch``-row slice requests.
+
+        A k-row submission used to create one request (and one future) per
+        sample — thousands of queue entries and gather slots that the
+        batcher immediately re-coalesced into ``max_batch``-row batches.
+        Submitting the same contiguous slices directly enqueues
+        ``ceil(k / max_batch)`` stacked requests instead: identical
+        execution batches (each slice is exactly one flush) and identical
+        FIFO carry semantics, with O(1) futures per executed batch.  Note
+        a slice counts as one request toward ``queue_capacity`` and in the
+        request-level metrics.
+        """
         array = np.asarray(images, dtype=np.float64)
-        futures = [self.submit_nowait(sample) for sample in array]
+        step = max(self.config.max_batch, 1)
+        futures = [self.submit_nowait(array[start:start + step])
+                   for start in range(0, array.shape[0], step)]
         results = await asyncio.gather(*futures)
         if not results:
             # Mirror run_model's empty-input behaviour: (0, 0) logits.
@@ -490,6 +655,7 @@ class InferenceService:
                 # pessimistic estimate leaves phantom load behind.
                 state.accelerator.complete_inference(
                     measured if measured else estimate, booked=estimate)
+                state.transport_s = getattr(worker, "transport_s", 0.0)
                 scatter_results(batch, logits)
                 self._outstanding -= len(batch)
                 self.metrics.record_batch(
@@ -520,9 +686,21 @@ class InferenceService:
                 conversions=state.accelerator.completed_conversions,
                 busy_seconds=state.accelerator.busy_seconds,
                 mode=state.mode,
+                transport_s=state.transport_s,
             )
             for state in self._worker_states
         ]
+
+    def shm_segment_names(self) -> List[str]:
+        """Shared-memory segments currently owned by the process workers.
+
+        Used by the leak tests: every listed name must be gone from the
+        system after :meth:`stop` / the workers' ``close``.
+        """
+        names: List[str] = []
+        for worker in self._workers:
+            names.extend(getattr(worker, "shm_segment_names", []))
+        return names
 
     async def stage_profiles(self) -> List[Dict[str, float]]:
         """Per-worker plan-stage (DAC/crossbar/ADC/digital) breakdowns.

@@ -1,0 +1,162 @@
+"""Shared-memory ring transport between the service and its process workers.
+
+``workers="process"`` historically pickled every batch into the worker's
+executor pipe and pickled the logits back — two serialisations, chunked pipe
+writes and reads, and three copies per batch of pure software overhead.
+This module replaces that with ``multiprocessing.shared_memory`` rings:
+
+* the parent owns two segments per worker — images in, logits out — each
+  cut into a fixed number of equally-sized **slots**;
+* a batch is written straight into a free request slot (one copy), the
+  worker runs its plan on a zero-copy view of that slot and writes the
+  logits into the matching response slot (one copy), and only the tiny
+  ``(slot, shape)`` coordinates cross the executor pipe;
+* the free-slot queue provides **backpressure**: a batch waits for a slot
+  instead of growing an unbounded buffer;
+* the parent creates and unlinks the segments, so ``service.close()``
+  always removes them from ``/dev/shm`` — even when the worker process
+  crashed mid-batch (attachment in the worker is excluded from its
+  resource tracker precisely so a dying worker cannot unlink the parent's
+  segments first).
+
+Slot sizes are learned from the first served batch (which rides the pickle
+path and doubles as the worker warm-up): ``max_batch`` rows of that batch's
+row layout, so steady-state traffic is zero-copy while oversized one-off
+requests transparently fall back to pickling.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Python < 3.13 registers every attachment with the attaching process's
+    resource tracker, which then unlinks the segment when that process
+    exits — yanking it out from under the parent that owns it.  (Whether
+    the worker shares the parent's tracker daemon or spawned its own
+    depends on fork timing, so unregistering after the fact either
+    double-removes the parent's entry or races the worker-tracker's exit
+    cleanup.)  Registration is therefore suppressed for the attachment
+    itself: the worker only ever *closes* its mapping; creating, tracking
+    and unlinking stay with the parent that owns the segment.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+class SlotRing:
+    """One shared-memory segment cut into fixed-size array slots."""
+
+    def __init__(self, slots: int, slot_nbytes: int,
+                 segment: Optional[shared_memory.SharedMemory] = None) -> None:
+        if slots < 1 or slot_nbytes < 1:
+            raise ValueError("need at least one slot of at least one byte")
+        self.slots = slots
+        self.slot_nbytes = int(slot_nbytes)
+        self.segment = (segment if segment is not None
+                        else shared_memory.SharedMemory(
+                            create=True, size=slots * self.slot_nbytes))
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_nbytes: int) -> "SlotRing":
+        """Worker-side view of a parent-owned ring (never unlinks it)."""
+        return cls(slots, slot_nbytes, segment=attach_segment(name))
+
+    @property
+    def name(self) -> str:
+        """The segment name (its ``/dev/shm`` entry)."""
+        return self.segment.name
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an array of ``nbytes`` fits one slot."""
+        return nbytes <= self.slot_nbytes
+
+    def view(self, slot: int, shape: Tuple[int, ...],
+             dtype=np.float64) -> np.ndarray:
+        """A zero-copy array view of one slot."""
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} out of range 0..{self.slots - 1}")
+        offset = slot * self.slot_nbytes
+        view = np.ndarray(shape, dtype=dtype,
+                          buffer=self.segment.buf[offset:offset + self.slot_nbytes])
+        return view
+
+    def write(self, slot: int, array: np.ndarray) -> None:
+        """Copy ``array`` into ``slot`` (the transport's single copy)."""
+        if not self.fits(array.nbytes):
+            raise ValueError(
+                f"array of {array.nbytes} bytes exceeds the "
+                f"{self.slot_nbytes}-byte slot"
+            )
+        self.view(slot, array.shape, array.dtype)[...] = array
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself stays)."""
+        try:
+            self.segment.close()
+        except BufferError:  # a live view still references the buffer
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner side, idempotent)."""
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmChannel:
+    """The parent-owned request/response ring pair of one process worker."""
+
+    def __init__(self, slots: int, request_slot_nbytes: int,
+                 response_slot_nbytes: int) -> None:
+        self.requests = SlotRing(slots, request_slot_nbytes)
+        try:
+            self.responses = SlotRing(slots, response_slot_nbytes)
+        except Exception:
+            self.requests.close()
+            self.requests.unlink()
+            raise
+        self.slots = slots
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of both segments (what the unlink tests check)."""
+        return [self.requests.name, self.responses.name]
+
+    def describe(self) -> Tuple[str, str, int, int, int]:
+        """The attach coordinates shipped to the worker process."""
+        return (self.requests.name, self.responses.name, self.slots,
+                self.requests.slot_nbytes, self.responses.slot_nbytes)
+
+    def close(self, unlink: bool = True) -> None:
+        """Close the mappings and (by default) unlink both segments."""
+        for ring in (self.requests, self.responses):
+            ring.close()
+            if unlink:
+                ring.unlink()
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment of this name still exists."""
+    try:
+        segment = attach_segment(name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True

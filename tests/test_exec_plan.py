@@ -13,6 +13,7 @@ import pickle
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.config import ADCConfig, DACConfig, MacroConfig, hardware_activation_format
 from repro.core.fp_adc import FPADC
@@ -28,7 +29,14 @@ from repro.exec import (
     available_backends,
     run_model,
 )
-from repro.exec.plan import CompiledTile, TileNotCompilable
+from repro.exec.plan import (
+    CompiledTile,
+    PlanArena,
+    RowCodec,
+    TileNotCompilable,
+    _quantize_fp16_grid,
+)
+from repro.formats.fp8 import FP16
 from repro.formats.fp8 import (
     E2M5,
     E3M4,
@@ -335,6 +343,115 @@ class TestCompiledMappedLayer:
 
 
 # ----------------------------------------------------------------------
+# Code-domain execution
+# ----------------------------------------------------------------------
+class TestPlanArena:
+    def test_grows_and_reuses(self):
+        arena = PlanArena()
+        a = arena.take("x", (4, 8))
+        b = arena.take("x", (3, 8))
+        assert b.base is a.base  # same slab reused for the smaller request
+        c = arena.take("x", (64, 64))
+        assert c.base is not a.base  # grew
+        assert arena.take("x", (64, 64)).base is c.base
+        # distinct names and dtypes never share a slab
+        assert arena.take("y", (4, 8)).base is not arena.take("x", (4, 8)).base
+        assert arena.take("x", (4, 8), np.int64).dtype == np.int64
+
+    def test_pickling_drops_slabs(self):
+        arena = PlanArena()
+        arena.take("x", (1024, 1024))
+        clone = pickle.loads(pickle.dumps(arena))
+        assert clone.nbytes() == 0
+        assert arena.nbytes() > 0
+        clone.take("x", (4, 4))[...] = 1.0  # regrows and works
+
+
+class TestFP16GridQuantize:
+    def test_bit_identical_to_reference_everywhere(self):
+        grid = FP16.all_values(include_negative=True)
+        mids = 0.5 * (grid[:-1] + grid[1:])
+        rng = np.random.default_rng(8)
+        x = np.concatenate([
+            rng.standard_normal(50000) * 1e5,
+            rng.standard_normal(20000) * 1e-6,  # subnormal / underflow region
+            grid, mids,
+            np.nextafter(mids, -np.inf), np.nextafter(mids, np.inf),
+            [0.0, -0.0, np.inf, -np.inf, 65504.0, 65520.0, 65536.0,
+             131008.0, 131040.0, 131072.0, -131040.0, 1e308, -1e308,
+             5e-324, -5e-324, 2.0 ** -24, 2.0 ** -25, -2.0 ** -25],
+        ])
+        with np.errstate(over="ignore"):
+            reference = FP16.quantize(x)
+            fast = _quantize_fp16_grid(x)
+        assert bitwise_equal(reference, fast)
+
+
+class TestRowCodec:
+    def test_encode_matches_generic_sign_split_ranking(self):
+        _, host = programmed_macro_pair()
+        tile = CompiledTile(host, StageProfile())
+        codec = RowCodec(tile)
+        rng = np.random.default_rng(21)
+        acts = np.concatenate([
+            rng.standard_normal((6, tile.in_features)),
+            rng.standard_normal((2, tile.in_features)) * 1e3,   # saturation
+            rng.standard_normal((2, tile.in_features)) * 1e-7,  # flush to zero
+            np.zeros((1, tile.in_features)),
+        ])
+        codes = codec.encode(acts, PlanArena(), "t")
+        # The generic path ranks each sign pass separately; the signed code
+        # composes both: rank of |x| plus the sign in the table offset.
+        pos_rank = tile.dac_indexer(np.minimum(
+            np.clip(acts, 0.0, None) / tile.activation_scale, tile.dac_clamp))
+        neg_rank = tile.dac_indexer(np.minimum(
+            np.clip(-acts, 0.0, None) / tile.activation_scale, tile.dac_clamp))
+        volts = np.concatenate([tile.dac_volts, np.zeros(codec.levels)])
+        assert bitwise_equal(codec.volts_pos[codes], volts[pos_rank])
+        assert bitwise_equal(codec.volts_neg[codes],
+                             np.where(acts < 0, volts[neg_rank], 0.0))
+        # Sign flag: any code >= levels on a row == any negative element.
+        assert np.array_equal(np.any(codes >= codec.levels, axis=1),
+                              np.any(acts < 0, axis=1))
+
+    @given(
+        differential=st.booleans(),
+        read_noise=st.booleans(),
+        in_features=st.integers(min_value=3, max_value=40),
+        out_features=st.integers(min_value=1, max_value=10),
+        magnitude=st.sampled_from([1e-4, 1.0, 50.0]),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_code_domain_layer_bit_identical_random_configs(
+            self, differential, read_noise, in_features, out_features,
+            magnitude, seed):
+        """Property: for random macro configs and activation regimes the
+        code-domain compiled layer reproduces the generic mapped layer bit
+        for bit (logits, conversions and routing-adder accounting)."""
+        config = MacroConfig(
+            differential_columns=differential,
+            read_noise_enabled=read_noise,
+            device_statistics=quiet_stats(
+                read_noise_sigma=0.005 if read_noise else 0.0),
+        )
+        rng = np.random.default_rng(seed)
+        weights = rng.standard_normal((in_features, out_features)) * 0.3
+        calibration = np.abs(rng.standard_normal((6, in_features))) * magnitude
+        generic = MappedLayer(weights, macro_config=config)
+        generic.calibrate(calibration)
+        host = MappedLayer(weights, macro_config=config)
+        host.calibrate(calibration)
+        compiled = CompiledMappedLayer(host, StageProfile(), code_domain=True)
+        assert compiled.coded_row_ranges == 1
+
+        acts = rng.standard_normal((9, in_features)) * magnitude
+        assert bitwise_equal(generic.forward(acts), compiled.forward(acts))
+        assert generic.total_conversions() == compiled.total_conversions()
+        assert generic.routing_adder.additions == host.routing_adder.additions
+
+
+# ----------------------------------------------------------------------
 # Whole-model plans
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
@@ -377,6 +494,50 @@ class TestModelPlan:
         assert bitwise_equal(planned.logits, generic.logits), backend
         assert planned.conversions == generic.conversions
         assert planned.accuracy == generic.accuracy
+
+    @pytest.mark.parametrize("backend", ["ideal", "fake_quant", "fast_noise", "analog"])
+    def test_code_domain_bit_identical_to_float_plan_all_backends(
+            self, plan_setup, backend):
+        model, x_train, x_test, y_test = plan_setup
+        coded = run_model(model, x_test, y_test, backend=backend,
+                          context=plan_context(x_train))
+        float_plan = run_model(model, x_test, y_test, backend=backend,
+                               context=plan_context(x_train, code_domain=False))
+        assert bitwise_equal(coded.logits, float_plan.logits), backend
+        assert coded.conversions == float_plan.conversions
+        expected = {"analog": "code-domain", "ideal": "generic"}.get(
+            backend, "float-plan")
+        assert coded.plan_mode == expected
+        assert float_plan.plan_mode == ("generic" if backend == "ideal"
+                                        else "float-plan")
+
+    def test_conv_model_threads_codes_through_im2col(self):
+        # A padded conv (zero-pad codes!), signed inputs (both sign passes)
+        # and a bias: the planned forward encodes before im2col and must
+        # reproduce the generic hook path bit for bit.
+        dataset = SyntheticImageDataset(DatasetConfig(num_classes=4, image_size=10,
+                                                      noise_sigma=0.3, seed=5))
+        x_train, y_train, x_test, _ = dataset.train_test_split(96, 16)
+        model = Sequential(
+            Conv2d(3, 6, 3, padding=1, rng=np.random.default_rng(2)),
+            ReLU(),
+            GlobalAvgPool2d(),
+            Linear(6, 4, rng=np.random.default_rng(3)),
+        )
+        Trainer(model, SGD(model.parameters(), learning_rate=0.05),
+                batch_size=32).fit(x_train, y_train, epochs=1)
+        context = plan_context(x_train)
+        backend = AnalogBackend()
+        runner = BatchRunner(model, backend, context=context)
+        try:
+            mapped = backend._mapped.adapters[0].mapped
+            assert mapped.full_row_codec is not None  # pre-im2col encoding on
+            coded = runner.forward(x_test)
+        finally:
+            runner.close()
+        generic = run_model(model, x_test, backend="analog",
+                            context=plan_context(x_train, compile_plan=False))
+        assert bitwise_equal(coded, generic.logits)
 
     def test_registered_backends_are_the_expected_four(self):
         assert set(available_backends()) == {"ideal", "fake_quant",

@@ -290,7 +290,10 @@ class TestInferenceService:
         _, snapshot = serve_requests(model, x_test[:64],
                                      ServeConfig(max_batch=16, max_wait_ms=50.0))
         assert snapshot.batch_histogram == {16: 4}
-        assert snapshot.requests == 64 and snapshot.dropped == 0
+        # submit_many enqueues contiguous max_batch-row slices: 64 samples
+        # arrive as 4 stacked requests (O(1) futures per executed batch).
+        assert snapshot.samples == 64 and snapshot.requests == 4
+        assert snapshot.dropped == 0
 
     def test_served_logits_bit_identical_any_split_ideal(self, trained_setup):
         # max_batch=7 forces uneven splits; the ideal backend is
