@@ -12,6 +12,13 @@ per-key floor below the committed baseline (20-50% depending on the
 ratio's observed variance; ``--threshold`` overrides all of them) fails
 the job.
 
+Baselined ratios missing from the fresh results WARN instead of failing
+for the ``OPTIONAL_FRESH`` files (benchmarks that legitimately skip on
+some runners — e.g. ``bench_pipeline`` needs real cores — or are newly
+added), so a new benchmark never breaks the gate; the always-run core
+files still fail loudly when unmeasured, and ``--strict`` makes even the
+optional ones fail.
+
 Refresh the baselines intentionally (and commit the diff) after a change
 that legitimately moves them::
 
@@ -47,7 +54,19 @@ GUARDED_RATIOS: Dict[str, Dict[str, float]] = {
     "BENCH_serve.json": {"transport_speedup": 0.25,
                          "modes.thread.speedup": 0.5,
                          "modes.process.speedup": 0.5},
+    # The committed pipeline baseline starts at the 1.5x contract floor the
+    # benchmark hard-asserts (refresh it with a measured multi-core run);
+    # bench_pipeline skips itself on runners without enough cores, which
+    # the warn-don't-fail missing-fresh handling below tolerates.
+    "BENCH_pipeline.json": {"pipeline_speedup": 0.35},
 }
+
+#: Guarded files whose *absence* from a fresh run is expected on some
+#: runners (benchmarks that skip themselves, newly-added benchmarks whose
+#: baseline is still the contract floor).  Missing fresh results for these
+#: warn; for every other guarded file they FAIL — a filtered run or a
+#: renamed key must not silently stop guarding the core ratios.
+OPTIONAL_FRESH = {"BENCH_pipeline.json"}
 
 
 def _lookup(document: dict, dotted: str):
@@ -60,20 +79,34 @@ def _lookup(document: dict, dotted: str):
 
 
 def compare(fresh_dir: str, baseline_dir: str,
-            threshold: Optional[float] = None) -> Tuple[List[str], List[str]]:
-    """Return (report lines, failure lines) for all guarded ratios."""
+            threshold: Optional[float] = None,
+            strict: bool = False) -> Tuple[List[str], List[str]]:
+    """Return (report lines, failure lines) for all guarded ratios.
+
+    A baselined ratio missing from the fresh results **warns** for the
+    :data:`OPTIONAL_FRESH` files (benchmarks that legitimately skip on
+    some runners, e.g. the pipeline benchmark needs real cores) and
+    **fails** for every other guarded file — a filtered bench run or a
+    renamed key must not silently unguard the core ratios.
+    ``strict=True`` makes even the optional files fail when missing.
+    """
     lines: List[str] = []
     failures: List[str] = []
     compared = 0
     for filename, keys in GUARDED_RATIOS.items():
         fresh_path = os.path.join(fresh_dir, filename)
         baseline_path = os.path.join(baseline_dir, filename)
+        optional = filename in OPTIONAL_FRESH and not strict
         if not os.path.exists(baseline_path):
             lines.append(f"{filename}: no committed baseline, skipping")
             continue
         if not os.path.exists(fresh_path):
-            failures.append(f"{filename}: fresh trajectory missing from "
-                            f"{fresh_dir} (benchmarks did not run?)")
+            message = (f"{filename}: fresh trajectory missing from "
+                       f"{fresh_dir} (benchmark skipped or did not run)")
+            if optional:
+                lines.append(f"WARNING: {message}")
+            else:
+                failures.append(message)
             continue
         with open(fresh_path, encoding="utf-8") as handle:
             fresh = json.load(handle)
@@ -86,12 +119,13 @@ def compare(fresh_dir: str, baseline_dir: str,
                 lines.append(f"{filename}:{key}: not in the baseline, skipping")
                 continue
             if fresh_value is None:
-                # A baselined ratio the fresh run did not measure means the
-                # gate silently stopped guarding it (filtered bench run,
-                # renamed key) — fail loudly instead.
-                failures.append(
+                message = (
                     f"{filename}:{key} is baselined but missing from the "
-                    f"fresh trajectory (did the benchmark run completely?)")
+                    f"fresh trajectory (benchmark skipped or renamed?)")
+                if optional:
+                    lines.append(f"WARNING: {message}")
+                else:
+                    failures.append(message)
                 continue
             compared += 1
             drop = key_threshold if threshold is None else threshold
@@ -122,8 +156,13 @@ def main(argv=None) -> int:
                         help="override the allowed fractional drop below "
                              "baseline for every ratio (e.g. 0.05 = strict "
                              "5%%); default: each ratio's own floor")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on missing fresh measurements even for "
+                             "the OPTIONAL_FRESH benchmarks that may "
+                             "legitimately skip")
     args = parser.parse_args(argv)
-    lines, failures = compare(args.fresh, args.baselines, args.threshold)
+    lines, failures = compare(args.fresh, args.baselines, args.threshold,
+                              strict=args.strict)
     for line in lines:
         print(line)
     if failures:

@@ -28,6 +28,14 @@ Sub-packages
     The unified execution engine: an ``ExecutionBackend`` registry
     (``ideal`` / ``fake_quant`` / ``fast_noise`` / ``analog``) behind one
     ``run_model(model, data, backend=...)`` entry point.
+``repro.serve``
+    The dynamic-batching inference service: micro-batcher, multi-macro
+    scheduler, metrics, load generator, process workers and the
+    shared-memory batch transport.
+``repro.shard``
+    Pipeline-parallel sharding: compiled plans cut into per-stage partial
+    plans and executed across stage processes joined by shared-memory
+    rings.
 ``repro.analysis``
     Experiment runners regenerating every figure and table of the paper.
 """

@@ -109,6 +109,41 @@ def conv_weights_to_matrix(weights: np.ndarray) -> np.ndarray:
     return weights.reshape(c_out, -1).T
 
 
+def grouped_conv_weights_to_matrix(weights: np.ndarray, groups: int) -> np.ndarray:
+    """Flatten grouped-conv kernels into a block-diagonal weight matrix.
+
+    A grouped convolution with ``(C_out, C_in/g, k, k)`` kernels only
+    connects group ``i``'s input channels to group ``i``'s output channels.
+    Because im2col flattens patches channel-major, each group's patch
+    features occupy a *contiguous* row range of the full ``C_in*k*k``-wide
+    matrix — so the grouped conv is exactly a block-diagonal
+    ``(C_in*k*k, C_out)`` matrix over the ordinary full-width im2col, with
+    one ``(C_in/g*k*k, C_out/g)`` dense block per group and zeros elsewhere.
+    :class:`MappedLayer` with ``groups=g`` places only the diagonal blocks
+    on macros (per-group tile placement), never materialising crossbars for
+    the structural zeros.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4:
+        raise ValueError("convolution weights must be 4-D (C_out, C_in/g, k, k)")
+    if groups < 1:
+        raise ValueError("groups must be >= 1")
+    if groups == 1:
+        return conv_weights_to_matrix(weights)
+    c_out, c_in_per_group, kernel, _ = weights.shape
+    if c_out % groups:
+        raise ValueError(f"{c_out} output channels do not divide into {groups} groups")
+    out_per_group = c_out // groups
+    rows_per_group = c_in_per_group * kernel * kernel
+    matrix = np.zeros((groups * rows_per_group, c_out), dtype=np.float64)
+    for g in range(groups):
+        block = weights[g * out_per_group:(g + 1) * out_per_group]
+        matrix[g * rows_per_group:(g + 1) * rows_per_group,
+               g * out_per_group:(g + 1) * out_per_group] = (
+            block.reshape(out_per_group, -1).T)
+    return matrix
+
+
 # ----------------------------------------------------------------------
 # Tiling
 # ----------------------------------------------------------------------
@@ -195,12 +230,19 @@ class MappedLayer:
     ideal_programming:
         Program conductances without write noise (useful for debugging and
         golden-model comparisons).
+    groups:
+        Grouped/depthwise structure: the weight matrix must be
+        block-diagonal with ``groups`` equal blocks (see
+        :func:`grouped_conv_weights_to_matrix`), and only the diagonal
+        blocks are tiled onto macros — per-group tile placement instead of
+        crossbars full of structural zeros.
     """
 
     def __init__(self, weights: np.ndarray, macro_config: MacroConfig = MacroConfig(),
                  routing_adder: Optional[RoutingAdder] = None,
                  ideal_programming: bool = False,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 groups: int = 1) -> None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError("weights must be 2-D (in_features, out_features)")
@@ -211,9 +253,18 @@ class MappedLayer:
 
         in_features, out_features = weights.shape
         probe = AFPRMacro(macro_config, rng=self._rng)
-        self.tiles = tile_weight_matrix(
-            in_features, out_features, probe.max_in_features, probe.max_out_features
-        )
+        if groups < 1:
+            raise ValueError("groups must be >= 1")
+        self.groups = groups
+        if groups == 1:
+            self.tiles = tile_weight_matrix(
+                in_features, out_features, probe.max_in_features, probe.max_out_features
+            )
+        else:
+            self.tiles = self._grouped_tiles(
+                in_features, out_features, groups,
+                probe.max_in_features, probe.max_out_features
+            )
         self.macros: List[AFPRMacro] = []
         for tile in self.tiles:
             macro = AFPRMacro(macro_config, rng=self._rng)
@@ -229,6 +280,39 @@ class MappedLayer:
             key = (tile.col_start, tile.col_stop)
             grouped.setdefault(key, []).append((tile, macro))
         self.column_ranges = sorted(grouped.items())
+
+    def _grouped_tiles(self, in_features: int, out_features: int, groups: int,
+                       max_rows: int, max_cols: int) -> List[TileSpec]:
+        """Per-group tile placement over a block-diagonal weight matrix."""
+        if in_features % groups or out_features % groups:
+            raise ValueError(
+                f"feature counts ({in_features}, {out_features}) must divide "
+                f"into {groups} groups"
+            )
+        in_per_group = in_features // groups
+        out_per_group = out_features // groups
+        # Off-block-diagonal weight would be silently dropped by per-group
+        # placement; refuse it rather than compute the wrong product.
+        check = self.weights.copy()
+        for g in range(groups):
+            check[g * in_per_group:(g + 1) * in_per_group,
+                  g * out_per_group:(g + 1) * out_per_group] = 0.0
+        if np.any(check != 0.0):
+            raise ValueError(
+                "grouped mapping requires a block-diagonal weight matrix "
+                "(use grouped_conv_weights_to_matrix)"
+            )
+        tiles: List[TileSpec] = []
+        for g in range(groups):
+            row_base = g * in_per_group
+            col_base = g * out_per_group
+            for tile in tile_weight_matrix(in_per_group, out_per_group,
+                                           max_rows, max_cols):
+                tiles.append(TileSpec(
+                    tile.row_start + row_base, tile.row_stop + row_base,
+                    tile.col_start + col_base, tile.col_stop + col_base,
+                ))
+        return tiles
 
     # ------------------------------------------------------------------
     @property

@@ -8,6 +8,7 @@ compiled-plan speedup from a shell::
 
     python -m repro run --backend analog --profile
     python -m repro run --backend analog --no-plan --profile
+    python -m repro run --backend analog --pipeline-stages 2 --profile
 """
 
 from __future__ import annotations
@@ -47,6 +48,13 @@ def build_run_parser() -> argparse.ArgumentParser:
                         help="keep the float-domain compiled kernels (the "
                              "PR-3 plan behaviour) instead of code-domain "
                              "execution")
+    parser.add_argument("--pipeline-stages", type=int, default=1,
+                        help="shard the compiled plan across this many "
+                             "pipeline stage processes (>=2) instead of "
+                             "running it on one worker")
+    parser.add_argument("--macro-budget", type=int, default=None,
+                        help="per-stage crossbar capacity in macros for the "
+                             "pipeline partitioner")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the model, data and backend")
     return parser
@@ -65,6 +73,7 @@ def render_stage_profile(profile: dict) -> str:
         total_s=profile.get("total_s", 0.0),
         forwards=int(profile.get("forwards", 0)),
         transport_s=profile.get("transport_s", 0.0),
+        bubble_s=profile.get("bubble_s", 0.0),
     ).render()
 
 
@@ -86,6 +95,25 @@ def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
     )
     if args.backend == "ideal":
         context = dataclasses.replace(context, calibration=None)
+    if args.pipeline_stages > 1:
+        # Imported lazily: the shard layer pulls in the multiprocessing
+        # pipeline machinery only sharded runs need.
+        from repro.shard import run_pipelined
+
+        report = run_pipelined(model, images, backend=args.backend,
+                               context=context,
+                               num_stages=args.pipeline_stages,
+                               probe=x_train[:16],
+                               max_macros_per_stage=args.macro_budget)
+        lines = [report.render()]
+        if args.profile:
+            for stage in report.stage_stats:
+                lines.append(f"stage {stage['stage']} profile:")
+                profile = dict(stage.get("profile", {}))
+                profile["transport_s"] = stage.get("transport_s", 0.0)
+                profile["bubble_s"] = stage.get("bubble_s", 0.0)
+                lines.append(render_stage_profile(profile))
+        return "\n".join(lines), 0
     report = run_model(model, images, backend=args.backend, context=context)
     lines = [
         f"Backend {report.backend}: {report.samples} samples in "

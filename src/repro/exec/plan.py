@@ -67,7 +67,7 @@ from repro.exec.backend import ExecutionBackend, ExecutionContext
 from repro.exec.backends import AnalogBackend, FakeQuantBackend
 from repro.formats.fp8 import quantization_lut, quantize_via_lut
 from repro.formats.quantizer import compile_quantizer
-from repro.nn.layers import Conv2d, Layer, Linear
+from repro.nn.layers import Layer, Linear
 from repro.nn.model import Model
 
 
@@ -132,6 +132,9 @@ class StageProfile:
     total_s: float = 0.0
     forwards: int = 0
     transport_s: float = 0.0
+    #: Pipeline bubble: time a sharded stage spent starved for upstream
+    #: input after its first batch (zero outside pipeline execution).
+    bubble_s: float = 0.0
 
     @property
     def digital_s(self) -> float:
@@ -146,18 +149,21 @@ class StageProfile:
             "adc_s": self.adc_s,
             "digital_s": self.digital_s,
             "transport_s": self.transport_s,
+            "bubble_s": self.bubble_s,
             "total_s": self.total_s,
             "forwards": float(self.forwards),
         }
 
     def render(self) -> str:
         """Human-readable per-stage breakdown with a percent-of-total column."""
-        grand_total = self.total_s + self.transport_s
+        grand_total = self.total_s + self.transport_s + self.bubble_s
         denom = grand_total or 1.0
         rows = [("DAC", self.dac_s), ("crossbar", self.crossbar_s),
                 ("ADC", self.adc_s), ("digital", self.digital_s)]
         if self.transport_s > 0:
             rows.append(("transport", self.transport_s))
+        if self.bubble_s > 0:
+            rows.append(("bubble", self.bubble_s))
         lines = [f"Per-stage forward time over {self.forwards} forward(s):"]
         for name, seconds in rows:
             lines.append(f"  {name:9s} {seconds * 1e3:9.2f} ms  "
@@ -894,6 +900,11 @@ class CompiledMappedLayer:
             "cannot switch readout mode on a compiled layer; close the plan")
 
     @property
+    def num_macros(self) -> int:
+        """Number of macros the underlying mapped layer occupies."""
+        return self.mapped.num_macros
+
+    @property
     def compiled_tiles(self) -> int:
         """How many tiles run on LUT kernels (vs. generic fallback)."""
         return sum(isinstance(t, CompiledTile) for t in self.tiles)
@@ -921,8 +932,9 @@ class _PlannedMatmulForward:
 
     def __init__(self, layer: Layer, mapped, arena: Optional[PlanArena] = None,
                  key: str = "fwd") -> None:
-        if isinstance(layer, Conv2d) and layer.groups != 1:
-            raise TileNotCompilable("grouped convolutions stay on the hook path")
+        # Grouped convolutions map like any other conv: the block-diagonal
+        # weight matrix (per-group tile placement in MappedLayer) consumes
+        # the same full-width im2col the hook path feeds it.
         self.layer = layer
         self.mapped = mapped
         self.arena = arena if arena is not None else PlanArena()
@@ -1127,3 +1139,130 @@ def build_plan(model: Model, backend: ExecutionBackend,
     if context_overrides:
         ctx = dataclasses.replace(ctx, **context_overrides)
     return ModelPlan(model, backend, ctx)
+
+
+# ----------------------------------------------------------------------
+# Plan splitting: partial plans for pipeline-parallel stage workers
+# ----------------------------------------------------------------------
+def _layer_mapped(layer: Layer):
+    """The mapped layer behind ``layer``'s CIM adapter, if any."""
+    adapter = getattr(layer, "quantization", None)
+    return getattr(adapter, "mapped", None)
+
+
+def iter_sublayers(layer: Layer):
+    """Yield ``layer`` and (for containers) every nested sub-layer."""
+    yield layer
+    if isinstance(layer, Model):
+        yield from layer.modules()
+
+
+def layer_macro_count(layer: Layer) -> int:
+    """Macros occupied by ``layer`` (including nested container layers)."""
+    total = 0
+    for sub in iter_sublayers(layer):
+        mapped = _layer_mapped(sub)
+        if mapped is not None:
+            total += int(mapped.num_macros)
+    return total
+
+
+class PipelineStagePlan:
+    """A picklable contiguous slice of a compiled plan's layers.
+
+    :func:`split_plan` cuts a prepared :class:`ModelPlan` at top-level layer
+    boundaries of its ``Sequential`` model; each slice carries the layers
+    *with their compiled state attached* — CIM adapters, swapped
+    :class:`CompiledMappedLayer` kernels, planned forward overrides — so a
+    pickled stage reconstructs exactly the execution the full plan would
+    have performed over those layers, including every macro's generator
+    state.  Pickle the stages **before** ``plan.close()`` (close pops the
+    forward overrides and restores the generic mapped layers).
+
+    Inside a stage worker the plan is self-contained: :meth:`forward` runs
+    one batch through the slice, :meth:`conversions` meters only this
+    stage's macros, and :meth:`stage_profile` reports the slice's own
+    DAC/crossbar/ADC/digital breakdown.  The profile isolation comes from
+    the pickle boundary: the parent-side stage objects all reference the
+    *live, shared* plan profile (the compiled layers are wired to it), and
+    it is pickling each stage separately that gives every worker its own
+    copy.  Running unpickled stages in-process therefore merges their
+    profile accumulators — fine for bit-identity checks, wrong for
+    per-stage cost attribution; ship stages through pickle when the
+    breakdown matters.
+    """
+
+    def __init__(self, layers: List[Layer], profile: StageProfile,
+                 stage_index: int, layer_start: int, layer_stop: int) -> None:
+        self.layers = layers
+        self.profile = profile
+        self.stage_index = stage_index
+        self.layer_start = layer_start
+        self.layer_stop = layer_stop
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        """Run one batch through this stage's layer slice."""
+        start = time.perf_counter()
+        x = np.asarray(activations, dtype=np.float64)
+        for layer in self.layers:
+            x = layer.forward(x, training=False)
+        self.profile.total_s += time.perf_counter() - start
+        self.profile.forwards += 1
+        return x
+
+    def conversions(self) -> int:
+        """Analog macro conversions spent so far by this stage's layers."""
+        total = 0
+        for layer in self.layers:
+            for sub in iter_sublayers(layer):
+                mapped = _layer_mapped(sub)
+                if mapped is not None:
+                    total += mapped.total_conversions()
+        return total
+
+    def num_macros(self) -> int:
+        """Macros occupied by this stage (its crossbar footprint)."""
+        return sum(layer_macro_count(layer) for layer in self.layers)
+
+    def stage_profile(self) -> Dict[str, float]:
+        """Per-stage wall-clock breakdown accumulated so far."""
+        return self.profile.as_dict()
+
+
+def split_plan(plan: ModelPlan,
+               boundaries: List[Tuple[int, int]]) -> List[PipelineStagePlan]:
+    """Cut a prepared plan into contiguous per-stage partial plans.
+
+    ``boundaries`` is a list of ``(start, stop)`` top-level layer index
+    ranges that must tile ``plan.model.layers`` exactly (contiguous,
+    in order, no gaps).  The returned stage plans reference the *live*
+    layers of the plan — pickle each one (e.g. for shipping to a pipeline
+    stage process) before calling ``plan.close()`` or running any further
+    forwards on the parent plan.
+    """
+    layers = getattr(plan.model, "layers", None)
+    if layers is None:
+        raise TypeError(
+            "pipeline splitting requires a Sequential model with a flat "
+            f"top-level layer list; got {type(plan.model).__name__}"
+        )
+    if not boundaries:
+        raise ValueError("need at least one stage boundary")
+    expected = 0
+    for start, stop in boundaries:
+        if start != expected or stop <= start:
+            raise ValueError(
+                f"stage boundaries {boundaries} do not tile the "
+                f"{len(layers)} top-level layers contiguously"
+            )
+        expected = stop
+    if expected != len(layers):
+        raise ValueError(
+            f"stage boundaries {boundaries} cover {expected} of "
+            f"{len(layers)} top-level layers"
+        )
+    return [
+        PipelineStagePlan(list(layers[start:stop]), plan.profile,
+                          index, start, stop)
+        for index, (start, stop) in enumerate(boundaries)
+    ]

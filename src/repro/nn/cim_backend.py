@@ -22,7 +22,12 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.config import MacroConfig
-from repro.core.mapping import MappedLayer, conv_weights_to_matrix, im2col
+from repro.core.mapping import (
+    MappedLayer,
+    conv_weights_to_matrix,
+    grouped_conv_weights_to_matrix,
+    im2col,
+)
 from repro.nn.layers import Conv2d, Layer, Linear
 from repro.nn.model import Model
 from repro.nn.training import evaluate_model
@@ -52,21 +57,20 @@ class CIMExecutionAdapter:
                  vectorized_readout: bool = True) -> None:
         self.layer = layer
         self.macro_config = macro_config
+        groups = 1
         if isinstance(layer, Conv2d):
-            if layer.groups != 1:
-                # A grouped kernel flattens to (C_in/groups)*k*k rows but
-                # im2col expands C_in*k*k patch features; mapping it would
-                # only fail later with a confusing shape error.
-                raise ValueError(
-                    "grouped/depthwise convolutions cannot be macro-mapped; "
-                    "cap max_mapped_layers before the first grouped layer"
-                )
-            weight_matrix = conv_weights_to_matrix(layer.weight.value)
+            # Grouped/depthwise kernels become a block-diagonal matrix over
+            # the ordinary full-width im2col; MappedLayer places only the
+            # per-group diagonal blocks on macros.
+            groups = layer.groups
+            weight_matrix = grouped_conv_weights_to_matrix(layer.weight.value,
+                                                           groups)
         elif isinstance(layer, Linear):
             weight_matrix = layer.weight.value
         else:
             raise TypeError(f"unsupported layer type: {type(layer)!r}")
-        self.mapped = MappedLayer(weight_matrix, macro_config=macro_config)
+        self.mapped = MappedLayer(weight_matrix, macro_config=macro_config,
+                                  groups=groups)
         # Set the readout mode before calibrating: the ADC full-scale choice
         # depends on whether idle columns take part in the readout.
         self.mapped.set_vectorized_readout(vectorized_readout)

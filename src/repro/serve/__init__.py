@@ -11,7 +11,9 @@ system::
 * :mod:`repro.serve.scheduler` — placement policies (``round_robin``,
   ``least_loaded``) over occupancy-tracked
   :class:`~repro.core.accelerator.AFPRAccelerator` worker pools,
-* :mod:`repro.serve.service` — the asyncio :class:`InferenceService`,
+* :mod:`repro.serve.service` — the asyncio :class:`InferenceService`
+  (worker substrates: in-loop threads, shipped-plan processes, or a
+  ``pipeline_stages=N`` sharded stage pipeline via :mod:`repro.shard`),
 * :mod:`repro.serve.metrics` — latency percentiles, queue depth, batch-size
   histogram, throughput and energy-per-request,
 * :mod:`repro.serve.loadgen` — seeded open-loop Poisson / bursty / uniform
@@ -42,7 +44,12 @@ from repro.serve.loadgen import (
     run_open_loop,
     uniform_arrivals,
 )
-from repro.serve.metrics import MetricsSnapshot, ServiceMetrics, WorkerSnapshot
+from repro.serve.metrics import (
+    MetricsSnapshot,
+    ServiceMetrics,
+    StageOccupancy,
+    WorkerSnapshot,
+)
 from repro.serve.scheduler import (
     LeastLoadedScheduler,
     RoundRobinScheduler,
@@ -75,6 +82,7 @@ __all__ = [
     "uniform_arrivals",
     "MetricsSnapshot",
     "ServiceMetrics",
+    "StageOccupancy",
     "WorkerSnapshot",
     "LeastLoadedScheduler",
     "RoundRobinScheduler",

@@ -11,6 +11,7 @@ scheduling knobs, and an optional batch-size-1 comparison run::
     python -m repro loadtest --pattern bursty --rate 4000 --requests 512
     python -m repro loadtest --backend fake_quant --workers 4 --policy least_loaded
     python -m repro loadtest --compare-batch1
+    python -m repro loadtest --pipeline-stages 3 --profile
 """
 
 from __future__ import annotations
@@ -77,6 +78,15 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                         help="process-worker batch transport: zero-copy "
                              "shared-memory rings (default) or the legacy "
                              "pickle-per-batch pipe")
+    parser.add_argument("--pipeline-stages", type=int, default=1,
+                        help="shard each replica's compiled plan across "
+                             "this many pipeline stage processes (>=2), "
+                             "streaming batches between stages over "
+                             "shared-memory rings")
+    parser.add_argument("--macro-budget", type=int, default=None,
+                        help="per-worker crossbar capacity in macros "
+                             "(pipeline stages are cut to fit it; a "
+                             "1-stage service exceeding it is rejected)")
     parser.add_argument("--profile", action="store_true",
                         help="print each worker's per-stage (DAC/crossbar/"
                              "ADC/digital) breakdown after the run")
@@ -115,6 +125,8 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         num_workers=args.workers,
         workers=args.worker_mode,
         transport=args.transport,
+        pipeline_stages=args.pipeline_stages,
+        macro_budget=args.macro_budget,
         macros_per_worker=args.macros_per_worker,
         policy=args.policy,
         queue_capacity=args.queue_capacity,
@@ -135,12 +147,15 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
     result = run_loadtest(model, x_test, config, pattern=args.pattern,
                           rate_rps=args.rate, num_requests=args.requests,
                           seed=args.seed, collect_profile=args.profile)
-    transport_tag = (f", transport={args.transport}"
-                     if args.worker_mode == "process" else "")
+    if args.pipeline_stages > 1:
+        mode_tag = f"pipeline x{args.pipeline_stages}"
+    else:
+        mode_tag = args.worker_mode + (f", transport={args.transport}"
+                                       if args.worker_mode == "process" else "")
     lines = [
         f"In-process inference service: backend={args.backend} "
         f"max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
-        f"workers={args.workers} ({args.worker_mode}{transport_tag}) "
+        f"workers={args.workers} ({mode_tag}) "
         f"policy={args.policy}",
         result.render(),
     ]
@@ -148,8 +163,14 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
         from repro.exec.cli import render_stage_profile
 
         for index, profile in enumerate(result.stage_profiles):
-            lines.append(f"worker {index} ({args.worker_mode}):")
+            lines.append(f"worker {index} ({mode_tag}):")
             lines.append(render_stage_profile(profile))
+            for stage in profile.get("stages", []):
+                layers = stage.get("layers", [0, 0])
+                lines.append(f"worker {index} pipeline stage "
+                             f"{stage['stage']} (layers {layers[0]}.."
+                             f"{layers[1] - 1}):")
+                lines.append(render_stage_profile(stage.get("profile", {})))
     if getattr(args, "compare_batch1", False):
         batch1_config = dataclasses.replace(config, max_batch=1)
         batch1 = run_loadtest(model, x_test, batch1_config, pattern=args.pattern,

@@ -44,6 +44,26 @@ def percentile_ms(latencies_s: Sequence[float], q: float) -> float:
 
 
 @dataclasses.dataclass(frozen=True)
+class StageOccupancy:
+    """Per-pipeline-stage occupancy of one sharded (``pipeline``) worker.
+
+    ``busy_s`` is time the stage spent computing forwards, ``bubble_s``
+    time it sat starved for upstream input after its first batch (the
+    pipeline-imbalance signal), ``transport_s`` time spent on slot waits
+    and shared-memory copies toward the next stage.
+    """
+
+    index: int
+    layer_start: int
+    layer_stop: int
+    batches: int
+    busy_s: float
+    bubble_s: float
+    transport_s: float
+    conversions: int
+
+
+@dataclasses.dataclass(frozen=True)
 class WorkerSnapshot:
     """Per-worker share of the served load plus accelerator occupancy."""
 
@@ -55,6 +75,8 @@ class WorkerSnapshot:
     mode: str = "thread"
     #: Seconds spent moving batches to/from the worker (process transport).
     transport_s: float = 0.0
+    #: Per-stage occupancy of a pipeline-sharded worker (empty otherwise).
+    stages: tuple = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,6 +125,19 @@ class MetricsSnapshot:
         if transport > 0:
             lines.append(f"transport            {transport * 1e3:.2f} ms "
                          f"moving batches to/from process workers")
+        for worker in self.workers:
+            if not worker.stages:
+                continue
+            lines.append(f"pipeline stages (worker {worker.index}):")
+            for stage in worker.stages:
+                lines.append(
+                    f"  stage {stage.index} "
+                    f"(layers {stage.layer_start}..{stage.layer_stop - 1}): "
+                    f"{stage.batches} batches, "
+                    f"busy {stage.busy_s * 1e3:.2f} ms, "
+                    f"bubble {stage.bubble_s * 1e3:.2f} ms, "
+                    f"transport {stage.transport_s * 1e3:.2f} ms"
+                )
         if len(self.workers) > 1:
             lines.append("per-worker load:")
             for worker in self.workers:

@@ -36,8 +36,10 @@ class WorkerState:
     ``mode`` records the execution substrate the worker dispatches to —
     ``"thread"`` for the in-loop replicas sharing the service process,
     ``"process"`` for a dedicated interpreter on its own core running a
-    shipped execution plan.  Placement policies treat both identically; the
-    tag flows into the per-worker metrics snapshots.
+    shipped execution plan, ``"pipeline"`` for a replica sharded across a
+    chain of stage processes (:mod:`repro.shard`).  Placement policies
+    treat them identically; the tag and the per-stage occupancy flow into
+    the per-worker metrics snapshots.
     """
 
     index: int
@@ -48,6 +50,10 @@ class WorkerState:
     #: Seconds spent moving batches to/from the worker (process transport);
     #: updated by the worker loop so snapshots survive worker shutdown.
     transport_s: float = 0.0
+    #: Per-pipeline-stage occupancy dicts (busy / bubble / transport /
+    #: conversions) of a ``mode == "pipeline"`` worker; empty otherwise.
+    #: Updated by the worker loop so snapshots survive worker shutdown.
+    stage_stats: List[dict] = dataclasses.field(default_factory=list)
 
     @property
     def inflight_conversions(self) -> int:

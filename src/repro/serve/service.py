@@ -47,7 +47,12 @@ from repro.serve.batcher import (
     stack_requests,
 )
 from repro.serve.energy import estimate_conversions_per_sample
-from repro.serve.metrics import MetricsSnapshot, ServiceMetrics, WorkerSnapshot
+from repro.serve.metrics import (
+    MetricsSnapshot,
+    ServiceMetrics,
+    StageOccupancy,
+    WorkerSnapshot,
+)
 from repro.serve.scheduler import WorkerState, build_worker_states, create_scheduler
 from repro.serve.shm import ShmChannel, SlotRing
 
@@ -285,6 +290,103 @@ class _ProcessWorker:
                 self._channel = None
 
 
+class _PipelineWorker:
+    """Sharded worker: the replica's plan split across pipeline stage processes.
+
+    The replica's compiled plan is cut at layer boundaries into per-stage
+    partial plans (greedy cost balance under the ``macro_budget`` crossbar
+    constraint — see :mod:`repro.shard.partition`), each stage runs in its
+    own process, and batches stream between stages over per-edge
+    shared-memory slot rings (:class:`repro.shard.pipeline.ShardedPipeline`).
+    Unlike the one-batch-at-a-time workers above, a pipeline worker serves
+    ``max_inflight`` batches concurrently — that overlap across stages is
+    the throughput win — so the service's worker loop pumps it with
+    concurrent tasks instead of awaiting each batch.
+
+    Submissions are ordered by an asyncio lock: batches must *enter* the
+    pipeline in dispatch order (the FIFO stage rings then preserve it),
+    which is what keeps pipelined serving bit-identical to single-worker
+    serving even for the order-sensitive analog noise streams.
+    """
+
+    mode = "pipeline"
+
+    def __init__(self, partition, max_batch: int = 64, slots: int = 2) -> None:
+        from repro.shard.pipeline import ShardedPipeline
+
+        self.partition = partition
+        self.pipeline = ShardedPipeline(partition.payloads,
+                                        max_batch=max_batch, slots=slots)
+        #: Batches the worker loop may keep in flight at once.
+        self.max_inflight = partition.num_stages + max(int(slots), 1)
+        self.transport_s = 0.0
+        self.stage_stats: List[Dict] = []
+        self._conversions_total = 0
+        self._submit_lock: Optional[asyncio.Lock] = None
+
+    async def start(self) -> None:
+        """Spawn the stage processes; fails fast if a stage plan won't load."""
+        self._submit_lock = asyncio.Lock()
+        await asyncio.to_thread(self.pipeline.start)
+
+    @property
+    def shm_segment_names(self) -> List[str]:
+        """Names of the live stage-ring segments (for the leak tests)."""
+        return self.pipeline.segment_names
+
+    async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Run one batch; returns (logits, measured conversions)."""
+        loop = asyncio.get_running_loop()
+        async with self._submit_lock:
+            # submit() may block on edge-0 backpressure; keep it off the
+            # event loop, but under the lock so batches enter in order.
+            future = await loop.run_in_executor(None, self.pipeline.submit,
+                                                images)
+        logits, stats = await asyncio.wrap_future(future)
+        # Each stage stamps its cumulative conversion count as the batch
+        # passes, so a completed batch carries a consistent "all stages
+        # through batch b" total; deltas between completions meter batches.
+        total = sum(stage["conversions"] for stage in stats)
+        measured = total - self._conversions_total
+        self._conversions_total = total
+        self.stage_stats = stats
+        self.transport_s = sum(stage["transport_s"] for stage in stats)
+        return logits, measured
+
+    async def stage_profile(self) -> Dict[str, float]:
+        """Summed plan-stage breakdown plus a per-pipeline-stage list."""
+        stats = self.pipeline.stage_stats() or self.stage_stats
+        combined: Dict[str, float] = {
+            "dac_s": 0.0, "crossbar_s": 0.0, "adc_s": 0.0, "digital_s": 0.0,
+            "total_s": 0.0, "forwards": 0.0, "transport_s": 0.0,
+            "bubble_s": 0.0,
+        }
+        stages = []
+        for stage in stats:
+            profile = dict(stage.get("profile", {}))
+            for key in ("dac_s", "crossbar_s", "adc_s", "digital_s",
+                        "total_s"):
+                combined[key] += float(profile.get(key, 0.0))
+            combined["forwards"] = max(combined["forwards"],
+                                       float(profile.get("forwards", 0.0)))
+            combined["transport_s"] += float(stage.get("transport_s", 0.0))
+            combined["bubble_s"] += float(stage.get("bubble_s", 0.0))
+            profile["transport_s"] = float(stage.get("transport_s", 0.0))
+            profile["bubble_s"] = float(stage.get("bubble_s", 0.0))
+            stages.append({
+                "stage": stage.get("stage"),
+                "layers": list(stage.get("layers", (0, 0))),
+                "batches": stage.get("batches", 0),
+                "profile": profile,
+            })
+        combined["stages"] = stages
+        return combined
+
+    async def close(self) -> None:
+        """Stop the stage processes and unlink every stage-ring segment."""
+        await asyncio.to_thread(self.pipeline.close)
+
+
 class ServiceClosedError(RuntimeError):
     """Raised when submitting to a service that is not accepting requests."""
 
@@ -327,7 +429,26 @@ class ServeConfig:
         benchmark baseline.  Ignored by thread workers.
     transport_slots:
         Ring slots per process worker (the in-flight bound of the
-        shared-memory transport).
+        shared-memory transport); also the per-edge slot count of the
+        pipeline stage rings.
+    pipeline_stages:
+        ``>= 2`` serves each replica as a sharded stage pipeline: the
+        compiled plan is cut at layer boundaries into that many per-stage
+        partial plans (cost-balanced on ``pipeline_probe`` /
+        ``context.calibration`` when available), each stage runs in its
+        own process, and batches stream between stages over shared-memory
+        slot rings with backpressure (:mod:`repro.shard`).  ``1`` (the
+        default) keeps the ordinary one-worker-per-replica modes.
+    pipeline_probe:
+        Optional representative input batch used to measure per-layer cost
+        for the pipeline partitioner (falls back to ``context.calibration``,
+        then to a parameter-count proxy).
+    macro_budget:
+        Per-worker crossbar capacity in macros.  With ``pipeline_stages >=
+        2`` it caps every stage's mapped-macro footprint (the partitioner
+        cuts so each stage fits); with one stage a model whose mapped tiles
+        exceed the budget is rejected at ``start`` — shard it instead.
+        ``None`` (default) models unlimited capacity.
     macros_per_worker:
         Modelled AFPR macros per worker (occupancy accounting).
     policy:
@@ -354,6 +475,9 @@ class ServeConfig:
     workers: str = "thread"
     transport: str = "shm"
     transport_slots: int = 4
+    pipeline_stages: int = 1
+    pipeline_probe: Optional[np.ndarray] = None
+    macro_budget: Optional[int] = None
     macros_per_worker: int = 8
     policy: str = "round_robin"
     queue_capacity: Optional[int] = None
@@ -382,13 +506,19 @@ class InferenceService:
                 f"unknown process transport {self.config.transport!r}; "
                 "choose 'shm' or 'pickle'"
             )
+        if self.config.pipeline_stages < 1:
+            raise ValueError("pipeline_stages must be >= 1")
+        if (self.config.macro_budget is not None
+                and self.config.macro_budget < 1):
+            raise ValueError("macro_budget must be >= 1 (or None)")
         self.metrics = ServiceMetrics(
             energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
         )
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[DynamicBatcher] = None
         self._worker_states: List[WorkerState] = []
-        self._workers: List[Union[_ThreadWorker, _ProcessWorker]] = []
+        self._workers: List[Union[_ThreadWorker, _ProcessWorker,
+                                  _PipelineWorker]] = []
         self._worker_queues: List[asyncio.Queue] = []
         self._tasks: List[asyncio.Task] = []
         self._scheduler = None
@@ -413,9 +543,11 @@ class InferenceService:
         self._worker_queues = []
         self._workers = []
         self._outstanding = 0
+        worker_mode = ("pipeline" if config.pipeline_stages > 1
+                       else config.workers)
         self._worker_states = build_worker_states(
             config.num_workers, macro_config=config.context.macro_config,
-            macros_per_worker=config.macros_per_worker, mode=config.workers,
+            macros_per_worker=config.macros_per_worker, mode=worker_mode,
         )
         self._scheduler = create_scheduler(config.policy, self._worker_states)
         try:
@@ -433,6 +565,23 @@ class InferenceService:
                 runner = await asyncio.to_thread(
                     BatchRunner, replica, backend, context=config.context
                 )
+                if config.pipeline_stages > 1:
+                    # Cut the compiled plan into per-stage partial plans and
+                    # serve the replica as a process pipeline; the parent
+                    # copy served only to build and split the plan.
+                    partition = await asyncio.to_thread(
+                        self._build_partition, runner)
+                    await asyncio.to_thread(runner.close)
+                    worker: Union[_ThreadWorker, _ProcessWorker,
+                                  _PipelineWorker] = _PipelineWorker(
+                        partition, max_batch=config.max_batch,
+                        slots=config.transport_slots)
+                    self._workers.append(worker)
+                    await worker.start()
+                    self._worker_queues.append(asyncio.Queue())
+                    continue
+                if config.macro_budget is not None:
+                    await asyncio.to_thread(self._enforce_macro_budget, runner)
                 if config.workers == "process":
                     # Ship the compiled plan to a dedicated interpreter; the
                     # parent copy served only to build and pickle it.  The
@@ -573,6 +722,33 @@ class InferenceService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _build_partition(self, runner: BatchRunner):
+        """Cut a prepared replica plan into pipeline stage payloads."""
+        # Imported lazily: repro.shard pulls in the pipeline machinery only
+        # pipeline-mode services need (and avoids an import cycle through
+        # repro.serve.shm).
+        from repro.shard.partition import build_stage_payloads
+
+        config = self.config
+        probe = (config.pipeline_probe if config.pipeline_probe is not None
+                 else config.context.calibration)
+        return build_stage_payloads(
+            runner.plan, config.pipeline_stages, probe=probe,
+            max_macros_per_stage=config.macro_budget)
+
+    def _enforce_macro_budget(self, runner: BatchRunner) -> None:
+        """Reject a single-worker replica exceeding the crossbar budget."""
+        from repro.shard.partition import CapacityError, count_plan_macros
+
+        used = count_plan_macros(runner.plan)
+        budget = self.config.macro_budget
+        if used > budget:
+            raise CapacityError(
+                f"model maps onto {used} macros but the worker crossbar "
+                f"budget is {budget}; shard it with "
+                f"ServeConfig(pipeline_stages>= {-(-used // budget)})"
+            )
+
     def _ensure_conversion_estimate(self, batch: List[Request]) -> None:
         if self._conversions_per_sample is not None:
             return
@@ -637,41 +813,76 @@ class InferenceService:
                 queue.put_nowait(None)
 
     async def _worker_loop(self, index: int) -> None:
+        """Pump one worker's queue.
+
+        Ordinary workers serve one batch at a time.  A worker advertising
+        ``max_inflight > 1`` (the pipeline workers) is pumped with that many
+        concurrent batch tasks — stages overlap across batches, which is
+        the pipeline's throughput win; the worker itself serialises
+        pipeline *entry* so batch order (and with it analog bit identity)
+        is preserved.
+        """
         queue = self._worker_queues[index]
         worker = self._workers[index]
         state = self._worker_states[index]
-        loop = asyncio.get_running_loop()
+        limit = max(int(getattr(worker, "max_inflight", 1)), 1)
+        semaphore = asyncio.Semaphore(limit)
+        pending: set = set()
         while True:
             item = await queue.get()
             if item is None:
                 break
-            batch, estimate = item
-            try:
-                inputs = stack_requests(batch)
-                logits, measured = await worker.forward(inputs)
-                now = loop.time()
-                # Retire the booked estimate from the in-flight gauge but
-                # credit the measured cost, so neither an optimistic nor a
-                # pessimistic estimate leaves phantom load behind.
-                state.accelerator.complete_inference(
-                    measured if measured else estimate, booked=estimate)
-                state.transport_s = getattr(worker, "transport_s", 0.0)
-                scatter_results(batch, logits)
-                self._outstanding -= len(batch)
-                self.metrics.record_batch(
-                    rows=int(inputs.shape[0]),
-                    request_latencies_s=[now - request.arrival
-                                         for request in batch],
-                    now=now,
-                    conversions=measured,
-                    estimated_conversions=0.0 if measured else float(estimate),
-                )
-            except Exception as exc:  # noqa: BLE001 — propagate to clients
-                # Covers stacking mismatched shapes as well as the forward
-                # itself: the worker must survive any single bad batch.
-                state.accelerator.cancel_inference(estimate)
-                fail_requests(batch, exc)
-                self._outstanding -= len(batch)
+            await semaphore.acquire()
+            if limit == 1:
+                try:
+                    await self._serve_batch(worker, state, item)
+                finally:
+                    semaphore.release()
+            else:
+                task = asyncio.create_task(
+                    self._serve_batch_release(worker, state, item, semaphore))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending)
+
+    async def _serve_batch_release(self, worker, state, item,
+                                   semaphore: asyncio.Semaphore) -> None:
+        try:
+            await self._serve_batch(worker, state, item)
+        finally:
+            semaphore.release()
+
+    async def _serve_batch(self, worker, state, item) -> None:
+        loop = asyncio.get_running_loop()
+        batch, estimate = item
+        try:
+            inputs = stack_requests(batch)
+            logits, measured = await worker.forward(inputs)
+            now = loop.time()
+            # Retire the booked estimate from the in-flight gauge but
+            # credit the measured cost, so neither an optimistic nor a
+            # pessimistic estimate leaves phantom load behind.
+            state.accelerator.complete_inference(
+                measured if measured else estimate, booked=estimate)
+            state.transport_s = getattr(worker, "transport_s", 0.0)
+            state.stage_stats = getattr(worker, "stage_stats", None) or []
+            scatter_results(batch, logits)
+            self._outstanding -= len(batch)
+            self.metrics.record_batch(
+                rows=int(inputs.shape[0]),
+                request_latencies_s=[now - request.arrival
+                                     for request in batch],
+                now=now,
+                conversions=measured,
+                estimated_conversions=0.0 if measured else float(estimate),
+            )
+        except Exception as exc:  # noqa: BLE001 — propagate to clients
+            # Covers stacking mismatched shapes as well as the forward
+            # itself: the worker must survive any single bad batch.
+            state.accelerator.cancel_inference(estimate)
+            fail_requests(batch, exc)
+            self._outstanding -= len(batch)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -687,6 +898,19 @@ class InferenceService:
                 busy_seconds=state.accelerator.busy_seconds,
                 mode=state.mode,
                 transport_s=state.transport_s,
+                stages=tuple(
+                    StageOccupancy(
+                        index=int(stage.get("stage", 0)),
+                        layer_start=int(stage.get("layers", (0, 0))[0]),
+                        layer_stop=int(stage.get("layers", (0, 0))[1]),
+                        batches=int(stage.get("batches", 0)),
+                        busy_s=float(stage.get("forward_s", 0.0)),
+                        bubble_s=float(stage.get("bubble_s", 0.0)),
+                        transport_s=float(stage.get("transport_s", 0.0)),
+                        conversions=int(stage.get("conversions", 0)),
+                    )
+                    for stage in state.stage_stats
+                ),
             )
             for state in self._worker_states
         ]

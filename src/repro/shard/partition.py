@@ -1,0 +1,281 @@
+"""Partition a compiled execution plan into pipeline stages.
+
+The partitioner answers one question: *where to cut a model's top-level
+layer list* so that ``N`` pipeline stage workers carry balanced work and no
+stage exceeds its crossbar budget.  Inputs:
+
+* **per-layer cost** — measured when a probe batch is available: the plan
+  is pickled, reloaded into a throwaway copy (so the probe forward cannot
+  disturb the real plan's noise-generator streams) and each top-level
+  layer's forward is timed, exactly the wall-clock the ``--profile`` stage
+  instrumentation meters.  Without a probe batch the parameter count of
+  each layer stands in as a static cost proxy (matmul-dominated networks
+  scale with it).
+* **per-layer macro count** — how many AFPR macros the layer's mapped
+  tiles occupy; the capacity constraint ``max_macros_per_stage`` bounds
+  the sum per stage, which is what makes a model whose mapped tiles exceed
+  one worker's crossbar budget runnable: cut it across stages until every
+  stage fits.
+
+The cut itself is a greedy balance: each stage takes layers until it
+reaches its fair share of the remaining cost (stopping early when adding
+the next layer would overshoot more than stopping undershoots, or when the
+capacity bound would be exceeded), always leaving at least one layer per
+remaining stage.  When greed paints itself into a capacity corner, an
+exact dynamic program over the (small) boundary space finds the
+minimum-bottleneck feasible cut instead, and :class:`CapacityError` is
+raised only when no contiguous cut can satisfy the budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exec.plan import (
+    ModelPlan,
+    PipelineStagePlan,
+    layer_macro_count,
+    split_plan,
+)
+
+
+class PartitionError(ValueError):
+    """Raised when a model cannot be cut into the requested stages."""
+
+
+class CapacityError(PartitionError):
+    """Raised when no contiguous cut satisfies the per-stage macro budget."""
+
+
+def static_layer_costs(model) -> List[float]:
+    """Parameter-count cost proxy per top-level layer (min 1 per layer)."""
+    layers = getattr(model, "layers", None)
+    if layers is None:
+        raise PartitionError(
+            "pipeline sharding requires a Sequential model with a flat "
+            f"top-level layer list; got {type(model).__name__}"
+        )
+    return [float(max(sum(p.value.size for p in layer.parameters()), 1))
+            for layer in layers]
+
+
+def probe_layer_costs(plan_payload: bytes, probe: np.ndarray) -> List[float]:
+    """Measure per-top-level-layer forward seconds on a throwaway plan copy.
+
+    ``plan_payload`` is a pickled :class:`~repro.exec.plan.ModelPlan`; the
+    probe forward runs on the reloaded copy, so the caller's plan keeps its
+    exact post-prepare state (noise-generator streams included) — the same
+    reason the pipeline ships pickled stages instead of forked state.
+    """
+    plan = pickle.loads(plan_payload)
+    x = np.asarray(probe, dtype=np.float64)
+    costs: List[float] = []
+    for layer in plan.model.layers:
+        start = time.perf_counter()
+        x = layer.forward(x, training=False)
+        costs.append(time.perf_counter() - start)
+    return costs
+
+
+def count_plan_macros(plan: ModelPlan) -> int:
+    """Total macros occupied by a prepared plan (its crossbar footprint)."""
+    layers = getattr(plan.model, "layers", None)
+    if layers is None:
+        return 0
+    return sum(layer_macro_count(layer) for layer in layers)
+
+
+def _stage_loads(boundaries: Sequence[Tuple[int, int]],
+                 values: Sequence[float]) -> List[float]:
+    return [sum(values[start:stop]) for start, stop in boundaries]
+
+
+def _capacity_dp(costs: Sequence[float], macros: Sequence[int],
+                 num_stages: int, cap: int) -> Optional[List[Tuple[int, int]]]:
+    """Minimum-bottleneck contiguous cut under the macro budget, or None."""
+    n = len(costs)
+    prefix_cost = np.concatenate([[0.0], np.cumsum(costs)])
+    prefix_mac = np.concatenate([[0], np.cumsum(macros)])
+    infeasible = float("inf")
+    # best[s][i]: minimal max-stage-cost cutting layers [0, i) into s stages.
+    best = [[infeasible] * (n + 1) for _ in range(num_stages + 1)]
+    cut = [[-1] * (n + 1) for _ in range(num_stages + 1)]
+    best[0][0] = 0.0
+    for s in range(1, num_stages + 1):
+        for i in range(s, n + 1):
+            for j in range(s - 1, i):
+                if prefix_mac[i] - prefix_mac[j] > cap:
+                    continue
+                if best[s - 1][j] == infeasible:
+                    continue
+                candidate = max(best[s - 1][j],
+                                float(prefix_cost[i] - prefix_cost[j]))
+                if candidate < best[s][i]:
+                    best[s][i] = candidate
+                    cut[s][i] = j
+    if best[num_stages][n] == infeasible:
+        return None
+    boundaries: List[Tuple[int, int]] = []
+    stop = n
+    for s in range(num_stages, 0, -1):
+        start = cut[s][stop]
+        boundaries.append((start, stop))
+        stop = start
+    return boundaries[::-1]
+
+
+def plan_partition(costs: Sequence[float], macros: Sequence[int],
+                   num_stages: int,
+                   max_macros_per_stage: Optional[int] = None
+                   ) -> List[Tuple[int, int]]:
+    """Greedy cost-balanced contiguous cut of the layer list into stages.
+
+    Returns ``num_stages`` ``(start, stop)`` layer ranges.  Deterministic
+    for identical inputs.  Raises :class:`PartitionError` when there are
+    fewer layers than stages and :class:`CapacityError` when the macro
+    budget cannot be met by any contiguous cut.
+    """
+    n = len(costs)
+    if len(macros) != n:
+        raise ValueError("costs and macros must align per layer")
+    if num_stages < 1:
+        raise PartitionError("num_stages must be >= 1")
+    if num_stages > n:
+        raise PartitionError(
+            f"cannot cut {n} top-level layers into {num_stages} stages"
+        )
+    cap = max_macros_per_stage
+    if cap is not None:
+        if cap < 1:
+            raise CapacityError("max_macros_per_stage must be >= 1")
+        worst = max(macros)
+        if worst > cap:
+            index = list(macros).index(worst)
+            raise CapacityError(
+                f"layer {index} alone occupies {worst} macros, exceeding the "
+                f"{cap}-macro stage budget — it cannot be cut at a layer "
+                "boundary"
+            )
+        if sum(macros) > cap * num_stages:
+            raise CapacityError(
+                f"{sum(macros)} mapped macros exceed {num_stages} stages x "
+                f"{cap}-macro budget; raise pipeline_stages (needs >= "
+                f"{-(-sum(macros) // cap)})"
+            )
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    remaining_cost = float(sum(costs))
+    for stage in range(num_stages):
+        stages_left = num_stages - stage
+        if stages_left == 1:
+            stop = n
+        else:
+            max_stop = n - (stages_left - 1)
+            target = remaining_cost / stages_left
+            stop = start + 1
+            acc = float(costs[start])
+            mac = int(macros[start])
+            while stop < max_stop:
+                cost, mac_next = float(costs[stop]), int(macros[stop])
+                if cap is not None and mac + mac_next > cap:
+                    break
+                if acc >= target:
+                    break
+                if acc + cost - target > target - acc:
+                    break  # overshooting hurts balance more than stopping
+                acc += cost
+                mac += mac_next
+                stop += 1
+        boundaries.append((start, stop))
+        remaining_cost -= float(sum(costs[start:stop]))
+        start = stop
+    if cap is not None and max(_stage_loads(boundaries, macros)) > cap:
+        # Greedy balance ran a stage over budget (typically the tail);
+        # fall back to the exact minimum-bottleneck feasible cut.
+        feasible = _capacity_dp(costs, macros, num_stages, cap)
+        if feasible is None:
+            raise CapacityError(
+                f"no contiguous {num_stages}-stage cut keeps every stage "
+                f"within the {cap}-macro budget"
+            )
+        boundaries = feasible
+    return boundaries
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePartition:
+    """One resolved pipeline partition, ready to ship to stage workers."""
+
+    #: ``(start, stop)`` top-level layer range per stage.
+    boundaries: List[Tuple[int, int]]
+    #: Per-top-level-layer cost the cut balanced (seconds or proxy units).
+    layer_costs: List[float]
+    #: Per-top-level-layer macro counts the capacity bound consumed.
+    layer_macros: List[int]
+    #: Whether ``layer_costs`` was measured (probe) or a static proxy.
+    measured: bool
+    #: Pickled :class:`~repro.exec.plan.PipelineStagePlan` per stage.
+    payloads: List[bytes]
+
+    @property
+    def num_stages(self) -> int:
+        """Number of pipeline stages in the partition."""
+        return len(self.boundaries)
+
+    def stage_costs(self) -> List[float]:
+        """Summed layer cost per stage (what the greedy cut balanced)."""
+        return _stage_loads(self.boundaries, self.layer_costs)
+
+    def stage_macros(self) -> List[int]:
+        """Summed macro count per stage (the capacity the budget bounds)."""
+        return [int(load) for load in _stage_loads(self.boundaries,
+                                                   self.layer_macros)]
+
+    def describe(self) -> str:
+        """One line per stage: layer range, cost share and macro count."""
+        total = sum(self.layer_costs) or 1.0
+        unit = "measured" if self.measured else "parameter-proxy"
+        lines = [f"Pipeline partition ({self.num_stages} stages, {unit} cost):"]
+        for index, ((start, stop), cost, macs) in enumerate(
+                zip(self.boundaries, self.stage_costs(), self.stage_macros())):
+            lines.append(
+                f"  stage {index}: layers {start}..{stop - 1}  "
+                f"cost {100.0 * cost / total:5.1f} %  macros {macs}"
+            )
+        return "\n".join(lines)
+
+
+def build_stage_payloads(plan: ModelPlan, num_stages: int,
+                         probe: Optional[np.ndarray] = None,
+                         max_macros_per_stage: Optional[int] = None
+                         ) -> StagePartition:
+    """Cut a prepared plan into ``num_stages`` pickled stage payloads.
+
+    Call with the plan freshly prepared (before any forward): the stage
+    payloads snapshot the layers' exact post-prepare state, which is what
+    keeps pipelined execution bit-identical to running the uncut plan on
+    one worker.  The parent may ``plan.close()`` once the payloads exist.
+    """
+    layers = getattr(plan.model, "layers", None)
+    if layers is None:
+        raise PartitionError(
+            "pipeline sharding requires a Sequential model with a flat "
+            f"top-level layer list; got {type(plan.model).__name__}"
+        )
+    if probe is not None:
+        costs = probe_layer_costs(pickle.dumps(plan), probe)
+    else:
+        costs = static_layer_costs(plan.model)
+    macros = [layer_macro_count(layer) for layer in layers]
+    boundaries = plan_partition(costs, macros, num_stages,
+                                max_macros_per_stage=max_macros_per_stage)
+    stages: List[PipelineStagePlan] = split_plan(plan, boundaries)
+    payloads = [pickle.dumps(stage) for stage in stages]
+    return StagePartition(boundaries=boundaries, layer_costs=list(costs),
+                          layer_macros=macros, measured=probe is not None,
+                          payloads=payloads)

@@ -1,0 +1,539 @@
+"""The pipeline executor: stage processes joined by shared-memory slot rings.
+
+:class:`ShardedPipeline` runs the pickled stage payloads of a
+:class:`~repro.shard.partition.StagePartition` as a chain of dedicated
+worker processes.  Batches stream through the chain as micro-batches: while
+stage 1 computes batch *b*, stage 0 is already computing batch *b+1*, so
+steady-state throughput approaches the slowest stage instead of the sum of
+all stages — the standard pipeline-parallel deployment of multi-macro CIM
+accelerators.
+
+Transport generalises :mod:`repro.serve.shm` from parent↔worker to
+stage↔stage.  Every **edge** of the chain (parent→stage 0, stage
+*i*→stage *i+1*, last stage→parent) owns one parent-created
+:class:`~repro.serve.shm.SlotRing` plus two coordination queues: a *ready*
+queue carrying ``(seq, slot, shape)`` coordinates of filled slots
+downstream and a *free* queue returning drained slots upstream.  The free
+queue is the backpressure: a producer blocks for a slot instead of growing
+an unbounded buffer.  Slot layouts are learned from the first batch, which
+rides the queues by value (the pickle warm-up, exactly like the serve
+transport); oversized batches keep falling back to by-value transfer per
+batch.  The parent creates and unlinks every segment, so ``close()``
+removes them from ``/dev/shm`` even when a stage process was SIGKILLed
+mid-batch (stages attach tracker-free and only ever close their mapping).
+
+Completion messages accumulate per-stage accounting as they flow: each
+stage appends its cumulative forward seconds, bubble seconds (input
+starvation after the first batch — the pipeline-imbalance signal),
+transport seconds (slot waits and copies), conversions and its plan's
+DAC/crossbar/ADC/digital profile, so the parent always holds a current
+per-stage occupancy snapshot without a separate stats round-trip.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import pickle
+import queue as queue_module
+import threading
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.shm import SlotRing
+
+
+class PipelineStageError(RuntimeError):
+    """Raised (via batch futures) when a stage fails or dies mid-run."""
+
+
+def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
+                free_in, free_out, control) -> None:
+    """One pipeline stage process: load the stage plan, stream batches.
+
+    Messages on the ready queues:
+
+    * ``("batch", seq, desc, stats)`` — one micro-batch; ``desc`` is
+      ``("shm", slot, shape)`` or ``("data", array)``; ``stats`` is the
+      list of upstream per-stage accounting dicts this stage appends to.
+    * ``("err", seq, message, stats)`` — a batch a stage failed on;
+      propagated untouched so the parent can fail exactly that future.
+    * ``("attach", descs)`` — ring coordinates for every edge; the stage
+      attaches its input/output rings and forwards the message.
+    * ``None`` — shutdown; forwarded downstream before exiting.
+    """
+    try:
+        plan = pickle.loads(payload)
+        conversions_baseline = plan.conversions()
+    except BaseException as exc:  # noqa: BLE001 — report, then die
+        control.put(("error", stage_index, repr(exc)))
+        return
+    control.put(("ready", stage_index, plan.num_macros()))
+    in_ring: Optional[SlotRing] = None
+    out_ring: Optional[SlotRing] = None
+    batches = 0
+    forward_s = 0.0
+    bubble_s = 0.0
+    transport_s = 0.0
+    in_row_nbytes = 0
+    out_row_nbytes = 0
+    served_first = False
+    try:
+        while True:
+            wait_start = time.perf_counter()
+            message = ready_in.get()
+            waited = time.perf_counter() - wait_start
+            if message is None:
+                ready_out.put(None)
+                return
+            kind = message[0]
+            if kind == "attach":
+                descs = message[1]
+                in_ring = SlotRing.attach(*descs[stage_index])
+                out_ring = SlotRing.attach(*descs[stage_index + 1])
+                ready_out.put(message)
+                continue
+            if kind == "err":
+                ready_out.put(message)
+                continue
+            _, seq, desc, stats = message
+            if served_first:
+                bubble_s += waited
+            served_first = True
+            slot_in: Optional[int] = None
+            try:
+                if desc[0] == "shm":
+                    slot_in, shape = desc[1], desc[2]
+                    batch = in_ring.view(slot_in, shape)
+                else:
+                    batch = desc[1]
+                tick = time.perf_counter()
+                result = plan.forward(batch)
+                forward_s += time.perf_counter() - tick
+                result = np.ascontiguousarray(
+                    np.asarray(result, dtype=np.float64))
+                if slot_in is not None and np.may_share_memory(result, batch):
+                    # A copy-free stage (reshape-only) would hand downstream
+                    # a view into a slot about to be recycled.
+                    result = np.array(result)
+            except BaseException as exc:  # noqa: BLE001 — fail the batch only
+                if slot_in is not None:
+                    free_in.put(slot_in)
+                ready_out.put(("err", seq,
+                               f"stage {stage_index}: {exc!r}", stats))
+                continue
+            if slot_in is not None:
+                free_in.put(slot_in)
+            rows = max(int(np.asarray(batch).shape[0]), 1)
+            in_row_nbytes = max(in_row_nbytes,
+                                int(np.asarray(batch).nbytes) // rows)
+            out_rows = max(int(result.shape[0]), 1)
+            out_row_nbytes = max(out_row_nbytes, result.nbytes // out_rows)
+            tick = time.perf_counter()
+            if out_ring is not None and out_ring.fits(result.nbytes):
+                slot_out = free_out.get()  # backpressure: wait, don't buffer
+                out_ring.write(slot_out, result)
+                desc_out: Tuple = ("shm", slot_out, result.shape)
+            else:
+                desc_out = ("data", result)
+            transport_s += time.perf_counter() - tick
+            batches += 1
+            stage_stats = {
+                "stage": stage_index,
+                "layers": (plan.layer_start, plan.layer_stop),
+                "batches": batches,
+                "forward_s": forward_s,
+                "bubble_s": bubble_s,
+                "transport_s": transport_s,
+                "conversions": plan.conversions() - conversions_baseline,
+                "macros": plan.num_macros(),
+                "in_row_nbytes": in_row_nbytes,
+                "out_row_nbytes": out_row_nbytes,
+                "profile": plan.stage_profile(),
+            }
+            ready_out.put(("batch", seq, desc_out, stats + [stage_stats]))
+    finally:
+        for ring in (in_ring, out_ring):
+            if ring is not None:
+                ring.close()
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineStageSnapshot:
+    """Frozen per-stage occupancy summary of a running pipeline."""
+
+    stage: int
+    layer_start: int
+    layer_stop: int
+    batches: int
+    busy_s: float
+    bubble_s: float
+    transport_s: float
+    conversions: int
+    macros: int
+
+
+def _snapshot_from_stats(stats: Dict) -> PipelineStageSnapshot:
+    layers = stats.get("layers", (0, 0))
+    return PipelineStageSnapshot(
+        stage=int(stats.get("stage", 0)),
+        layer_start=int(layers[0]),
+        layer_stop=int(layers[1]),
+        batches=int(stats.get("batches", 0)),
+        busy_s=float(stats.get("forward_s", 0.0)),
+        bubble_s=float(stats.get("bubble_s", 0.0)),
+        transport_s=float(stats.get("transport_s", 0.0)),
+        conversions=int(stats.get("conversions", 0)),
+        macros=int(stats.get("macros", 0)),
+    )
+
+
+class ShardedPipeline:
+    """Stage processes joined by per-edge shared-memory slot rings.
+
+    ``submit`` enqueues one micro-batch and returns a
+    :class:`concurrent.futures.Future` resolving to ``(logits, stats)``;
+    multiple submissions stream through the stages concurrently (that is
+    the whole point), with in-flight batches capped at ``stages + 2 *
+    slots`` (and, once the rings are live, additionally by the per-edge
+    free-slot queues).  ``forward`` is the synchronous single-batch
+    convenience.
+
+    The parent owns every shared-memory segment and every queue; ``close``
+    shuts the chain down (sentinel first, terminate stragglers), fails any
+    pending futures and always unlinks the segments — including after a
+    stage crash.
+    """
+
+    def __init__(self, payloads: Sequence[bytes], max_batch: int = 64,
+                 slots: int = 2, start_timeout_s: float = 60.0) -> None:
+        if not payloads:
+            raise ValueError("need at least one stage payload")
+        self.num_stages = len(payloads)
+        self._payloads = list(payloads)
+        self.max_batch = max(int(max_batch), 1)
+        self.slots = max(int(slots), 1)
+        self.start_timeout_s = start_timeout_s
+        self.stage_macros: List[int] = []
+        self._procs: List[multiprocessing.Process] = []
+        self._ready: List = []
+        self._free: List = []
+        self._control = None
+        self._rings: List[Optional[SlotRing]] = []
+        self._shm_ready = False
+        self._started = False
+        self._closed = False
+        self._failure: Optional[BaseException] = None
+        self._seq = 0
+        self._futures: Dict[int, "concurrent.futures.Future"] = {}
+        self._submit_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._latest_stats: List[Dict] = []
+        self._in_row_nbytes: Optional[int] = None
+        self._collector: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the stage processes and wait until every plan loaded."""
+        if self._started:
+            raise RuntimeError("pipeline already started")
+        context = multiprocessing.get_context()
+        edges = self.num_stages + 1
+        self._ready = [context.Queue() for _ in range(edges)]
+        self._free = [context.Queue() for _ in range(edges)]
+        self._control = context.Queue()
+        self._rings = [None] * edges
+        self._procs = [
+            context.Process(
+                target=_stage_main,
+                args=(self._payloads[index], index, self._ready[index],
+                      self._ready[index + 1], self._free[index],
+                      self._free[index + 1], self._control),
+                daemon=True,
+                name=f"pipeline-stage-{index}",
+            )
+            for index in range(self.num_stages)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._started = True
+        try:
+            self._await_stage_readiness()
+        except Exception:
+            self.close()
+            raise
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           daemon=True,
+                                           name="pipeline-collector")
+        self._collector.start()
+
+    def _await_stage_readiness(self) -> None:
+        deadline = time.monotonic() + self.start_timeout_s
+        macros = [0] * self.num_stages
+        pending = set(range(self.num_stages))
+        while pending:
+            timeout = max(deadline - time.monotonic(), 0.01)
+            try:
+                message = self._control.get(timeout=timeout)
+            except queue_module.Empty:
+                raise PipelineStageError(
+                    f"stages {sorted(pending)} did not come up within "
+                    f"{self.start_timeout_s:.0f}s"
+                ) from None
+            if message[0] == "error":
+                raise PipelineStageError(
+                    f"stage {message[1]} failed to load its plan: {message[2]}"
+                )
+            _, index, stage_macros = message
+            macros[index] = int(stage_macros)
+            pending.discard(index)
+        self.stage_macros = macros
+
+    def close(self) -> None:
+        """Shut the stages down, fail pending work, unlink every segment."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        try:
+            self._ready[0].put(None)
+        except Exception:  # noqa: BLE001 — queue may already be broken
+            pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
+        self._fail_pending(PipelineStageError("pipeline closed"))
+        for ring in self._rings:
+            if ring is not None:
+                ring.close()
+                ring.unlink()
+        for q in self._ready + self._free + [self._control]:
+            if q is None:
+                continue
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+
+    def __enter__(self) -> "ShardedPipeline":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, images: np.ndarray) -> "concurrent.futures.Future":
+        """Enqueue one micro-batch; future resolves to ``(logits, stats)``.
+
+        Blocks only for edge-0 backpressure (a free request slot once the
+        rings are live); the returned future completes when the batch has
+        flowed through every stage.
+        """
+        if not self._started or self._closed:
+            raise PipelineStageError("pipeline is not running")
+        if self._failure is not None:
+            raise PipelineStageError(
+                f"pipeline failed: {self._failure}") from self._failure
+        batch = np.ascontiguousarray(np.asarray(images, dtype=np.float64))
+        with self._submit_lock:
+            if not self._wait_for_inflight_capacity():
+                raise PipelineStageError(
+                    "pipeline failed while waiting for submission capacity"
+                    + (f": {self._failure}" if self._failure else ""))
+            seq = self._seq
+            self._seq += 1
+            future: "concurrent.futures.Future" = concurrent.futures.Future()
+            self._futures[seq] = future
+            if self._in_row_nbytes is None:
+                rows = max(int(batch.shape[0]), 1)
+                self._in_row_nbytes = max(batch.nbytes // rows, 1)
+            ring = self._rings[0]
+            if self._shm_ready and ring is not None and ring.fits(batch.nbytes):
+                slot = self._take_request_slot()
+                if slot is not None:
+                    ring.write(slot, batch)
+                    self._ready[0].put(("batch", seq, ("shm", slot,
+                                                       batch.shape), []))
+            else:
+                self._ready[0].put(("batch", seq, ("data", batch), []))
+            if (self._failure is not None or self._closed) and not future.done():
+                # The pipeline died around this submission and the
+                # collector's cleanup may already have drained the future
+                # table; fail the future here rather than leave it hanging.
+                self._futures.pop(seq, None)
+                future.set_exception(
+                    self._failure if self._failure is not None
+                    else PipelineStageError("pipeline closed"))
+        return future
+
+    def _wait_for_inflight_capacity(self) -> bool:
+        """Bound in-flight batches even before the rings exist.
+
+        The free-slot queues only backpressure once the shared-memory
+        edges are live; until then (and for oversized by-value batches) an
+        eager caller could pickle its whole workload into the
+        coordination queues at once.  Cap outstanding futures at
+        ``stages + 2 * slots`` — enough to fill every stage and keep the
+        edges busy, nothing more.  Returns False when the pipeline failed
+        or closed while waiting.
+        """
+        bound = self.num_stages + 2 * self.slots
+        while len(self._futures) >= bound:
+            if self._closed or self._failure is not None:
+                return False
+            if any(not proc.is_alive() for proc in self._procs):
+                return False
+            time.sleep(0.001)
+        return True
+
+    def _take_request_slot(self) -> Optional[int]:
+        """Wait for a free edge-0 slot, bailing out on failure/close.
+
+        A plain blocking ``get`` could wedge forever when a stage dies
+        while the ring is full (nothing would ever free a slot) — and a
+        submitter stuck under the submit lock would in turn deadlock the
+        collector's pending-future cleanup.
+        """
+        while True:
+            try:
+                return self._free[0].get(timeout=0.2)
+            except queue_module.Empty:
+                if self._closed or self._failure is not None:
+                    return None
+                if any(not proc.is_alive() for proc in self._procs):
+                    return None
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Run one batch through the whole chain and return its logits."""
+        logits, _ = self.submit(images).result()
+        return logits
+
+    # ------------------------------------------------------------------
+    # Parent-side collection
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        final_ready = self._ready[-1]
+        while True:
+            try:
+                message = final_ready.get(timeout=0.2)
+            except queue_module.Empty:
+                if self._closed:
+                    return
+                if any(not proc.is_alive() for proc in self._procs):
+                    dead = [i for i, proc in enumerate(self._procs)
+                            if not proc.is_alive()]
+                    self._abort(PipelineStageError(
+                        f"pipeline stage process(es) {dead} died"))
+                    return
+                continue
+            except (OSError, ValueError, EOFError):
+                return  # queues torn down under us during close
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "attach":
+                continue  # the attach round-trip marker; nothing to do
+            if kind == "err":
+                _, seq, text, stats = message
+                self._record_stats(stats)
+                future = self._futures.pop(seq, None)
+                if future is not None:
+                    future.set_exception(PipelineStageError(text))
+                continue
+            _, seq, desc, stats = message
+            if desc[0] == "shm":
+                logits = np.array(self._rings[-1].view(desc[1], desc[2]))
+                self._free[-1].put(desc[1])
+            else:
+                logits = desc[1]
+            self._record_stats(stats)
+            self._maybe_build_rings(stats)
+            future = self._futures.pop(seq, None)
+            if future is not None:
+                future.set_result((logits, stats))
+
+    def _record_stats(self, stats: List[Dict]) -> None:
+        if stats:
+            with self._state_lock:
+                self._latest_stats = stats
+
+    def _maybe_build_rings(self, stats: List[Dict]) -> None:
+        """Learn slot layouts from the first completed batch, go zero-copy."""
+        if self._shm_ready or self._rings[0] is not None:
+            return
+        if len(stats) != self.num_stages or self._in_row_nbytes is None:
+            return
+        row_nbytes = [self._in_row_nbytes] + [
+            int(stage["out_row_nbytes"]) for stage in stats
+        ]
+        if any(nbytes <= 0 for nbytes in row_nbytes):
+            return
+        rings: List[SlotRing] = []
+        try:
+            for nbytes in row_nbytes:
+                rings.append(SlotRing(self.slots, nbytes * self.max_batch))
+        except Exception as exc:  # noqa: BLE001 — /dev/shm unavailable
+            for ring in rings:
+                ring.close()
+                ring.unlink()
+            self._shm_ready = True  # don't retry every batch
+            self._rings = [None] * (self.num_stages + 1)
+            warnings.warn(
+                f"shared-memory stage rings unavailable ({exc!r}); "
+                "pipeline stays on by-value transport",
+                RuntimeWarning, stacklevel=2)
+            return
+        self._rings = list(rings)
+        for edge, ring in enumerate(rings):
+            for slot in range(self.slots):
+                self._free[edge].put(slot)
+        descs = [(ring.name, self.slots, ring.slot_nbytes) for ring in rings]
+        self._ready[0].put(("attach", descs))
+        self._shm_ready = True
+
+    def _abort(self, error: BaseException) -> None:
+        self._failure = error
+        self._fail_pending(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._submit_lock:
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stage_snapshots(self) -> List[PipelineStageSnapshot]:
+        """Latest per-stage occupancy (busy / bubble / transport) summary."""
+        with self._state_lock:
+            stats = list(self._latest_stats)
+        return [_snapshot_from_stats(stage) for stage in stats]
+
+    def stage_stats(self) -> List[Dict]:
+        """Latest raw per-stage accounting dicts (profiles included)."""
+        with self._state_lock:
+            return [dict(stage) for stage in self._latest_stats]
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of the live shared-memory segments (empty pre-warm-up)."""
+        return [ring.name for ring in self._rings if ring is not None]

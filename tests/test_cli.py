@@ -37,3 +37,23 @@ class TestCLI:
         assert main(["fig5a"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 5(a)" in out
+
+
+class TestPipelineCLI:
+    def test_run_subcommand_pipelined(self, capsys):
+        assert main(["run", "--backend", "ideal", "--samples", "32",
+                     "--batch-size", "16", "--pipeline-stages", "2",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipelined ideal" in out
+        assert "stage 1" in out
+        assert "Pipeline partition (2 stages" in out
+
+    def test_loadtest_subcommand_pipelined(self, capsys):
+        assert main(["loadtest", "--requests", "32", "--rate", "100000",
+                     "--max-batch", "16", "--pipeline-stages", "2",
+                     "--max-p99-ms", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline x2" in out
+        assert "pipeline stages (worker 0):" in out
+        assert "SLO OK" in out

@@ -222,6 +222,36 @@ class TestScheduler:
         with pytest.raises(ValueError):
             RoundRobinScheduler([])
 
+    def test_least_loaded_tie_breaks_by_rows_then_index(self):
+        # All-equal load: the lowest index wins; once it carries rows, the
+        # next all-equal-inflight pick moves to the next index, so repeated
+        # selection walks the pool deterministically instead of hammering
+        # worker 0.
+        workers = build_worker_states(3, macros_per_worker=2)
+        scheduler = LeastLoadedScheduler(workers)
+        assert scheduler.select(4).index == 0
+        # select() booked no conversions (the service does that), so the
+        # inflight primary key is still tied — rows break the tie.
+        assert scheduler.select(4).index == 1
+        assert scheduler.select(4).index == 2
+        # Equal rows again: back to the lowest index.
+        assert scheduler.select(4).index == 0
+
+    def test_least_loaded_sequence_is_deterministic(self):
+        sizes = [5, 3, 8, 1, 1, 8, 2, 7]
+
+        def run_sequence():
+            workers = build_worker_states(3, macros_per_worker=2)
+            scheduler = LeastLoadedScheduler(workers)
+            picks = []
+            for rows in sizes:
+                worker = scheduler.select(rows)
+                worker.accelerator.begin_inference(rows)
+                picks.append(worker.index)
+            return picks
+
+        assert run_sequence() == run_sequence()
+
 
 class TestAcceleratorOccupancy:
     def test_begin_complete_cycle(self):

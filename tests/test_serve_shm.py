@@ -146,6 +146,42 @@ class TestShmServing:
         names = run_async(scenario())
         assert not any(segment_exists(name) for name in names)
 
+    def test_worker_pool_survives_one_dead_process_worker(self, trained_setup):
+        # A process worker SIGKILLed mid-run fails exactly the batches
+        # routed to it; the rest of the pool keeps serving, and shutdown
+        # still cleans up every worker and segment.
+        model, x_test = trained_setup
+        direct = run_model(model, x_test[:8], backend="ideal", batch_size=8)
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(
+                max_batch=8, num_workers=2, workers="process",
+                policy="round_robin"))
+            await service.start()
+            # Warm both workers (round robin alternates batches).
+            assert np.array_equal(await service.submit(x_test[:8]),
+                                  direct.logits)
+            await service.submit(x_test[:8])
+            victim = service._workers[0]
+            os.kill(next(iter(victim.executor._processes)), signal.SIGKILL)
+            outcomes = []
+            for _ in range(4):
+                try:
+                    served = await service.submit(x_test[:8])
+                    outcomes.append(np.array_equal(served, direct.logits))
+                except Exception:  # noqa: BLE001 — the dead worker's batches
+                    outcomes.append(None)
+            names = service.shm_segment_names()
+            await service.stop()
+            return outcomes, names
+
+        outcomes, names = run_async(scenario())
+        # The surviving worker kept serving correct logits...
+        assert outcomes.count(True) >= 2
+        # ...while the dead worker's batches failed instead of hanging.
+        assert outcomes.count(None) >= 1
+        assert not any(segment_exists(name) for name in names)
+
     def test_oversized_batch_falls_back_to_pickle(self, trained_setup):
         # A single request larger than max_batch ships as one batch that
         # exceeds the ring's slot size; the worker must still serve it
