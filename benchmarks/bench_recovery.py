@@ -1,0 +1,112 @@
+"""Benchmark: fault-tolerance contract under a kill-storm chaos drive.
+
+The acceptance bars (hard asserts, so the gate never silently relaxes):
+
+* with ``retry_policy="redispatch"`` a storm of SIGKILLs against random
+  process workers during open-loop traffic causes **zero client-visible
+  failures** — every dead worker's batches re-dispatch to survivors;
+* the pool respawns back to its configured replica count within the
+  recovery timeout;
+* the respawned workers come from the plan-cache payload — the run
+  records plan-cache hit/miss counters and asserts the storm itself
+  compiled nothing (misses happen at most once, at cold start).
+
+``BENCH_recovery.json`` records the client success ratio, the recovered
+fraction of the pool, the worst observed recovery time and the retry /
+respawn counters; ``check_regression.py`` gates the ratios against the
+committed baseline.
+
+Run with::
+
+    pytest benchmarks/bench_recovery.py --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from _timing import smoke_mode, write_bench_json
+from repro.nn import DatasetConfig, SGD, Sequential, SyntheticImageDataset, Trainer
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.serve import ServeConfig
+from repro.serve.loadgen import run_loadtest
+
+REQUESTS = 90 if smoke_mode() else 240
+KILLS = 2 if smoke_mode() else 4
+RATE_RPS = 600.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A trained MLP plus request payloads for the chaos drive."""
+    dataset = SyntheticImageDataset(DatasetConfig(num_classes=8, image_size=12,
+                                                  noise_sigma=0.3, seed=29))
+    x_train, y_train, x_test, _ = dataset.train_test_split(192, 64)
+    model = Sequential(
+        Flatten(),
+        Linear(432, 128, rng=np.random.default_rng(0)),
+        ReLU(),
+        Linear(128, 8, rng=np.random.default_rng(1)),
+    )
+    Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32).fit(
+        x_train, y_train, epochs=1
+    )
+    return model, x_test
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_kill_storm_recovers_with_zero_client_failures(benchmark, workload,
+                                                       tmp_path_factory):
+    """Kill-storm over process workers: zero failures, full respawn, plan
+    cache keeps the respawns recompile-free; writes ``BENCH_recovery.json``.
+    """
+    model, x_test = workload
+    cache_dir = str(tmp_path_factory.mktemp("plan-cache"))
+    config = ServeConfig(max_batch=16, num_workers=2, workers="process",
+                         plan_cache=cache_dir, max_retries=4)
+
+    def storm():
+        return run_loadtest(model, x_test, config, pattern="uniform",
+                            rate_rps=RATE_RPS, num_requests=REQUESTS,
+                            seed=5, scenario="kill-storm", kills=KILLS,
+                            kill_interval_s=0.04)
+
+    result = benchmark.pedantic(storm, rounds=1, iterations=1)
+    chaos = result.chaos
+    snapshot = result.snapshot
+    success_ratio = 1.0 - result.failures / REQUESTS
+    recovered_fraction = chaos["alive_workers"] / config.num_workers
+    recovery_s = float(chaos["recovery_s"])
+
+    print()
+    print(f"kill-storm: {chaos['kills']} kills, {result.failures} client "
+          f"failures / {REQUESTS} requests, "
+          f"{snapshot.retried_batches} batches re-dispatched, "
+          f"{snapshot.respawns} respawns, worst recovery "
+          f"{recovery_s * 1e3:.0f} ms, plan cache "
+          f"{snapshot.plan_cache_hits} hits / "
+          f"{snapshot.plan_cache_misses} misses")
+
+    path = write_bench_json("recovery", {
+        "requests": REQUESTS,
+        "kills_requested": KILLS,
+        "kills_delivered": chaos["kills"],
+        "client_success_ratio": success_ratio,
+        "recovered_fraction": recovered_fraction,
+        "recovery_s": recovery_s,
+        "worker_deaths": snapshot.worker_deaths,
+        "retried_batches": snapshot.retried_batches,
+        "respawns": snapshot.respawns,
+        "plan_cache_hits": snapshot.plan_cache_hits,
+        "plan_cache_misses": snapshot.plan_cache_misses,
+    })
+    print(f"Trajectory written to {path}")
+
+    assert chaos["kills"] >= 1, "the storm never landed a kill"
+    assert result.failures == 0, (
+        f"{result.failures} client-visible failures during the kill-storm")
+    assert chaos["recovered"], "pool did not respawn to full strength"
+    assert recovered_fraction == 1.0
+    assert snapshot.respawns >= 1
+    # Respawns reuse the cached payload: compilation (a cache miss + store)
+    # happens at most once, at cold start — never during the storm.
+    assert snapshot.plan_cache_misses <= 1

@@ -59,6 +59,12 @@ GUARDED_RATIOS: Dict[str, Dict[str, float]] = {
     # bench_pipeline skips itself on runners without enough cores, which
     # the warn-don't-fail missing-fresh handling below tolerates.
     "BENCH_pipeline.json": {"pipeline_speedup": 0.35},
+    # The recovery ratios are success *fractions*, not speedups: the
+    # benchmark hard-asserts both at 1.0 (zero client failures, full
+    # respawn), so any drop at all is a regression — the floor exists only
+    # to keep the gate's arithmetic uniform.
+    "BENCH_recovery.json": {"client_success_ratio": 0.0,
+                            "recovered_fraction": 0.0},
 }
 
 #: Guarded files whose *absence* from a fresh run is expected on some
@@ -66,7 +72,7 @@ GUARDED_RATIOS: Dict[str, Dict[str, float]] = {
 #: baseline is still the contract floor).  Missing fresh results for these
 #: warn; for every other guarded file they FAIL — a filtered run or a
 #: renamed key must not silently stop guarding the core ratios.
-OPTIONAL_FRESH = {"BENCH_pipeline.json"}
+OPTIONAL_FRESH = {"BENCH_pipeline.json", "BENCH_recovery.json"}
 
 
 def _lookup(document: dict, dotted: str):

@@ -56,6 +56,10 @@ arena's scratch slabs are dropped on pickling and regrown by the worker).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -1266,3 +1270,127 @@ def split_plan(plan: ModelPlan,
                           index, start, stop)
         for index, (start, stop) in enumerate(boundaries)
     ]
+
+
+# ----------------------------------------------------------------------
+# On-disk plan cache
+# ----------------------------------------------------------------------
+
+#: Version of the on-disk plan-cache entry format.  Bump whenever the
+#: pickled plan layout (or anything the fingerprint cannot see) changes in
+#: a way that makes old entries wrong to reuse; the version is folded into
+#: every fingerprint, so a bump invalidates the whole cache at once.
+PLAN_CACHE_VERSION = 1
+
+
+def _model_descriptor(model: Model) -> list:
+    """A stable structural identity of ``model`` for fingerprinting.
+
+    Pickling the whole model is *not* stable: executing it leaves volatile
+    traces behind (forward caches, reset quantisation tags) that change
+    the bytes without changing the served function.  What determines the
+    compiled plan is the architecture (layer classes and their scalar
+    configuration) and the parameter tensors, so exactly those are
+    hashed — volatile attributes (arrays that are not parameters, Nones,
+    RNG scratch) are skipped.
+    """
+    descriptor: list = []
+    for module in model.modules():
+        config = []
+        for key in sorted(vars(module)):
+            value = vars(module)[key]
+            if isinstance(value, (bool, int, float, str)):
+                config.append((key, value))
+            elif isinstance(value, tuple) and all(
+                    isinstance(item, (bool, int, float, str))
+                    for item in value):
+                config.append((key, value))
+        descriptor.append((type(module).__name__, config))
+    for param in model.parameters():
+        value = np.ascontiguousarray(param.value)
+        descriptor.append((str(value.dtype), value.shape,
+                           value.tobytes()))
+    return descriptor
+
+
+def plan_fingerprint(model: Model, backend_name: str,
+                     backend_options: Optional[dict],
+                     context: ExecutionContext) -> str:
+    """Content fingerprint of a ``(model, backend, context)`` plan recipe.
+
+    The key hashes the *inputs* to plan compilation — the model's
+    structural identity (layer classes, scalar layer configuration and
+    parameter tensors, see :func:`_model_descriptor`), the backend
+    registry name and options, and every :class:`ExecutionContext` field
+    (calibration batch, formats, macro config, seed, plan flags) — plus
+    :data:`PLAN_CACHE_VERSION`.  Two recipes with the same fingerprint
+    compile to bit-identical plans, so a cached payload can stand in for a
+    fresh compilation; any change to weights, calibration, formats or seed
+    changes the key and misses the cache.
+    """
+    options = sorted((backend_options or {}).items())
+    payload = pickle.dumps(
+        (PLAN_CACHE_VERSION, _model_descriptor(model), backend_name,
+         options, context),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+class PlanCache:
+    """A versioned on-disk cache of pickled execution-plan payloads.
+
+    Entries live as ``<fingerprint>.plan`` files under ``directory`` and
+    hold exactly the bytes :mod:`repro.serve` ships to a process worker
+    (``pickle.dumps(runner.plan)``).  The fingerprint
+    (:func:`plan_fingerprint`) keys on model/backend/context content and
+    embeds :data:`PLAN_CACHE_VERSION`, so stale-format entries are simply
+    never looked up — invalidation is a version bump away and corrupt or
+    unreadable files degrade to a miss, never an error.
+
+    ``hits`` / ``misses`` count lookups for the serving metrics; writes are
+    atomic (tempfile + ``os.replace``) so a crashed writer cannot leave a
+    half-written entry behind for a concurrent reader.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """Entry path of a fingerprint key."""
+        return os.path.join(self.directory, f"{key}.plan")
+
+    def load(self, key: str) -> Optional[bytes]:
+        """Cached plan payload for ``key``, or None (counted as a miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        if not payload:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: bytes) -> str:
+        """Atomically persist a plan payload; returns the entry path."""
+        path = self.path_for(key)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                        suffix=".plan.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path

@@ -32,11 +32,13 @@ Quickstart::
     print(metrics.render())
 """
 
-from repro.serve.batcher import DynamicBatcher, Request
+from repro.serve.batcher import DEFAULT_PRIORITY, DynamicBatcher, Request
 from repro.serve.energy import estimate_conversions_per_sample
 from repro.serve.loadgen import (
     ARRIVAL_PROCESSES,
+    LOAD_SCENARIOS,
     LoadResult,
+    assign_priorities,
     bursty_arrivals,
     make_arrivals,
     poisson_arrivals,
@@ -52,6 +54,7 @@ from repro.serve.metrics import (
 )
 from repro.serve.scheduler import (
     LeastLoadedScheduler,
+    NoAliveWorkersError,
     RoundRobinScheduler,
     SCHEDULING_POLICIES,
     Scheduler,
@@ -69,11 +72,14 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "DEFAULT_PRIORITY",
     "DynamicBatcher",
     "Request",
     "estimate_conversions_per_sample",
     "ARRIVAL_PROCESSES",
+    "LOAD_SCENARIOS",
     "LoadResult",
+    "assign_priorities",
     "bursty_arrivals",
     "make_arrivals",
     "poisson_arrivals",
@@ -85,6 +91,7 @@ __all__ = [
     "StageOccupancy",
     "WorkerSnapshot",
     "LeastLoadedScheduler",
+    "NoAliveWorkersError",
     "RoundRobinScheduler",
     "SCHEDULING_POLICIES",
     "Scheduler",

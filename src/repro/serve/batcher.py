@@ -4,11 +4,19 @@ Requests arrive one at a time (each carrying one or a few samples); the
 execution backends are fastest when fed large stacked batches.  The
 :class:`DynamicBatcher` bridges the two with the classic dynamic-batching
 policy used by inference servers: a batch is flushed as soon as it holds
-``max_batch`` sample rows **or** ``max_wait_ms`` has elapsed since the
-oldest queued request arrived — whichever happens first.  Pre-queued
-requests are drained greedily without waiting, so a full queue always
-produces full batches and an idle service adds at most ``max_wait_ms`` of
-batching latency to a lone request.
+``max_batch`` sample rows **or** its flush deadline has elapsed —
+whichever happens first.  Pre-queued requests are drained greedily without
+waiting, so a full queue always produces full batches and an idle service
+adds at most one wait budget of batching latency to a lone request.
+
+The flush deadline is SLO-aware: every request carries a priority class,
+and each class maps to its own ``max_wait`` budget (``class_wait_s``).  A
+batch's deadline is the *tightest* deadline of any request it holds — an
+``interactive`` request stacked behind ``batch``-class requests pulls the
+whole flush forward instead of inheriting the laxest budget.  Requests are
+still batched strictly in arrival order (classes shape latency, never
+ordering), which preserves the bit-identity contract of the analog
+noise-stream.
 """
 
 from __future__ import annotations
@@ -16,12 +24,15 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 #: Queue sentinel that tells the batcher to stop after draining.
 CLOSE = object()
+
+#: Priority class assigned to requests that do not name one.
+DEFAULT_PRIORITY = "standard"
 
 _request_ids = itertools.count()
 
@@ -32,12 +43,14 @@ class Request:
 
     ``images`` always has a leading sample dimension (a single-image submit
     is stored as shape ``(1, ...)``); ``future`` resolves to the matching
-    logits with the same leading dimension.
+    logits with the same leading dimension.  ``priority`` names the SLO
+    class that decides the flush-deadline budget of any batch holding it.
     """
 
     images: np.ndarray
     future: "asyncio.Future[np.ndarray]"
     arrival: float
+    priority: str = DEFAULT_PRIORITY
     request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
 
     @property
@@ -60,13 +73,20 @@ class DynamicBatcher:
         A single request larger than ``max_batch`` still ships, as a batch
         of its own.
     max_wait_s:
-        Flush at most this long after the oldest request of the batch
-        *arrived*, even if the batch is not full.  ``0`` disables waiting:
-        only what is already queued is coalesced.
+        Flush at most this long after a request *arrived*, even if the
+        batch is not full.  ``0`` disables waiting: only what is already
+        queued is coalesced.  This is the budget of every priority class
+        not listed in ``class_wait_s``.
+    class_wait_s:
+        Optional per-priority-class wait budgets (seconds).  A batch
+        flushes at the earliest ``arrival + budget(priority)`` over its
+        requests, so tighter classes shorten the deadline for everyone
+        sharing their batch.
     """
 
     def __init__(self, queue: "asyncio.Queue", max_batch: int = 64,
-                 max_wait_s: float = 0.002) -> None:
+                 max_wait_s: float = 0.002,
+                 class_wait_s: Optional[Mapping[str, float]] = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
@@ -74,8 +94,20 @@ class DynamicBatcher:
         self.queue = queue
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        self.class_wait_s: Dict[str, float] = dict(class_wait_s or {})
+        for name, wait in self.class_wait_s.items():
+            if wait < 0:
+                raise ValueError(f"priority class {name!r} wait must be >= 0")
         self._carry: Optional[Request] = None
         self._closed = False
+
+    def wait_budget_s(self, priority: str) -> float:
+        """The flush-wait budget of a priority class (seconds)."""
+        return self.class_wait_s.get(priority, self.max_wait_s)
+
+    def _deadline(self, batch: List[Request]) -> float:
+        """Earliest per-request flush deadline across the batch."""
+        return min(r.arrival + self.wait_budget_s(r.priority) for r in batch)
 
     @property
     def closed(self) -> bool:
@@ -119,12 +151,14 @@ class DynamicBatcher:
             if not self._take(batch, item):
                 return batch
         # Timed phase: flush on max_batch or the deadline, whichever first.
-        # The deadline is anchored to the oldest request's *arrival*, not to
-        # when the batcher got around to it — a request carried over from an
+        # The deadline is anchored to request *arrivals*, not to when the
+        # batcher got around to them — a request carried over from an
         # overflowing batch has already waited and must not wait another
-        # full max_wait_s.
+        # full budget.  It is recomputed whenever a request joins, because a
+        # tighter-class arrival (e.g. ``interactive``) pulls the whole
+        # batch's flush forward.
         loop = asyncio.get_running_loop()
-        deadline = batch[0].arrival + self.max_wait_s
+        deadline = self._deadline(batch)
         while _batch_rows(batch) < self.max_batch:
             remaining = deadline - loop.time()
             if remaining <= 0:
@@ -135,6 +169,7 @@ class DynamicBatcher:
                 break
             if not self._take(batch, item):
                 break
+            deadline = self._deadline(batch)
         return batch
 
 
@@ -148,7 +183,22 @@ def stack_requests(batch: List[Request]) -> np.ndarray:
 
 
 def scatter_results(batch: List[Request], logits: np.ndarray) -> None:
-    """Slice batched logits back to the requests and resolve their futures."""
+    """Slice batched logits back to the requests and resolve their futures.
+
+    The worker must return exactly one logits row per batched sample row.
+    Anything else would silently hand some clients *another client's*
+    rows (or truncated ones) when sliced by offset, so a row-count
+    mismatch raises before any future is resolved — the caller fails the
+    whole batch with the descriptive error instead.
+    """
+    total = _batch_rows(batch)
+    returned = int(logits.shape[0]) if logits.ndim >= 1 else -1
+    if returned != total:
+        raise ValueError(
+            f"worker returned {returned} logits rows for a batch of {total} "
+            f"request rows ({len(batch)} requests); refusing to scatter "
+            "misaligned results across clients"
+        )
     offset = 0
     for request in batch:
         if not request.future.done():

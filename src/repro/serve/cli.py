@@ -12,13 +12,17 @@ scheduling knobs, and an optional batch-size-1 comparison run::
     python -m repro loadtest --backend fake_quant --workers 4 --policy least_loaded
     python -m repro loadtest --compare-batch1
     python -m repro loadtest --pipeline-stages 3 --profile
+    python -m repro loadtest --worker-mode process --workers 2 \
+        --scenario kill-storm --kills 3
+    python -m repro loadtest --priority-classes interactive=0.5,batch=20 \
+        --priority-mix interactive=0.3,batch=0.7
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,9 +30,30 @@ from repro.exec.registry import available_backends
 from repro.nn import DatasetConfig, SGD, SyntheticImageDataset, Trainer
 from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, ReLU
 from repro.nn.model import Model, Sequential
-from repro.serve.loadgen import ARRIVAL_PROCESSES, run_loadtest
+from repro.serve.loadgen import ARRIVAL_PROCESSES, LOAD_SCENARIOS, run_loadtest
 from repro.serve.scheduler import available_policies
 from repro.serve.service import ServeConfig
+
+
+def parse_class_map(text: str, flag: str) -> Dict[str, float]:
+    """Parse ``name=value,name=value`` pairs (for class waits and mixes)."""
+    mapping: Dict[str, float] = {}
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(
+                f"{flag}: expected name=value pairs, got {pair!r}")
+        try:
+            mapping[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"{flag}: {value!r} is not a number (in {pair!r})") from None
+    if not mapping:
+        raise SystemExit(f"{flag}: no name=value pairs in {text!r}")
+    return mapping
 
 
 def demo_workload(seed: int = 0, num_classes: int = 8, image_size: int = 12,
@@ -106,6 +131,31 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                         help="bound the request queue (drop beyond this depth)")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the model, data and arrival process")
+    parser.add_argument("--retry-policy", default="redispatch",
+                        choices=("redispatch", "fail_fast"),
+                        help="dead-worker batches: re-dispatch to surviving "
+                             "replicas (default; analog retries draw fresh "
+                             "noise) or fail fast to their clients")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="re-dispatch budget per batch before failing it")
+    parser.add_argument("--no-respawn", action="store_true",
+                        help="leave dead workers dead instead of respawning "
+                             "them in the background")
+    parser.add_argument("--plan-cache", default=None, metavar="DIR",
+                        help="on-disk compiled-plan cache directory (process "
+                             "workers): respawns and restarts skip "
+                             "recompilation on a fingerprint hit")
+    parser.add_argument("--priority-classes", default=None, metavar="SPEC",
+                        help="SLO classes as name=max_wait_ms pairs, e.g. "
+                             "'interactive=0.5,batch=20'; per-class latency "
+                             "percentiles appear in the report")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="scale the worker pool with queue depth "
+                             "between --min-workers and --max-workers")
+    parser.add_argument("--min-workers", type=int, default=None,
+                        help="autoscaling floor (default: --workers)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="autoscaling ceiling (default: --workers)")
     if command == "loadtest":
         parser.add_argument("--compare-batch1", action="store_true",
                             help="also run max_batch=1 at the same offered "
@@ -114,10 +164,27 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                             help="SLO gate: exit non-zero if p99 latency "
                                  "exceeds this bound or any request "
                                  "failed/dropped (for CI smoke jobs)")
+        parser.add_argument("--scenario", default="steady",
+                            choices=LOAD_SCENARIOS,
+                            help="drive scenario: steady traffic, overload "
+                                 "shedding summary, or a kill-storm chaos "
+                                 "run (SIGKILL random worker processes "
+                                 "during traffic, then check recovery)")
+        parser.add_argument("--kills", type=int, default=3,
+                            help="kill-storm: number of SIGKILLs to deliver")
+        parser.add_argument("--kill-interval-ms", type=float, default=50.0,
+                            help="kill-storm: pause between SIGKILLs")
+        parser.add_argument("--priority-mix", default=None, metavar="SPEC",
+                            help="assign SLO classes to requests as "
+                                 "name=weight pairs, e.g. "
+                                 "'interactive=0.3,batch=0.7' (seeded)")
     return parser
 
 
 def _config_from_args(args: argparse.Namespace) -> ServeConfig:
+    priority_classes = (parse_class_map(args.priority_classes,
+                                        "--priority-classes")
+                        if args.priority_classes else None)
     return ServeConfig(
         backend=args.backend,
         max_batch=args.max_batch,
@@ -130,6 +197,14 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         macros_per_worker=args.macros_per_worker,
         policy=args.policy,
         queue_capacity=args.queue_capacity,
+        retry_policy=args.retry_policy,
+        max_retries=args.max_retries,
+        respawn=not args.no_respawn,
+        plan_cache=args.plan_cache,
+        priority_classes=priority_classes,
+        autoscale=args.autoscale,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
     )
 
 
@@ -144,9 +219,17 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
             context=dataclasses.replace(config.context, calibration=x_train[:16],
                                         max_mapped_layers=1),
         )
+    scenario = getattr(args, "scenario", "steady")
+    priority_mix = (parse_class_map(args.priority_mix, "--priority-mix")
+                    if getattr(args, "priority_mix", None) else None)
     result = run_loadtest(model, x_test, config, pattern=args.pattern,
                           rate_rps=args.rate, num_requests=args.requests,
-                          seed=args.seed, collect_profile=args.profile)
+                          seed=args.seed, collect_profile=args.profile,
+                          scenario=scenario,
+                          kills=getattr(args, "kills", 3),
+                          kill_interval_s=getattr(args, "kill_interval_ms",
+                                                  50.0) / 1e3,
+                          priority_mix=priority_mix)
     if args.pipeline_stages > 1:
         mode_tag = f"pipeline x{args.pipeline_stages}"
     else:
@@ -187,6 +270,34 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
             f"dynamic batching speedup: {speedup:.2f}x",
         ]
     exit_code = 0
+    if scenario == "kill-storm":
+        chaos = result.chaos or {}
+        problems = []
+        if result.failures:
+            problems.append(f"{result.failures} client-visible failures")
+        if not chaos.get("recovered", False):
+            problems.append(
+                f"pool not recovered ({chaos.get('alive_workers')}/"
+                f"{args.workers} workers alive)")
+        if problems:
+            lines.append("KILL-STORM FAIL: " + "; ".join(problems))
+            exit_code = 1
+        else:
+            lines.append(
+                f"KILL-STORM OK: {chaos.get('kills')} kills, 0 client "
+                f"failures, {chaos.get('retried_batches')} batches "
+                f"re-dispatched, pool respawned to {args.workers} workers")
+    elif scenario == "overload":
+        dropped = result.snapshot.dropped
+        if result.failures == dropped:
+            lines.append(f"OVERLOAD OK: every failure was an admission "
+                         f"drop ({dropped} dropped, "
+                         f"{result.snapshot.requests} served)")
+        else:
+            lines.append(f"OVERLOAD FAIL: {result.failures} failures but "
+                         f"only {dropped} admission drops — served "
+                         "requests failed")
+            exit_code = 1
     max_p99 = getattr(args, "max_p99_ms", None)
     if max_p99 is not None:
         p99 = result.snapshot.latency_p99_ms

@@ -19,13 +19,33 @@ Arrival processes
     requested rate.  Sustained bursts grow queues and stretch tail latency.
 ``uniform``
     Deterministic, evenly spaced arrivals — the control case.
+
+Scenarios
+---------
+Beyond the steady drive, :func:`run_loadtest` can exercise the service's
+failure modes:
+
+``overload``
+    Same traffic, but the result carries an explicit admission-control
+    summary (completed vs. dropped); pair it with a bounded
+    ``ServeConfig.queue_capacity`` and an offered rate above capacity to
+    check that overload sheds load instead of failing served requests.
+``kill-storm``
+    A chaos drive: while traffic is in flight, a seeded killer repeatedly
+    SIGKILLs random worker processes (process workers or pipeline stage
+    processes).  With the default ``retry_policy="redispatch"`` the
+    contract is zero client-visible failures and a pool respawned back to
+    its configured replica count, which the result's ``chaos`` summary
+    reports.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
-from typing import Callable, Dict, List, Optional
+import os
+import signal
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -134,6 +154,8 @@ class LoadResult:
     failures: int
     #: Per-worker plan-stage breakdowns, when the load test collected them.
     stage_profiles: Optional[List[Dict[str, float]]] = None
+    #: Scenario summary (overload shedding / kill-storm recovery), if any.
+    chaos: Optional[Dict[str, object]] = None
 
     @property
     def achieved_rps(self) -> float:
@@ -144,26 +166,36 @@ class LoadResult:
 
     def render(self) -> str:
         """Offered vs. achieved load followed by the metrics report."""
-        return (
+        text = (
             f"Offered load: {self.offered_rate_rps:.1f} req/s, "
             f"achieved {self.achieved_rps:.1f} req/s, "
             f"{self.failures} failed/dropped\n" + self.snapshot.render()
         )
+        if self.chaos:
+            pairs = ", ".join(f"{key}={value}"
+                              for key, value in self.chaos.items())
+            text += f"\nscenario: {pairs}"
+        return text
 
 
 async def run_open_loop(service: InferenceService, images: np.ndarray,
-                        arrivals: np.ndarray, time_scale: float = 1.0
+                        arrivals: np.ndarray, time_scale: float = 1.0,
+                        priorities: Optional[Sequence[str]] = None
                         ) -> LoadResult:
     """Fire requests at the service on an arrival schedule (open loop).
 
     ``images`` provides the request payloads (request ``i`` sends sample
     ``i % len(images)``); ``arrivals`` are cumulative offsets in seconds,
     multiplied by ``time_scale`` (``0`` submits everything immediately —
-    useful for deterministic tests).  Returns logits in request order with
-    failed/dropped rows zero-filled.
+    useful for deterministic tests).  ``priorities`` optionally tags
+    request ``i`` with SLO class ``priorities[i]``.  Returns logits in
+    request order with failed/dropped rows zero-filled.
     """
     images = np.asarray(images, dtype=np.float64)
     arrivals = np.asarray(arrivals, dtype=np.float64) * time_scale
+    if priorities is not None and len(priorities) != len(arrivals):
+        raise ValueError(
+            f"got {len(priorities)} priorities for {len(arrivals)} arrivals")
     loop = asyncio.get_running_loop()
     start = loop.time()
     futures: List["asyncio.Future"] = []
@@ -171,8 +203,11 @@ async def run_open_loop(service: InferenceService, images: np.ndarray,
         delay = start + float(offset) - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
+        submit_kwargs = ({} if priorities is None
+                         else {"priority": priorities[i]})
         try:
-            futures.append(service.submit_nowait(images[i % len(images)]))
+            futures.append(service.submit_nowait(images[i % len(images)],
+                                                 **submit_kwargs))
         except Exception:  # noqa: BLE001 — a closed service fails the request
             futures.append(None)
     results = await asyncio.gather(
@@ -207,25 +242,142 @@ async def run_open_loop(service: InferenceService, images: np.ndarray,
     )
 
 
+#: Scenario names :func:`run_loadtest` understands.
+LOAD_SCENARIOS = ("steady", "overload", "kill-storm")
+
+
+def assign_priorities(priority_mix: Dict[str, float], num_requests: int,
+                      seed: int = 0) -> List[str]:
+    """Seeded per-request SLO-class assignment from a ``{class: weight}``
+    mix (weights are normalised, so they need not sum to one)."""
+    if not priority_mix:
+        raise ValueError("priority_mix must name at least one class")
+    names = sorted(priority_mix)
+    weights = np.asarray([float(priority_mix[name]) for name in names])
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ValueError("priority_mix weights must be non-negative and "
+                         "sum to a positive total")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(names), size=num_requests,
+                       p=weights / weights.sum())
+    return [names[pick] for pick in picks]
+
+
+async def _kill_worker_processes(service: InferenceService,
+                                 traffic: "asyncio.Task", kills: int,
+                                 interval_s: float, seed: int) -> int:
+    """SIGKILL random worker processes while ``traffic`` is in flight.
+
+    Picks a live worker pid from the service's own pool every
+    ``interval_s`` seconds, up to ``kills`` kills; stops early once the
+    traffic task finishes (no point shooting an idle pool).  Returns the
+    number of kills actually delivered.
+    """
+    rng = np.random.default_rng(seed)
+    killed = 0
+    while killed < kills and not traffic.done():
+        await asyncio.sleep(interval_s)
+        if traffic.done():
+            break
+        pids = sorted(pid for worker_pids in
+                      service.process_worker_pids().values()
+                      for pid in worker_pids)
+        if not pids:
+            continue  # every replica is mid-respawn; try again next tick
+        pid = int(pids[int(rng.integers(len(pids)))])
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            continue  # already reaped between listing and killing
+        killed += 1
+    return killed
+
+
+async def _await_pool_recovery(service: InferenceService,
+                               timeout_s: float) -> bool:
+    """Poll until the worker pool is back at full strength (or time out)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while not service.pool_recovered():
+        if loop.time() >= deadline:
+            return False
+        await asyncio.sleep(0.02)
+    return True
+
+
 def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig] = None,
                  pattern: str = "poisson", rate_rps: float = 2000.0,
                  num_requests: int = 256, seed: int = 0,
                  time_scale: float = 1.0,
-                 collect_profile: bool = False) -> LoadResult:
+                 collect_profile: bool = False,
+                 scenario: str = "steady",
+                 kills: int = 3, kill_interval_s: float = 0.05,
+                 recovery_timeout_s: float = 30.0,
+                 priority_mix: Optional[Dict[str, float]] = None) -> LoadResult:
     """Start a service, drive it with a seeded arrival process, drain, report.
 
     ``collect_profile=True`` additionally gathers every worker's plan-stage
     breakdown (fetched from the worker processes in ``workers="process"``
     mode) before shutting the service down.
+
+    ``scenario`` selects the drive (see the module docstring): ``steady``
+    is the plain open loop, ``overload`` summarises admission-control
+    shedding in ``LoadResult.chaos``, and ``kill-storm`` SIGKILLs
+    ``kills`` random worker processes every ``kill_interval_s`` seconds
+    during traffic and then waits (up to ``recovery_timeout_s``) for the
+    pool to respawn to full strength.  ``priority_mix`` tags requests
+    with seeded SLO classes, e.g. ``{"interactive": 0.2, "batch": 0.8}``.
     """
+    if scenario not in LOAD_SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         f"known scenarios: {', '.join(LOAD_SCENARIOS)}")
     arrivals = make_arrivals(pattern, rate_rps, num_requests, seed=seed)
+    priorities = (assign_priorities(priority_mix, num_requests, seed=seed)
+                  if priority_mix else None)
 
     async def _run() -> LoadResult:
         service = InferenceService(model, config)
         await service.start()
         try:
-            result = await run_open_loop(service, images, arrivals,
-                                         time_scale=time_scale)
+            traffic = asyncio.ensure_future(
+                run_open_loop(service, images, arrivals,
+                              time_scale=time_scale, priorities=priorities))
+            chaos: Optional[Dict[str, object]] = None
+            if scenario == "kill-storm":
+                killed = await _kill_worker_processes(
+                    service, traffic, kills, kill_interval_s, seed)
+                result = await traffic
+                recovered = await _await_pool_recovery(
+                    service, recovery_timeout_s)
+                snapshot = service.metrics_snapshot()
+                chaos = {
+                    "scenario": scenario,
+                    "kills": killed,
+                    "recovered": recovered,
+                    "alive_workers": service.alive_worker_count(),
+                    "worker_deaths": snapshot.worker_deaths,
+                    "retried_batches": snapshot.retried_batches,
+                    "respawns": snapshot.respawns,
+                    "recovery_s": (max(snapshot.recovery_times_s)
+                                   if snapshot.recovery_times_s else 0.0),
+                    "plan_cache_hits": snapshot.plan_cache_hits,
+                }
+                # The recovery wait post-dates the traffic snapshot, so
+                # re-snapshot to include late respawns in the report.
+                result = dataclasses.replace(result, snapshot=snapshot,
+                                             chaos=chaos)
+            else:
+                result = await traffic
+                if scenario == "overload":
+                    snapshot = result.snapshot
+                    chaos = {
+                        "scenario": scenario,
+                        "completed": snapshot.requests,
+                        "dropped": snapshot.dropped,
+                        "queue_capacity": config.queue_capacity
+                        if config is not None else None,
+                    }
+                    result = dataclasses.replace(result, chaos=chaos)
             if collect_profile:
                 result = dataclasses.replace(
                     result, stage_profiles=await service.stage_profiles())

@@ -24,6 +24,18 @@ Metrics glossary
 ``dropped``
     Requests rejected by admission control: the number of admitted-but-
     uncompleted requests had reached ``queue_capacity``.
+``per-class latency``
+    The same latency percentiles, split by request priority class — the
+    evidence that per-class ``max_wait_ms`` budgets are actually shaping
+    tail latency per SLO tier.
+``fault tolerance``
+    Worker deaths observed, batches re-dispatched to surviving workers,
+    background respawns completed, and the recovery time from first lost
+    capacity back to a fully-alive pool.
+``plan cache``
+    Hit/miss counts of the on-disk compiled-plan cache
+    (:class:`repro.exec.plan.PlanCache`) — a respawn that hits skipped
+    plan recompilation entirely.
 """
 
 from __future__ import annotations
@@ -100,6 +112,22 @@ class MetricsSnapshot:
     conversions_estimated: bool
     energy_per_request_j: float
     workers: List[WorkerSnapshot]
+    #: Per-priority-class latency summaries:
+    #: ``{class: {"requests", "p50_ms", "p95_ms", "p99_ms"}}``.
+    class_latency_ms: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict)
+    #: Fault-tolerance counters (zero on a fault-free run).
+    worker_deaths: int = 0
+    retried_batches: int = 0
+    respawns: int = 0
+    #: Per-incident times from first lost capacity to a fully-alive pool.
+    recovery_times_s: tuple = ()
+    #: On-disk plan-cache lookups (zero when no cache is configured).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: Autoscaling events (replicas spawned / retired while serving).
+    scale_up_events: int = 0
+    scale_down_events: int = 0
 
     def render(self) -> str:
         """ASCII report of the snapshot (the loadtest CLI output)."""
@@ -121,6 +149,32 @@ class MetricsSnapshot:
             f"{', estimated' if self.conversions_estimated else ''})",
             "batch-size histogram " + _render_histogram(self.batch_histogram),
         ]
+        for name in sorted(self.class_latency_ms):
+            stats = self.class_latency_ms[name]
+            lines.append(
+                f"class {name:<14} p50/p95/p99  {stats['p50_ms']:.2f} / "
+                f"{stats['p95_ms']:.2f} / {stats['p99_ms']:.2f} ms "
+                f"({int(stats['requests'])} requests)"
+            )
+        if self.worker_deaths or self.respawns or self.retried_batches:
+            recovery = max(self.recovery_times_s, default=0.0)
+            lines.append(
+                f"fault tolerance      {self.worker_deaths} worker deaths, "
+                f"{self.retried_batches} batches re-dispatched, "
+                f"{self.respawns} respawns "
+                f"(recovery {recovery * 1e3:.1f} ms)"
+            )
+        if self.plan_cache_hits or self.plan_cache_misses:
+            lines.append(
+                f"plan cache           {self.plan_cache_hits} hits, "
+                f"{self.plan_cache_misses} misses"
+            )
+        if self.scale_up_events or self.scale_down_events:
+            lines.append(
+                f"autoscaling          {self.scale_up_events} scale-ups, "
+                f"{self.scale_down_events} scale-downs "
+                f"({len(self.workers)} workers at snapshot)"
+            )
         transport = sum(worker.transport_s for worker in self.workers)
         if transport > 0:
             lines.append(f"transport            {transport * 1e3:.2f} ms "
@@ -169,6 +223,7 @@ class ServiceMetrics:
     def __init__(self, energy_per_conversion_j: float = 0.0) -> None:
         self.energy_per_conversion_j = float(energy_per_conversion_j)
         self.latencies_s: List[float] = []
+        self.class_latencies_s: Dict[str, List[float]] = {}
         self.batch_histogram: Dict[int, int] = {}
         self.queue_depths: List[int] = []
         self.dropped = 0
@@ -177,6 +232,14 @@ class ServiceMetrics:
         self.batches = 0
         self.conversions = 0
         self.estimated_conversions = 0.0
+        self.worker_deaths = 0
+        self.retried_batches = 0
+        self.respawns = 0
+        self.recovery_times_s: List[float] = []
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.scale_up_events = 0
+        self.scale_down_events = 0
         self.first_arrival: Optional[float] = None
         self.last_completion: Optional[float] = None
 
@@ -197,16 +260,48 @@ class ServiceMetrics:
 
     def record_batch(self, rows: int, request_latencies_s: Sequence[float],
                      now: float, conversions: int = 0,
-                     estimated_conversions: float = 0.0) -> None:
-        """A batch finished; latencies are per contained request."""
+                     estimated_conversions: float = 0.0,
+                     request_classes: Optional[Sequence[str]] = None) -> None:
+        """A batch finished; latencies are per contained request.
+
+        ``request_classes`` optionally tags each latency with the request's
+        priority class (parallel to ``request_latencies_s``) so snapshots
+        can report per-class percentiles.
+        """
         self.batches += 1
         self.samples += rows
         self.requests += len(request_latencies_s)
         self.latencies_s.extend(request_latencies_s)
+        if request_classes is not None:
+            for name, latency in zip(request_classes, request_latencies_s):
+                self.class_latencies_s.setdefault(name, []).append(latency)
         self.batch_histogram[rows] = self.batch_histogram.get(rows, 0) + 1
         self.conversions += conversions
         self.estimated_conversions += estimated_conversions
         self.last_completion = now
+
+    def record_worker_death(self) -> None:
+        """A worker process (or pipeline stage) was found dead."""
+        self.worker_deaths += 1
+
+    def record_retry(self, batches: int = 1) -> None:
+        """A batch was re-dispatched after its worker died."""
+        self.retried_batches += batches
+
+    def record_respawn(self) -> None:
+        """A background worker respawn completed."""
+        self.respawns += 1
+
+    def record_recovery(self, seconds: float) -> None:
+        """The pool returned to fully-alive, ``seconds`` after capacity loss."""
+        self.recovery_times_s.append(float(seconds))
+
+    def record_scale_event(self, direction: str) -> None:
+        """Autoscaling spawned (``"up"``) or retired (``"down"``) a replica."""
+        if direction == "up":
+            self.scale_up_events += 1
+        else:
+            self.scale_down_events += 1
 
     # -- summary --------------------------------------------------------
     def wall_time_s(self) -> float:
@@ -249,4 +344,21 @@ class ServiceMetrics:
             conversions_estimated=estimated,
             energy_per_request_j=energy,
             workers=list(workers),
+            class_latency_ms={
+                name: {
+                    "requests": float(len(latencies)),
+                    "p50_ms": percentile_ms(latencies, 50),
+                    "p95_ms": percentile_ms(latencies, 95),
+                    "p99_ms": percentile_ms(latencies, 99),
+                }
+                for name, latencies in self.class_latencies_s.items()
+            },
+            worker_deaths=self.worker_deaths,
+            retried_batches=self.retried_batches,
+            respawns=self.respawns,
+            recovery_times_s=tuple(self.recovery_times_s),
+            plan_cache_hits=self.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses,
+            scale_up_events=self.scale_up_events,
+            scale_down_events=self.scale_down_events,
         )

@@ -29,6 +29,15 @@ from repro.core.accelerator import AFPRAccelerator
 from repro.core.config import MacroConfig
 
 
+class NoAliveWorkersError(RuntimeError):
+    """Raised by :meth:`Scheduler.select` when every worker is dead/retired.
+
+    The service treats this as a *transient* condition while a respawn or
+    autoscale spawn is pending, and only fails batches once the recovery
+    wait budget is exhausted.
+    """
+
+
 @dataclasses.dataclass
 class WorkerState:
     """Scheduling-relevant state of one serving worker.
@@ -40,6 +49,12 @@ class WorkerState:
     chain of stage processes (:mod:`repro.shard`).  Placement policies
     treat them identically; the tag and the per-stage occupancy flow into
     the per-worker metrics snapshots.
+
+    ``alive`` gates placement: a worker whose process died (until its
+    respawn completes) or that autoscaling retired is skipped by every
+    policy.  ``retired`` distinguishes deliberate scale-down from death so
+    pool-recovery accounting does not wait for workers that are never
+    coming back.
     """
 
     index: int
@@ -47,6 +62,10 @@ class WorkerState:
     assigned_rows: int = 0
     assigned_batches: int = 0
     mode: str = "thread"
+    #: Placement eligibility: False while the worker is dead or retired.
+    alive: bool = True
+    #: True when autoscaling deliberately retired this worker.
+    retired: bool = False
     #: Seconds spent moving batches to/from the worker (process transport);
     #: updated by the worker loop so snapshots survive worker shutdown.
     transport_s: float = 0.0
@@ -62,7 +81,13 @@ class WorkerState:
 
 
 class Scheduler:
-    """Base class for placement policies over a fixed worker pool."""
+    """Base class for placement policies over a (mutable) worker pool.
+
+    The pool is the *live* ``workers`` list: the service appends states
+    when autoscaling spawns replicas and flips ``alive`` on death/respawn/
+    retirement, so policies must re-derive the eligible set on every pick
+    instead of caching it.
+    """
 
     #: Registry name of the policy (set by subclasses).
     name = "abstract"
@@ -71,6 +96,16 @@ class Scheduler:
         if not workers:
             raise ValueError("scheduler needs at least one worker")
         self.workers = workers
+
+    def alive_workers(self) -> List[WorkerState]:
+        """The placeable workers; raises when the pool is fully down."""
+        alive = [worker for worker in self.workers if worker.alive]
+        if not alive:
+            raise NoAliveWorkersError(
+                f"no alive workers among {len(self.workers)} "
+                "(all dead or retired)"
+            )
+        return alive
 
     def select(self, rows: int) -> WorkerState:
         """Pick a worker for a batch of ``rows`` sample rows and book it."""
@@ -129,7 +164,8 @@ class RoundRobinScheduler(Scheduler):
         self._next = 0
 
     def _pick(self, rows: int) -> WorkerState:
-        worker = self.workers[self._next % len(self.workers)]
+        pool = self.alive_workers()
+        worker = pool[self._next % len(pool)]
         self._next += 1
         return worker
 
@@ -148,7 +184,7 @@ class LeastLoadedScheduler(Scheduler):
 
     def _pick(self, rows: int) -> WorkerState:
         return min(
-            self.workers,
+            self.alive_workers(),
             key=lambda w: (w.inflight_conversions, w.assigned_rows, w.index),
         )
 

@@ -18,6 +18,21 @@ so when the coalesced batch equals the batch a direct ``run_model`` call
 would see, the served logits are bit-identical on every backend, and on the
 row-independent digital backends (``ideal``, ``fake_quant``) they are
 bit-identical regardless of how the batcher happened to split the traffic.
+
+Fault tolerance: a worker-level fault (process SIGKILLed, shm ring broken,
+pipeline stage death) is classified apart from request-level errors.  The
+dead worker is marked unplaceable, its in-flight and queued batches are
+re-dispatched to surviving replicas up to ``max_retries`` attempts, and a
+background task respawns the worker — loading its compiled plan from the
+on-disk :class:`~repro.exec.plan.PlanCache` when one is configured, so
+respawn skips recompilation.  Request-level errors (a forward exception)
+still fail only their own batch: they would fail identically on any
+replica.  **Noise-stream caveat**: a re-dispatched batch re-runs on a
+replica whose analog noise streams have advanced differently, so retried
+analog batches draw fresh noise — bit-identity against a single fault-free
+run is only guaranteed for the no-fault path.  Runs that need bit identity
+even under faults should pin ``retry_policy="fail_fast"``, which restores
+the fail-the-batch behaviour while keeping respawn.
 """
 
 from __future__ import annotations
@@ -35,11 +50,13 @@ import numpy as np
 
 from repro.exec.backend import ExecutionBackend, ExecutionContext
 from repro.exec.engine import BatchRunner
+from repro.exec.plan import PlanCache, plan_fingerprint
 from repro.exec.registry import create_backend
 from repro.nn.model import Model
 from repro.power.efficiency import energy_per_conversion
 from repro.serve.batcher import (
     CLOSE,
+    DEFAULT_PRIORITY,
     DynamicBatcher,
     Request,
     fail_requests,
@@ -53,7 +70,12 @@ from repro.serve.metrics import (
     StageOccupancy,
     WorkerSnapshot,
 )
-from repro.serve.scheduler import WorkerState, build_worker_states, create_scheduler
+from repro.serve.scheduler import (
+    NoAliveWorkersError,
+    WorkerState,
+    build_worker_states,
+    create_scheduler,
+)
 from repro.serve.shm import ShmChannel, SlotRing
 
 
@@ -465,6 +487,48 @@ class ServeConfig:
     estimate_energy:
         Estimate conversions for digital backends so energy-per-request is
         reported even when the backend meters none.
+    retry_policy:
+        What happens to the in-flight batches of a worker that *died*
+        (process exit, broken shm transport, pipeline stage death — never
+        plain forward exceptions, which fail only their own batch).
+        ``"redispatch"`` (default) re-queues them onto surviving replicas
+        up to ``max_retries`` attempts.  Retried analog batches draw fresh
+        noise (the replacement replica's streams have advanced
+        differently), so bit-identity-critical runs should pin
+        ``"fail_fast"``, which fails the dead worker's batches immediately
+        (respawn still restores capacity).
+    max_retries:
+        Re-dispatch attempts per batch before its requests fail.
+    respawn:
+        Rebuild a dead worker in the background (same replica recipe; the
+        plan cache makes this recompile-free for process workers).
+    recovery_wait_s:
+        How long a batch may wait for a respawn when *no* worker is alive
+        before its requests fail.
+    plan_cache:
+        Directory of the on-disk compiled-plan cache
+        (:class:`repro.exec.plan.PlanCache`).  Process-worker plans are
+        looked up by model/backend/context fingerprint so cold starts and
+        respawns skip plan compilation; ``None`` (default) disables the
+        cache (respawns still reuse the in-memory payload).
+    priority_classes:
+        Optional ``{class_name: max_wait_ms}`` SLO tiers.  A request's
+        class picks its flush-deadline budget (see
+        :class:`~repro.serve.batcher.DynamicBatcher`); unknown class names
+        are rejected at submit.  ``None`` keeps the single global
+        ``max_wait_ms`` for everyone.
+    autoscale:
+        Enable queue-depth/occupancy driven replica autoscaling: spawn a
+        worker when the outstanding backlog exceeds one ``max_batch`` per
+        alive worker, retire the newest one after a sustained idle period.
+        The pool stays within ``[min_workers, max_workers]``.
+    min_workers / max_workers:
+        Autoscaling bounds (default: both ``num_workers``, i.e. no
+        scaling even when ``autoscale`` is on).
+    autoscale_interval_ms:
+        Period of the autoscaler's signal sampling.
+    scale_down_idle_ticks:
+        Consecutive idle autoscaler ticks before a replica is retired.
     """
 
     backend: Union[str, ExecutionBackend] = "ideal"
@@ -483,6 +547,17 @@ class ServeConfig:
     queue_capacity: Optional[int] = None
     context: ExecutionContext = dataclasses.field(default_factory=ExecutionContext)
     estimate_energy: bool = True
+    retry_policy: str = "redispatch"
+    max_retries: int = 2
+    respawn: bool = True
+    recovery_wait_s: float = 30.0
+    plan_cache: Optional[str] = None
+    priority_classes: Optional[Dict[str, float]] = None
+    autoscale: bool = False
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    autoscale_interval_ms: float = 20.0
+    scale_down_idle_ticks: int = 5
 
 
 class InferenceService:
@@ -511,21 +586,52 @@ class InferenceService:
         if (self.config.macro_budget is not None
                 and self.config.macro_budget < 1):
             raise ValueError("macro_budget must be >= 1 (or None)")
+        if self.config.retry_policy not in ("redispatch", "fail_fast"):
+            raise ValueError(
+                f"unknown retry policy {self.config.retry_policy!r}; "
+                "choose 'redispatch' or 'fail_fast'"
+            )
+        if self.config.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        for name, wait_ms in (self.config.priority_classes or {}).items():
+            if wait_ms < 0:
+                raise ValueError(
+                    f"priority class {name!r} max_wait_ms must be >= 0")
+        low = (self.config.min_workers if self.config.min_workers is not None
+               else self.config.num_workers)
+        high = (self.config.max_workers if self.config.max_workers is not None
+                else self.config.num_workers)
+        if self.config.autoscale and (low < 1 or high < low):
+            raise ValueError(
+                f"autoscale bounds min_workers={low}, max_workers={high} "
+                "must satisfy 1 <= min <= max"
+            )
         self.metrics = ServiceMetrics(
             energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
         )
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[DynamicBatcher] = None
         self._worker_states: List[WorkerState] = []
-        self._workers: List[Union[_ThreadWorker, _ProcessWorker,
-                                  _PipelineWorker]] = []
+        self._workers: List[Optional[Union[_ThreadWorker, _ProcessWorker,
+                                           _PipelineWorker]]] = []
         self._worker_queues: List[asyncio.Queue] = []
         self._tasks: List[asyncio.Task] = []
+        self._loop_tasks: Dict[int, asyncio.Task] = {}
         self._scheduler = None
         self._conversions_per_sample: Optional[int] = None
         self._outstanding = 0
         self._started = False
         self._accepting = False
+        self._stopping = False
+        self._worker_mode = ("pipeline" if self.config.pipeline_stages > 1
+                             else self.config.workers)
+        self._plan_cache: Optional[PlanCache] = None
+        self._plan_payload: Optional[bytes] = None
+        self._pipeline_partition = None
+        self._respawn_tasks: set = set()
+        self._autoscale_task: Optional[asyncio.Task] = None
+        self._signature: Optional[Tuple[int, ...]] = None
+        self._degraded_since: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -538,71 +644,45 @@ class InferenceService:
         # Rebuild all per-run state so a stopped service can start again:
         # queues from a previous run are bound to that run's event loop.
         self._queue = asyncio.Queue()
+        class_wait_s = {name: wait_ms / 1e3
+                        for name, wait_ms in (config.priority_classes or {}).items()}
         self._batcher = DynamicBatcher(self._queue, max_batch=config.max_batch,
-                                       max_wait_s=config.max_wait_ms / 1e3)
+                                       max_wait_s=config.max_wait_ms / 1e3,
+                                       class_wait_s=class_wait_s)
         self._worker_queues = []
         self._workers = []
         self._outstanding = 0
-        worker_mode = ("pipeline" if config.pipeline_stages > 1
-                       else config.workers)
+        self._stopping = False
+        self._plan_payload = None
+        self._pipeline_partition = None
+        self._respawn_tasks = set()
+        self._degraded_since = None
+        self._plan_cache = (PlanCache(config.plan_cache)
+                            if config.plan_cache else None)
+        # The admission signature locks from the calibration batch when one
+        # is available, else from the first admitted request.
+        self._signature = None
+        calibration = config.context.calibration
+        if calibration is not None:
+            calibration = np.asarray(calibration)
+            if calibration.ndim == 4:
+                self._signature = tuple(int(d) for d in calibration.shape[1:])
         self._worker_states = build_worker_states(
             config.num_workers, macro_config=config.context.macro_config,
-            macros_per_worker=config.macros_per_worker, mode=worker_mode,
+            macros_per_worker=config.macros_per_worker, mode=self._worker_mode,
         )
         self._scheduler = create_scheduler(config.policy, self._worker_states)
         try:
             for index in range(config.num_workers):
-                # Each worker serves its own replica so concurrent forwards
-                # on different workers cannot race on shared layer state.
-                # The replica recipe (deepcopy + same seeded context) is the
-                # same in both worker modes, which is what keeps process
-                # serving bit-identical to in-loop serving.
-                replica = copy.deepcopy(self.model)
-                backend = (
-                    config.backend if isinstance(config.backend, ExecutionBackend)
-                    else create_backend(config.backend, **config.backend_options)
-                )
-                runner = await asyncio.to_thread(
-                    BatchRunner, replica, backend, context=config.context
-                )
-                if config.pipeline_stages > 1:
-                    # Cut the compiled plan into per-stage partial plans and
-                    # serve the replica as a process pipeline; the parent
-                    # copy served only to build and split the plan.
-                    partition = await asyncio.to_thread(
-                        self._build_partition, runner)
-                    await asyncio.to_thread(runner.close)
-                    worker: Union[_ThreadWorker, _ProcessWorker,
-                                  _PipelineWorker] = _PipelineWorker(
-                        partition, max_batch=config.max_batch,
-                        slots=config.transport_slots)
-                    self._workers.append(worker)
-                    await worker.start()
-                    self._worker_queues.append(asyncio.Queue())
-                    continue
-                if config.macro_budget is not None:
-                    await asyncio.to_thread(self._enforce_macro_budget, runner)
-                if config.workers == "process":
-                    # Ship the compiled plan to a dedicated interpreter; the
-                    # parent copy served only to build and pickle it.  The
-                    # worker joins the pool before its readiness probe so a
-                    # failed start still shuts its executor down below.
-                    payload = await asyncio.to_thread(pickle.dumps, runner.plan)
-                    await asyncio.to_thread(runner.close)
-                    worker: Union[_ThreadWorker, _ProcessWorker] = _ProcessWorker(
-                        payload, transport=config.transport,
-                        max_batch=config.max_batch,
-                        slots=config.transport_slots)
-                    self._workers.append(worker)
-                    await worker.start()
-                else:
-                    self._workers.append(_ThreadWorker(runner))
+                worker = await self._build_worker()
+                self._workers.append(worker)
                 self._worker_queues.append(asyncio.Queue())
         except Exception:
             # A failed prepare mid-pool must not leave earlier workers
             # attached or the service half-initialised for a retry.
             for worker in self._workers:
-                await worker.close()
+                if worker is not None:
+                    await worker.close()
             self._workers = []
             self._worker_queues = []
             self._worker_states = []
@@ -610,15 +690,137 @@ class InferenceService:
             self._queue = None
             self._batcher = None
             raise
-        self._tasks = [
-            asyncio.create_task(self._worker_loop(index), name=f"serve-worker-{index}")
+        self._loop_tasks = {
+            index: asyncio.create_task(self._worker_loop(index),
+                                       name=f"serve-worker-{index}")
             for index in range(config.num_workers)
-        ]
+        }
+        self._tasks = list(self._loop_tasks.values())
         self._tasks.append(
             asyncio.create_task(self._dispatch_loop(), name="serve-dispatch")
         )
+        if config.autoscale:
+            self._autoscale_task = asyncio.create_task(
+                self._autoscale_loop(), name="serve-autoscale")
         self._started = True
         self._accepting = True
+
+    async def _build_runner(self) -> BatchRunner:
+        """Prepare one replica runner (deepcopy + same seeded context).
+
+        Each worker serves its own replica so concurrent forwards on
+        different workers cannot race on shared layer state.  The replica
+        recipe is identical for every worker and in both worker modes,
+        which is what keeps process serving bit-identical to in-loop
+        serving — and what lets one pickled plan payload serve every
+        process replica (and the plan cache serve future starts).
+        """
+        config = self.config
+        replica = copy.deepcopy(self.model)
+        backend = (
+            config.backend if isinstance(config.backend, ExecutionBackend)
+            else create_backend(config.backend, **config.backend_options)
+        )
+        return await asyncio.to_thread(
+            BatchRunner, replica, backend, context=config.context
+        )
+
+    async def _process_plan_payload(self) -> bytes:
+        """The pickled plan shipped to process workers, cached per service.
+
+        Resolution order: in-memory (already built this run) → on-disk
+        plan cache (fingerprint hit skips compilation entirely) → compile
+        a fresh replica, pickle it and persist it for the next start or
+        respawn.
+        """
+        if self._plan_payload is not None:
+            return self._plan_payload
+        config = self.config
+        # Backend *instances* carry arbitrary caller state the fingerprint
+        # cannot see; only registry-name recipes are cacheable.
+        cache = self._plan_cache if isinstance(config.backend, str) else None
+        key = None
+        if cache is not None:
+            key = await asyncio.to_thread(
+                plan_fingerprint, self.model, config.backend,
+                config.backend_options, config.context)
+            payload = await asyncio.to_thread(cache.load, key)
+            if payload is not None:
+                if config.macro_budget is not None:
+                    # The budget guard normally runs on the freshly
+                    # compiled plan; a hit skipped compilation, so count
+                    # macros on an unpickled copy instead.
+                    plan = await asyncio.to_thread(pickle.loads, payload)
+                    self._enforce_plan_budget(plan)
+                self._plan_payload = payload
+                return payload
+        runner = await self._build_runner()
+        try:
+            if config.macro_budget is not None:
+                await asyncio.to_thread(self._enforce_macro_budget, runner)
+            payload = await asyncio.to_thread(pickle.dumps, runner.plan)
+        finally:
+            await asyncio.to_thread(runner.close)
+        if cache is not None and key is not None:
+            try:
+                await asyncio.to_thread(cache.store, key, payload)
+            except OSError as exc:
+                warnings.warn(
+                    f"plan cache write failed ({exc!r}); serving without it",
+                    RuntimeWarning, stacklevel=2)
+        self._plan_payload = payload
+        return payload
+
+    async def _partition_payloads(self):
+        """The per-stage pipeline payloads, built once per service run.
+
+        Every replica is the same seeded recipe, so one partition's pickled
+        stage plans serve every pipeline worker — including respawns, which
+        therefore never recompile or re-partition.
+        """
+        if self._pipeline_partition is not None:
+            return self._pipeline_partition
+        runner = await self._build_runner()
+        try:
+            partition = await asyncio.to_thread(self._build_partition, runner)
+        finally:
+            await asyncio.to_thread(runner.close)
+        self._pipeline_partition = partition
+        return partition
+
+    async def _build_worker(self) -> Union["_ThreadWorker", "_ProcessWorker",
+                                           "_PipelineWorker"]:
+        """Build and start one worker of the configured substrate."""
+        config = self.config
+        if config.pipeline_stages > 1:
+            partition = await self._partition_payloads()
+            worker = _PipelineWorker(partition, max_batch=config.max_batch,
+                                     slots=config.transport_slots)
+            try:
+                await worker.start()
+            except Exception:
+                await worker.close()
+                raise
+            return worker
+        if config.workers == "process":
+            payload = await self._process_plan_payload()
+            worker = _ProcessWorker(payload, transport=config.transport,
+                                    max_batch=config.max_batch,
+                                    slots=config.transport_slots)
+            try:
+                await worker.start()
+            except Exception:
+                await worker.close()
+                raise
+            return worker
+        runner = await self._build_runner()
+        try:
+            if config.macro_budget is not None:
+                await asyncio.to_thread(self._enforce_macro_budget, runner)
+        except Exception:
+            await asyncio.to_thread(runner.close)
+            raise
+        return _ThreadWorker(runner)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop the service.
@@ -630,8 +832,21 @@ class InferenceService:
         if not self._started:
             return
         self._accepting = False
+        self._stopping = True
         first_error: Optional[BaseException] = None
         try:
+            if self._autoscale_task is not None:
+                self._autoscale_task.cancel()
+                try:
+                    await self._autoscale_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                self._autoscale_task = None
+            # Let in-flight respawns finish (they check _stopping and tear
+            # their worker back down) so no executor leaks past stop.
+            if self._respawn_tasks:
+                await asyncio.gather(*list(self._respawn_tasks),
+                                     return_exceptions=True)
             if not drain:
                 self._fail_queued(ServiceClosedError("service stopped"))
             await self._queue.put(CLOSE)
@@ -643,10 +858,13 @@ class InferenceService:
                     first_error = outcome
         finally:
             self._tasks = []
+            self._loop_tasks = {}
             for worker in self._workers:
-                await worker.close()
+                if worker is not None:
+                    await worker.close()
             self._workers = []
             self._started = False
+            self._stopping = False
         if first_error is not None:
             # Cleanup succeeded; still surface the crash rather than hide it.
             raise first_error
@@ -654,25 +872,49 @@ class InferenceService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit_nowait(self, images: np.ndarray) -> "asyncio.Future[np.ndarray]":
+    def submit_nowait(self, images: np.ndarray,
+                      priority: str = DEFAULT_PRIORITY
+                      ) -> "asyncio.Future[np.ndarray]":
         """Enqueue one request; returns the future of its logits.
 
         ``images`` is one sample (``(C, H, W)``) or one stacked multi-sample
         request (``(n, C, H, W)``); the future resolves to logits with the
-        matching leading dimension.
+        matching leading dimension.  ``priority`` names an SLO class from
+        ``config.priority_classes`` (or the default class).
+
+        Malformed requests are rejected *here*, synchronously: shape rank,
+        sample shape against the service input signature (locked from the
+        calibration batch, else from the first admitted request) and
+        non-numeric dtypes.  Past admission a request enters the shared
+        batching pipeline, where a bad payload would fail every co-batched
+        client's request along with its own.
         """
         if not self._started or not self._accepting:
             raise ServiceClosedError("service is not accepting requests")
+        classes = self.config.priority_classes
+        if (classes is not None and priority != DEFAULT_PRIORITY
+                and priority not in classes):
+            raise ValueError(
+                f"unknown priority class {priority!r}; configured classes: "
+                f"{', '.join(sorted(classes))} (or {DEFAULT_PRIORITY!r})"
+            )
         array = np.asarray(images, dtype=np.float64)
         if array.ndim == 3:
             array = array[None, ...]
         elif array.ndim != 4:
-            # Reject malformed payloads at the door: past this point the
-            # request enters the shared batching pipeline, where a bad shape
-            # would fail other clients' requests along with its own.
             raise ValueError(
                 f"request must be one (C, H, W) sample or a stacked "
                 f"(n, C, H, W) batch; got shape {array.shape}"
+            )
+        sample_shape = tuple(int(d) for d in array.shape[1:])
+        if self._signature is None:
+            self._signature = sample_shape
+        elif sample_shape != self._signature:
+            raise ValueError(
+                f"request sample shape {sample_shape} does not match the "
+                f"service input signature {self._signature}; rejected at "
+                "admission so one malformed request cannot fail its "
+                "co-batched clients"
             )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[np.ndarray]" = loop.create_future()
@@ -688,13 +930,15 @@ class InferenceService:
             )
             return future
         self._outstanding += 1
-        self._queue.put_nowait(Request(images=array, future=future, arrival=now))
+        self._queue.put_nowait(Request(images=array, future=future,
+                                       arrival=now, priority=priority))
         self.metrics.record_arrival(now, self._queue.qsize())
         return future
 
-    async def submit(self, images: np.ndarray) -> np.ndarray:
+    async def submit(self, images: np.ndarray,
+                     priority: str = DEFAULT_PRIORITY) -> np.ndarray:
         """Submit one request and await its logits."""
-        return await self.submit_nowait(images)
+        return await self.submit_nowait(images, priority=priority)
 
     async def submit_many(self, images: np.ndarray) -> np.ndarray:
         """Submit ``images`` as contiguous ``max_batch``-row slice requests.
@@ -738,9 +982,12 @@ class InferenceService:
 
     def _enforce_macro_budget(self, runner: BatchRunner) -> None:
         """Reject a single-worker replica exceeding the crossbar budget."""
+        self._enforce_plan_budget(runner.plan)
+
+    def _enforce_plan_budget(self, plan) -> None:
         from repro.shard.partition import CapacityError, count_plan_macros
 
-        used = count_plan_macros(runner.plan)
+        used = count_plan_macros(plan)
         budget = self.config.macro_budget
         if used > budget:
             raise CapacityError(
@@ -799,10 +1046,11 @@ class InferenceService:
                 try:
                     rows = sum(request.rows for request in batch)
                     estimate = rows * self._conversions_per_sample
-                    worker = self._scheduler.select(rows)
+                    worker = await self._place_batch(rows)
                     worker.accelerator.begin_inference(estimate)
                     self.metrics.record_dispatch(self._queue.qsize())
-                    await self._worker_queues[worker.index].put((batch, estimate))
+                    await self._worker_queues[worker.index].put(
+                        (batch, estimate, 0))
                 except Exception as exc:  # noqa: BLE001 — fail, don't hang
                     fail_requests(batch, exc)
                     self._outstanding -= len(batch)
@@ -823,15 +1071,18 @@ class InferenceService:
         is preserved.
         """
         queue = self._worker_queues[index]
-        worker = self._workers[index]
         state = self._worker_states[index]
-        limit = max(int(getattr(worker, "max_inflight", 1)), 1)
+        limit = max(int(getattr(self._workers[index], "max_inflight", 1)), 1)
         semaphore = asyncio.Semaphore(limit)
         pending: set = set()
         while True:
             item = await queue.get()
             if item is None:
                 break
+            # Fetched per item: a respawn replaces the worker object at
+            # this index, and batches queued before (or during) the death
+            # must run on whatever currently backs the slot.
+            worker = self._workers[index]
             await semaphore.acquire()
             if limit == 1:
                 try:
@@ -855,11 +1106,24 @@ class InferenceService:
 
     async def _serve_batch(self, worker, state, item) -> None:
         loop = asyncio.get_running_loop()
-        batch, estimate = item
+        batch, estimate, retries = item
+        if not state.alive and not state.retired and not self._stopping:
+            # Queued before the worker's death was noticed: skip the doomed
+            # forward (the executor is closed or closing) and go straight
+            # to the retry path.  Retired workers still drain their queue.
+            state.accelerator.cancel_inference(estimate)
+            await self._retry_or_fail(
+                batch, retries,
+                RuntimeError(f"worker {state.index} died before serving "
+                             "the batch"))
+            return
         try:
             inputs = stack_requests(batch)
             logits, measured = await worker.forward(inputs)
             now = loop.time()
+            # Scatter first: it validates the worker returned one logits
+            # row per batched sample row before any future resolves.
+            scatter_results(batch, logits)
             # Retire the booked estimate from the in-flight gauge but
             # credit the measured cost, so neither an optimistic nor a
             # pessimistic estimate leaves phantom load behind.
@@ -867,7 +1131,6 @@ class InferenceService:
                 measured if measured else estimate, booked=estimate)
             state.transport_s = getattr(worker, "transport_s", 0.0)
             state.stage_stats = getattr(worker, "stage_stats", None) or []
-            scatter_results(batch, logits)
             self._outstanding -= len(batch)
             self.metrics.record_batch(
                 rows=int(inputs.shape[0]),
@@ -876,13 +1139,242 @@ class InferenceService:
                 now=now,
                 conversions=measured,
                 estimated_conversions=0.0 if measured else float(estimate),
+                request_classes=[request.priority for request in batch],
             )
-        except Exception as exc:  # noqa: BLE001 — propagate to clients
-            # Covers stacking mismatched shapes as well as the forward
-            # itself: the worker must survive any single bad batch.
+        except Exception as exc:  # noqa: BLE001 — classify, retry or fail
             state.accelerator.cancel_inference(estimate)
+            # A fault is worker-level either by type (BrokenExecutor,
+            # StageDiedError) or by correlation: the worker was marked
+            # dead while this batch raced its teardown, so errors like
+            # "cannot schedule new futures after shutdown" still count.
+            death = (self._is_worker_death(exc)
+                     or (not state.alive and not state.retired))
+            if death and not self._stopping:
+                # Worker-level fault (process exit, broken shm transport,
+                # dead pipeline stage): the batch itself is fine, so it is
+                # re-dispatchable.  Mark the worker down and respawn it.
+                self._note_worker_death(state, exc)
+                await self._retry_or_fail(batch, retries, exc)
+                return
+            # Request-level failure (stacking errors, forward exceptions,
+            # scatter row mismatch): it would fail the same way on any
+            # replica, so it propagates to exactly this batch's clients.
+            # The worker itself survives any single bad batch.
             fail_requests(batch, exc)
             self._outstanding -= len(batch)
+
+    async def _retry_or_fail(self, batch: List[Request], retries: int,
+                             exc: BaseException) -> None:
+        """Re-dispatch a dead worker's batch, or fail it to its clients.
+
+        Retries are bounded by ``max_retries`` and disabled entirely under
+        ``retry_policy="fail_fast"`` (the pre-fault-tolerance behaviour,
+        for noise-stream-sensitive runs).
+        """
+        if (self.config.retry_policy == "redispatch"
+                and retries < self.config.max_retries
+                and not self._stopping):
+            try:
+                await self._redispatch(batch, retries + 1)
+                return
+            except Exception as redispatch_exc:  # noqa: BLE001
+                exc = redispatch_exc
+        fail_requests(batch, exc)
+        self._outstanding -= len(batch)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def _is_worker_death(self, exc: BaseException) -> bool:
+        """Whether ``exc`` means the *worker* died rather than the batch."""
+        if isinstance(exc, concurrent.futures.BrokenExecutor):
+            return True  # process worker gone (BrokenProcessPool et al.)
+        try:
+            from repro.shard.pipeline import StageDiedError
+        except ImportError:  # pragma: no cover - shard always ships
+            return False
+        return isinstance(exc, StageDiedError)
+
+    def _note_worker_death(self, state: WorkerState,
+                           exc: BaseException) -> None:
+        """Mark a worker dead once and kick off its background recovery."""
+        if not state.alive or state.retired or self._stopping:
+            return
+        state.alive = False
+        self.metrics.record_worker_death()
+        if self._degraded_since is None:
+            self._degraded_since = asyncio.get_running_loop().time()
+        dead = self._workers[state.index]
+        task = asyncio.create_task(
+            self._recover_worker(state.index, dead),
+            name=f"serve-respawn-{state.index}")
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _recover_worker(self, index: int, dead_worker) -> None:
+        """Release a dead worker's resources and (optionally) respawn it.
+
+        Closing the dead worker first unlinks its shared-memory segments
+        even mid-crash (the parent owns them).  The replacement is built
+        from the cached plan payload — the on-disk cache when configured,
+        the in-memory copy otherwise — so respawn never recompiles.
+        """
+        try:
+            await dead_worker.close()
+        except Exception:  # noqa: BLE001 — it is already dead
+            pass
+        if not self.config.respawn or self._stopping:
+            return
+        try:
+            worker = await self._build_worker()
+        except Exception as exc:  # noqa: BLE001 — capacity stays degraded
+            warnings.warn(
+                f"worker {index} respawn failed ({exc!r}); "
+                "pool capacity stays degraded",
+                RuntimeWarning, stacklevel=2)
+            return
+        if self._stopping:
+            await worker.close()
+            return
+        self._workers[index] = worker
+        self._worker_states[index].alive = True
+        self.metrics.record_respawn()
+        if self._degraded_since is not None and self.pool_recovered():
+            loop = asyncio.get_running_loop()
+            self.metrics.record_recovery(loop.time() - self._degraded_since)
+            self._degraded_since = None
+
+    async def _place_batch(self, rows: int) -> WorkerState:
+        """Select a worker, waiting out a total loss of capacity.
+
+        When every worker is dead but a respawn is pending, placement
+        waits (bounded by ``recovery_wait_s``) instead of failing the
+        batch — the kill-storm contract is zero client-visible failures
+        as long as the pool can recover.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.recovery_wait_s
+        while True:
+            try:
+                return self._scheduler.select(rows)
+            except NoAliveWorkersError:
+                if (self._stopping or not self._respawn_tasks
+                        or loop.time() >= deadline):
+                    raise
+                await asyncio.sleep(0.005)
+
+    async def _redispatch(self, batch: List[Request], retries: int) -> None:
+        """Re-queue a dead worker's batch onto a surviving replica.
+
+        The retried batch re-enters placement exactly like a fresh one
+        (occupancy booked on the new worker); on analog backends it will
+        draw fresh noise there — see the module docstring and
+        ``retry_policy``.
+        """
+        rows = sum(request.rows for request in batch)
+        estimate = rows * (self._conversions_per_sample or 0)
+        worker = await self._place_batch(rows)
+        worker.accelerator.begin_inference(estimate)
+        self.metrics.record_retry()
+        await self._worker_queues[worker.index].put((batch, estimate, retries))
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+    async def _autoscale_loop(self) -> None:
+        """Spawn/retire replicas from queue depth and pool occupancy.
+
+        Scale up when the outstanding backlog exceeds one full batch per
+        alive worker (the pool cannot absorb the queue in a single round);
+        scale down after ``scale_down_idle_ticks`` consecutive idle
+        samples.  The pool stays within ``[min_workers, max_workers]``.
+        """
+        config = self.config
+        interval = max(config.autoscale_interval_ms, 1.0) / 1e3
+        high = (config.max_workers if config.max_workers is not None
+                else config.num_workers)
+        low = (config.min_workers if config.min_workers is not None
+               else config.num_workers)
+        idle_ticks = 0
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            if self._stopping or not self._started:
+                return
+            alive = [s for s in self._worker_states if s.alive]
+            if not alive:
+                continue  # recovery, not autoscaling, owns a dead pool
+            backlog = self._outstanding
+            if (len(alive) < high
+                    and backlog > len(alive) * config.max_batch):
+                idle_ticks = 0
+                await self._scale_up()
+                continue
+            if backlog == 0:
+                idle_ticks += 1
+                if idle_ticks >= config.scale_down_idle_ticks and len(alive) > low:
+                    idle_ticks = 0
+                    self._scale_down()
+            else:
+                idle_ticks = 0
+
+    async def _scale_up(self) -> None:
+        """Append one replica to the pool (same recipe, plan-cache fast)."""
+        config = self.config
+        index = len(self._worker_states)
+        state = build_worker_states(
+            1, macro_config=config.context.macro_config,
+            macros_per_worker=config.macros_per_worker,
+            mode=self._worker_mode)[0]
+        state.index = index
+        state.alive = False  # not placeable until the worker is ready
+        self._worker_states.append(state)
+        self._worker_queues.append(asyncio.Queue())
+        self._workers.append(None)
+        try:
+            worker = await self._build_worker()
+        except Exception as exc:  # noqa: BLE001 — scaling is best-effort
+            warnings.warn(f"autoscale spawn failed ({exc!r})",
+                          RuntimeWarning, stacklevel=2)
+            state.retired = True
+            return
+        if self._stopping:
+            await worker.close()
+            state.retired = True
+            return
+        self._workers[index] = worker
+        loop_task = asyncio.create_task(self._worker_loop(index),
+                                        name=f"serve-worker-{index}")
+        self._loop_tasks[index] = loop_task
+        self._tasks.append(loop_task)
+        state.alive = True
+        self.metrics.record_scale_event("up")
+
+    def _scale_down(self) -> None:
+        """Retire the newest spare replica once its queue drains."""
+        candidates = [s for s in self._worker_states
+                      if s.alive and not s.retired]
+        state = candidates[-1]
+        state.alive = False
+        state.retired = True
+        # The sentinel ends the worker loop after already-queued batches.
+        self._worker_queues[state.index].put_nowait(None)
+        worker = self._workers[state.index]
+        loop_task = self._loop_tasks.get(state.index)
+        self.metrics.record_scale_event("down")
+
+        async def _close_after_drain() -> None:
+            if loop_task is not None:
+                await asyncio.shield(loop_task)
+            if worker is not None:
+                try:
+                    await worker.close()
+                except Exception:  # noqa: BLE001 — already torn down
+                    pass
+
+        task = asyncio.create_task(_close_after_drain(),
+                                   name=f"serve-retire-{state.index}")
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -923,8 +1415,43 @@ class InferenceService:
         """
         names: List[str] = []
         for worker in self._workers:
-            names.extend(getattr(worker, "shm_segment_names", []))
+            if worker is not None:
+                names.extend(getattr(worker, "shm_segment_names", []))
         return names
+
+    def process_worker_pids(self) -> Dict[int, List[int]]:
+        """PIDs of the live worker processes, keyed by worker index.
+
+        Process workers report their single executor process; pipeline
+        workers report every live stage process.  Thread workers (and dead
+        or retired workers) are absent.  This is what the kill-storm
+        loadgen scenario and the chaos tests aim their SIGKILLs at.
+        """
+        pids: Dict[int, List[int]] = {}
+        for state in self._worker_states:
+            if not state.alive:
+                continue
+            worker = self._workers[state.index]
+            if isinstance(worker, _ProcessWorker):
+                procs = list(getattr(worker.executor, "_processes", None) or {})
+                if procs:
+                    pids[state.index] = [int(pid) for pid in procs]
+            elif isinstance(worker, _PipelineWorker):
+                procs = [int(proc.pid) for proc in worker.pipeline._procs
+                         if proc.is_alive()]
+                if procs:
+                    pids[state.index] = procs
+        return pids
+
+    def alive_worker_count(self) -> int:
+        """Workers currently accepting placements."""
+        return sum(1 for state in self._worker_states if state.alive)
+
+    def pool_recovered(self) -> bool:
+        """Whether every non-retired worker slot is alive again."""
+        return self._started and all(
+            state.alive or state.retired for state in self._worker_states
+        )
 
     async def stage_profiles(self) -> List[Dict[str, float]]:
         """Per-worker plan-stage (DAC/crossbar/ADC/digital) breakdowns.
@@ -933,10 +1460,14 @@ class InferenceService:
         plan directly, process workers fetch the breakdown from the worker
         interpreter.
         """
-        return [await worker.stage_profile() for worker in self._workers]
+        return [await worker.stage_profile() for worker in self._workers
+                if worker is not None]
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """Freeze the service metrics (latency, batching, energy, workers)."""
+        if self._plan_cache is not None:
+            self.metrics.plan_cache_hits = self._plan_cache.hits
+            self.metrics.plan_cache_misses = self._plan_cache.misses
         return self.metrics.snapshot(self.worker_snapshots())
 
 

@@ -74,8 +74,25 @@ class SlotRing:
 
     @classmethod
     def attach(cls, name: str, slots: int, slot_nbytes: int) -> "SlotRing":
-        """Worker-side view of a parent-owned ring (never unlinks it)."""
-        return cls(slots, slot_nbytes, segment=attach_segment(name))
+        """Worker-side view of a parent-owned ring (never unlinks it).
+
+        The segment must be large enough for the advertised geometry: a
+        respawned worker attaching stale coordinates (a ring the parent
+        has already replaced) would otherwise read/write out of bounds of
+        the smaller segment, so a size mismatch fails loudly here and the
+        serving layer treats it like any other broken-transport fault.
+        """
+        segment = attach_segment(name)
+        needed = slots * int(slot_nbytes)
+        if segment.size < needed:
+            segment.close()
+            raise ValueError(
+                f"segment {name!r} holds {segment.size} bytes but the "
+                f"advertised ring geometry needs {needed} "
+                f"({slots} slots x {slot_nbytes} bytes); stale attach "
+                "coordinates?"
+            )
+        return cls(slots, slot_nbytes, segment=segment)
 
     @property
     def name(self) -> str:

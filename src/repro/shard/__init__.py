@@ -59,6 +59,7 @@ from repro.shard.pipeline import (
     PipelineStageError,
     PipelineStageSnapshot,
     ShardedPipeline,
+    StageDiedError,
 )
 
 
@@ -173,6 +174,7 @@ __all__ = [
     "PipelineStageSnapshot",
     "PipelinedReport",
     "ShardedPipeline",
+    "StageDiedError",
     "StagePartition",
     "build_stage_payloads",
     "count_plan_macros",

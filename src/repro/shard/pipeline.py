@@ -51,6 +51,18 @@ class PipelineStageError(RuntimeError):
     """Raised (via batch futures) when a stage fails or dies mid-run."""
 
 
+class StageDiedError(PipelineStageError):
+    """A stage *process* died (SIGKILL, OOM, crash) rather than a batch
+    merely raising inside its forward.
+
+    The distinction matters to the serving layer's failure classifier:
+    a dead stage is a worker-level fault whose in-flight batches are
+    re-dispatchable to other replicas, while a plain
+    :class:`PipelineStageError` from a forward exception would fail the
+    same way anywhere and must be returned to the client.
+    """
+
+
 def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
                 free_in, free_out, control) -> None:
     """One pipeline stage process: load the stage plan, stream batches.
@@ -348,12 +360,12 @@ class ShardedPipeline:
         if not self._started or self._closed:
             raise PipelineStageError("pipeline is not running")
         if self._failure is not None:
-            raise PipelineStageError(
+            raise self._failure_class()(
                 f"pipeline failed: {self._failure}") from self._failure
         batch = np.ascontiguousarray(np.asarray(images, dtype=np.float64))
         with self._submit_lock:
             if not self._wait_for_inflight_capacity():
-                raise PipelineStageError(
+                raise self._failure_class()(
                     "pipeline failed while waiting for submission capacity"
                     + (f": {self._failure}" if self._failure else ""))
             seq = self._seq
@@ -438,7 +450,7 @@ class ShardedPipeline:
                 if any(not proc.is_alive() for proc in self._procs):
                     dead = [i for i, proc in enumerate(self._procs)
                             if not proc.is_alive()]
-                    self._abort(PipelineStageError(
+                    self._abort(StageDiedError(
                         f"pipeline stage process(es) {dead} died"))
                     return
                 continue
@@ -506,6 +518,12 @@ class ShardedPipeline:
         descs = [(ring.name, self.slots, ring.slot_nbytes) for ring in rings]
         self._ready[0].put(("attach", descs))
         self._shm_ready = True
+
+    def _failure_class(self) -> type:
+        """Error type preserving whether the recorded failure was a death."""
+        if isinstance(self._failure, StageDiedError):
+            return StageDiedError
+        return PipelineStageError
 
     def _abort(self, error: BaseException) -> None:
         self._failure = error

@@ -1,0 +1,490 @@
+"""Fault-tolerance, SLO-class and chaos tests for the serving layer.
+
+The contracts under test (see the PR's tentpole):
+
+* a worker *death* (SIGKILLed process worker, dead pipeline stage) is
+  classified apart from request-level failures, its in-flight batches are
+  re-dispatched to surviving replicas up to ``max_retries``, and the dead
+  worker respawns in the background from the cached plan payload;
+* the on-disk plan cache (:class:`repro.exec.plan.PlanCache`) makes cold
+  starts and respawns recompile-free, keyed by a model/backend/context
+  fingerprint;
+* malformed requests are rejected at *admission* (submit time), so one
+  bad client can never fail the requests it would have co-batched with;
+* SLO priority classes shorten the flush deadline of the batches that
+  carry them and show up as class-tagged latency percentiles;
+* a kill-storm (repeated SIGKILLs during traffic) produces zero
+  client-visible failures and a pool respawned to full strength.
+"""
+
+import asyncio
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.exec import run_model
+from repro.exec.backend import ExecutionContext
+from repro.exec.plan import PlanCache, plan_fingerprint
+from repro.nn import DatasetConfig, SGD, Sequential, SyntheticImageDataset, Trainer
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.serve import InferenceService, ServeConfig
+from repro.serve.batcher import (
+    DEFAULT_PRIORITY,
+    DynamicBatcher,
+    Request,
+    scatter_results,
+)
+from repro.serve.cli import build_serve_parser, parse_class_map
+from repro.serve.loadgen import assign_priorities, run_loadtest
+from repro.serve.scheduler import (
+    NoAliveWorkersError,
+    build_worker_states,
+    create_scheduler,
+)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    dataset = SyntheticImageDataset(DatasetConfig(num_classes=4, image_size=10,
+                                                  noise_sigma=0.3, seed=7))
+    x_train, y_train, x_test, _ = dataset.train_test_split(96, 48)
+    model = Sequential(
+        Flatten(),
+        Linear(300, 32, rng=np.random.default_rng(0)),
+        ReLU(),
+        Linear(32, 4, rng=np.random.default_rng(1)),
+    )
+    Trainer(model, SGD(model.parameters(), learning_rate=0.05), batch_size=32).fit(
+        x_train, y_train, epochs=1
+    )
+    return model, x_test
+
+
+async def _wait_for_recovery(service, timeout_s: float = 20.0) -> bool:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while not service.pool_recovered():
+        if loop.time() >= deadline:
+            return False
+        await asyncio.sleep(0.02)
+    return True
+
+
+def _first_pid(service) -> int:
+    pids = service.process_worker_pids()
+    index = sorted(pids)[0]
+    return pids[index][0]
+
+
+class TestPlanCache:
+    def test_fingerprint_separates_recipes(self, trained_setup):
+        model, _ = trained_setup
+        context = ExecutionContext()
+        base = plan_fingerprint(model, "ideal", {}, context)
+        assert base == plan_fingerprint(model, "ideal", {}, context)
+        assert base != plan_fingerprint(model, "fake_quant", {}, context)
+        assert base != plan_fingerprint(model, "ideal", {"option": 1}, context)
+        other_model = Sequential(Flatten(),
+                                 Linear(300, 4, rng=np.random.default_rng(2)))
+        assert base != plan_fingerprint(other_model, "ideal", {}, context)
+
+    def test_store_load_roundtrip_and_counters(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        assert cache.load("deadbeef") is None
+        assert cache.misses == 1
+        cache.store("deadbeef", b"pickled-plan")
+        assert cache.load("deadbeef") == b"pickled-plan"
+        assert cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = PlanCache(str(tmp_path))
+        with open(cache.path_for("key"), "wb"):
+            pass  # zero-byte entry: torn write / corrupt cache
+        assert cache.load("key") is None
+        assert cache.misses == 1
+
+    def test_cold_start_hits_cache_and_serves_identically(self, trained_setup,
+                                                          tmp_path):
+        # Service A compiles and persists the plan; service B (a fresh
+        # instance, same recipe) must hit the cache and serve the same
+        # logits without recompiling.
+        model, x_test = trained_setup
+        direct = run_model(model, x_test[:8], backend="ideal", batch_size=8)
+        config = ServeConfig(max_batch=8, workers="process",
+                             plan_cache=str(tmp_path))
+
+        async def one_run():
+            service = InferenceService(model, config)
+            await service.start()
+            served = await service.submit(x_test[:8])
+            snapshot = service.metrics_snapshot()
+            await service.stop()
+            return served, snapshot
+
+        first, first_snap = run_async(one_run())
+        second, second_snap = run_async(one_run())
+        assert first_snap.plan_cache_misses >= 1
+        assert second_snap.plan_cache_hits >= 1
+        assert second_snap.plan_cache_misses == 0
+        assert np.array_equal(first, direct.logits)
+        assert np.array_equal(second, direct.logits)
+
+
+class TestAdmissionControl:
+    def test_bad_client_cannot_fail_good_cobatched_clients(self, trained_setup):
+        # The satellite-1 regression: one malformed client among N good
+        # concurrent ones is rejected synchronously at submit; every good
+        # client still gets its logits.
+        model, x_test = trained_setup
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(max_batch=8,
+                                                          max_wait_ms=10.0))
+            await service.start()
+            good = [service.submit_nowait(x_test[i]) for i in range(6)]
+            with pytest.raises(ValueError, match="input signature"):
+                service.submit_nowait(np.zeros((3, 16, 16)))
+            more = [service.submit_nowait(x_test[i]) for i in range(6, 10)]
+            results = await asyncio.gather(*(good + more))
+            await service.stop()
+            return results
+
+        results = run_async(scenario())
+        assert len(results) == 10
+        assert all(r.shape == (1, 4) for r in results)
+
+    def test_signature_locked_from_calibration_batch(self, trained_setup):
+        # With a calibration batch the signature is known before the first
+        # request, so even the *first* submit of a wrong shape is rejected.
+        model, x_test = trained_setup
+        config = ServeConfig(
+            max_batch=8,
+            context=ExecutionContext(calibration=x_test[:4]))
+
+        async def scenario():
+            service = InferenceService(model, config)
+            await service.start()
+            with pytest.raises(ValueError, match="input signature"):
+                service.submit_nowait(np.zeros((3, 16, 16)))
+            healthy = await service.submit(x_test[0])
+            await service.stop()
+            return healthy
+
+        assert run_async(scenario()).shape == (1, 4)
+
+    def test_unknown_priority_class_rejected(self, trained_setup):
+        model, x_test = trained_setup
+        config = ServeConfig(max_batch=8,
+                             priority_classes={"interactive": 0.5})
+
+        async def scenario():
+            service = InferenceService(model, config)
+            await service.start()
+            with pytest.raises(ValueError, match="priority"):
+                service.submit_nowait(x_test[0], priority="no-such-class")
+            tagged = await service.submit(x_test[0], priority="interactive")
+            default = await service.submit(x_test[1])  # always admitted
+            await service.stop()
+            return tagged, default
+
+        tagged, default = run_async(scenario())
+        assert tagged.shape == (1, 4) and default.shape == (1, 4)
+
+
+class TestScatterGuard:
+    def test_row_count_mismatch_is_descriptive(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            batch = [
+                Request(images=np.zeros((2, 3, 4, 4)),
+                        future=loop.create_future(), arrival=0.0),
+                Request(images=np.zeros((1, 3, 4, 4)),
+                        future=loop.create_future(), arrival=0.0),
+            ]
+            with pytest.raises(ValueError, match="3 request rows"):
+                scatter_results(batch, np.zeros((2, 4)))  # 2 rows for 3
+            # No future may have resolved from the misaligned logits.
+            assert not any(request.future.done() for request in batch)
+            scatter_results(batch, np.zeros((3, 4)))
+            assert all(request.future.done() for request in batch)
+
+        run_async(scenario())
+
+
+class TestSloBatching:
+    def test_class_wait_budget_shortens_deadline(self):
+        batcher = DynamicBatcher(asyncio.Queue(), max_batch=8,
+                                 max_wait_s=0.010,
+                                 class_wait_s={"interactive": 0.001})
+        assert batcher.wait_budget_s("interactive") == 0.001
+        assert batcher.wait_budget_s(DEFAULT_PRIORITY) == 0.010
+        standard = Request(images=np.zeros((1, 3, 4, 4)), future=None,
+                           arrival=100.0)
+        interactive = Request(images=np.zeros((1, 3, 4, 4)), future=None,
+                              arrival=100.002, priority="interactive")
+        # The interactive request joins later but still pulls the flush
+        # deadline forward: min over per-request budgets.
+        assert batcher._deadline([standard]) == pytest.approx(100.010)
+        assert batcher._deadline([standard, interactive]) == pytest.approx(
+            100.003)
+
+    def test_class_tagged_latency_percentiles(self, trained_setup):
+        model, x_test = trained_setup
+        config = ServeConfig(max_batch=4, max_wait_ms=5.0,
+                             priority_classes={"interactive": 0.5,
+                                               "batch": 20.0})
+
+        async def scenario():
+            service = InferenceService(model, config)
+            await service.start()
+            futures = [service.submit(x_test[i], priority="interactive")
+                       for i in range(3)]
+            futures += [service.submit(x_test[i], priority="batch")
+                        for i in range(3, 6)]
+            futures += [service.submit(x_test[6])]
+            await asyncio.gather(*futures)
+            snapshot = service.metrics_snapshot()
+            await service.stop()
+            return snapshot
+
+        snapshot = run_async(scenario())
+        assert set(snapshot.class_latency_ms) >= {"interactive", "batch",
+                                                  DEFAULT_PRIORITY}
+        for stats in snapshot.class_latency_ms.values():
+            assert stats["p99_ms"] >= stats["p50_ms"] >= 0.0
+            assert stats["requests"] >= 1
+        assert "interactive" in snapshot.render()
+
+    def test_assign_priorities_is_seeded_and_weighted(self):
+        classes = assign_priorities({"interactive": 1.0, "batch": 3.0},
+                                    400, seed=11)
+        assert classes == assign_priorities({"interactive": 1.0,
+                                             "batch": 3.0}, 400, seed=11)
+        share = classes.count("interactive") / len(classes)
+        assert 0.1 < share < 0.4  # ~0.25 by weight
+        with pytest.raises(ValueError, match="weights"):
+            assign_priorities({"a": -1.0}, 4)
+
+
+class TestSchedulerLiveness:
+    def test_policies_skip_dead_workers(self):
+        for policy in ("round_robin", "least_loaded"):
+            states = build_worker_states(3)
+            scheduler = create_scheduler(policy, states)
+            states[1].alive = False
+            picks = [scheduler.select(1).index for _ in range(6)]
+            assert 1 not in picks, policy
+            for state in states:
+                state.alive = False
+            with pytest.raises(NoAliveWorkersError):
+                scheduler.select(1)
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_batches_redispatch_and_respawn(self, trained_setup,
+                                                          tmp_path):
+        # One SIGKILLed process worker: its batches re-dispatch to the
+        # survivor (bit-identical logits on a deterministic backend), the
+        # dead slot respawns from the cached plan, and the metrics record
+        # the whole episode.
+        model, x_test = trained_setup
+        direct = run_model(model, x_test[:8], backend="ideal", batch_size=8)
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(
+                max_batch=8, num_workers=2, workers="process",
+                policy="round_robin", plan_cache=str(tmp_path)))
+            await service.start()
+            await service.submit(x_test[:8])  # warm both transports
+            await service.submit(x_test[:8])
+            os.kill(_first_pid(service), signal.SIGKILL)
+            served = [await service.submit(x_test[:8]) for _ in range(4)]
+            recovered = await _wait_for_recovery(service)
+            snapshot = service.metrics_snapshot()
+            alive = service.alive_worker_count()
+            await service.stop()
+            return served, recovered, snapshot, alive
+
+        served, recovered, snapshot, alive = run_async(scenario())
+        assert all(np.array_equal(batch, direct.logits) for batch in served)
+        assert recovered and alive == 2
+        assert snapshot.worker_deaths >= 1
+        assert snapshot.retried_batches >= 1
+        assert snapshot.respawns >= 1
+        assert snapshot.recovery_times_s
+        assert "re-dispatched" in snapshot.render()
+
+    def test_fail_fast_policy_fails_but_still_respawns(self, trained_setup):
+        model, x_test = trained_setup
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(
+                max_batch=8, num_workers=1, workers="process",
+                retry_policy="fail_fast"))
+            await service.start()
+            await service.submit(x_test[:8])
+            os.kill(_first_pid(service), signal.SIGKILL)
+            with pytest.raises(Exception):
+                await service.submit(x_test[:8])
+            recovered = await _wait_for_recovery(service)
+            healthy = await service.submit(x_test[:8])
+            await service.stop()
+            return recovered, healthy
+
+        recovered, healthy = run_async(scenario())
+        assert recovered
+        assert healthy.shape == (8, 4)
+
+    def test_single_worker_pool_waits_out_respawn(self, trained_setup):
+        # Every worker dead + respawn pending: placement must wait for the
+        # respawn instead of failing the batch (zero-failure contract).
+        model, x_test = trained_setup
+        direct = run_model(model, x_test[:8], backend="ideal", batch_size=8)
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(
+                max_batch=8, num_workers=1, workers="process"))
+            await service.start()
+            await service.submit(x_test[:8])
+            os.kill(_first_pid(service), signal.SIGKILL)
+            served = await service.submit(x_test[:8])
+            recovered = await _wait_for_recovery(service)
+            await service.stop()
+            return served, recovered
+
+        served, recovered = run_async(scenario())
+        assert np.array_equal(served, direct.logits)
+        assert recovered
+
+    def test_pipeline_stage_death_redispatches(self, trained_setup):
+        # The pipeline variant: SIGKILL one stage process; the batch
+        # re-dispatches once the respawned pipeline is up and the logits
+        # stay bit-identical on the deterministic backend.
+        model, x_test = trained_setup
+        direct = run_model(model, x_test[:8], backend="ideal", batch_size=8)
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(
+                max_batch=8, num_workers=1, pipeline_stages=2,
+                max_retries=4))
+            await service.start()
+            await service.submit(x_test[:8])
+            pids = service.process_worker_pids()[0]
+            assert len(pids) == 2  # one process per stage
+            os.kill(pids[0], signal.SIGKILL)
+            served = [await service.submit(x_test[:8]) for _ in range(2)]
+            recovered = await _wait_for_recovery(service)
+            snapshot = service.metrics_snapshot()
+            await service.stop()
+            return served, recovered, snapshot
+
+        served, recovered, snapshot = run_async(scenario())
+        assert all(np.array_equal(batch, direct.logits) for batch in served)
+        assert recovered
+        assert snapshot.worker_deaths >= 1
+        assert snapshot.respawns >= 1
+
+
+class TestChaosScenarios:
+    def test_kill_storm_zero_client_failures(self, trained_setup, tmp_path):
+        # The acceptance chaos drive: SIGKILL random process workers while
+        # traffic is in flight.  With retries enabled there must be zero
+        # client-visible failures and the pool must respawn to the
+        # configured replica count.
+        model, x_test = trained_setup
+        config = ServeConfig(max_batch=8, num_workers=2, workers="process",
+                             plan_cache=str(tmp_path), max_retries=4)
+        result = run_loadtest(model, x_test, config, pattern="uniform",
+                              rate_rps=600.0, num_requests=90, seed=3,
+                              scenario="kill-storm", kills=2,
+                              kill_interval_s=0.04)
+        chaos = result.chaos
+        assert chaos["kills"] >= 1
+        assert result.failures == 0
+        assert chaos["recovered"] and chaos["alive_workers"] == 2
+        assert result.snapshot.worker_deaths >= 1
+        assert result.snapshot.respawns >= 1
+
+    def test_overload_scenario_sheds_instead_of_failing(self, trained_setup):
+        model, x_test = trained_setup
+        config = ServeConfig(max_batch=8, queue_capacity=4)
+        result = run_loadtest(model, x_test, config, pattern="uniform",
+                              rate_rps=1000.0, num_requests=64, seed=0,
+                              time_scale=0.0, scenario="overload")
+        assert result.chaos["scenario"] == "overload"
+        assert result.snapshot.dropped > 0
+        # Every failure is an admission drop — no served request failed.
+        assert result.failures == result.snapshot.dropped
+
+    def test_unknown_scenario_rejected(self, trained_setup):
+        model, x_test = trained_setup
+        with pytest.raises(ValueError, match="scenario"):
+            run_loadtest(model, x_test, ServeConfig(), scenario="lightning")
+
+
+class TestAutoscaling:
+    def test_pool_scales_up_under_backlog_and_back_down(self, trained_setup):
+        model, x_test = trained_setup
+
+        async def scenario():
+            service = InferenceService(model, ServeConfig(
+                max_batch=2, max_wait_ms=0.5, num_workers=1,
+                autoscale=True, min_workers=1, max_workers=3,
+                autoscale_interval_ms=2.0, scale_down_idle_ticks=2))
+            await service.start()
+            futures = [service.submit_nowait(x_test[i % len(x_test)])
+                       for i in range(256)]
+            await asyncio.gather(*futures)
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 10.0
+            while (service.alive_worker_count() > 1
+                   and loop.time() < deadline):
+                await asyncio.sleep(0.02)
+            # The pool still serves correctly after scaling back down.
+            healthy = await service.submit(x_test[0])
+            snapshot = service.metrics_snapshot()
+            alive = service.alive_worker_count()
+            await service.stop()
+            return snapshot, alive, healthy
+
+        snapshot, alive, healthy = run_async(scenario())
+        assert snapshot.scale_up_events >= 1
+        assert snapshot.scale_down_events >= 1
+        assert alive == 1
+        assert healthy.shape == (1, 4)
+
+
+class TestCliWiring:
+    def test_parse_class_map(self):
+        assert parse_class_map("interactive=0.5,batch=20", "--x") == {
+            "interactive": 0.5, "batch": 20.0}
+        with pytest.raises(SystemExit):
+            parse_class_map("interactive", "--x")
+        with pytest.raises(SystemExit):
+            parse_class_map("a=fast", "--x")
+
+    def test_loadtest_parser_accepts_chaos_flags(self):
+        parser = build_serve_parser("loadtest")
+        args = parser.parse_args([
+            "--scenario", "kill-storm", "--kills", "2",
+            "--kill-interval-ms", "25", "--retry-policy", "redispatch",
+            "--max-retries", "3", "--plan-cache", "/tmp/plans",
+            "--priority-classes", "interactive=0.5,batch=20",
+            "--priority-mix", "interactive=0.3,batch=0.7",
+            "--autoscale", "--min-workers", "1", "--max-workers", "4",
+        ])
+        assert args.scenario == "kill-storm"
+        assert args.kills == 2
+        assert args.max_retries == 3
+        assert args.autoscale and args.max_workers == 4
+
+    def test_serve_parser_has_fault_tolerance_flags(self):
+        args = build_serve_parser("serve").parse_args(
+            ["--no-respawn", "--retry-policy", "fail_fast"])
+        assert args.no_respawn and args.retry_policy == "fail_fast"

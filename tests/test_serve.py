@@ -492,24 +492,25 @@ class TestInferenceService:
             InferenceService(model, ServeConfig(backend=IdealBackend(),
                                                 num_workers=2))
 
-    def test_malformed_batch_fails_requests_but_worker_survives(self, trained_setup):
-        # Two requests with different spatial shapes cannot be stacked; both
-        # must fail with the stacking error while the worker keeps serving.
+    def test_malformed_batch_rejected_at_admission(self, trained_setup):
+        # A request whose sample shape disagrees with the service signature
+        # is rejected synchronously at submit: it never enters the shared
+        # queue, so it cannot fail the requests it would have co-batched
+        # with.  The well-formed request in flight still gets its logits.
         model, _, x_test, _ = trained_setup
 
         async def scenario():
             service = InferenceService(model, ServeConfig(max_batch=4,
                                                           max_wait_ms=20.0))
             await service.start()
-            bad_a = service.submit_nowait(x_test[0])                # (3, 12, 12)
-            bad_b = service.submit_nowait(np.zeros((3, 16, 16)))    # mismatched
-            outcomes = await asyncio.gather(bad_a, bad_b, return_exceptions=True)
-            healthy = await service.submit(x_test[1])
+            good = service.submit_nowait(x_test[0])                 # (3, 12, 12)
+            with pytest.raises(ValueError, match="input signature"):
+                service.submit_nowait(np.zeros((3, 16, 16)))        # mismatched
+            healthy = await good
             await service.stop()
-            return outcomes, healthy
+            return healthy
 
-        outcomes, healthy = run_async(scenario())
-        assert all(isinstance(o, Exception) for o in outcomes)
+        healthy = run_async(scenario())
         assert healthy.shape == (1, 4)
 
     def test_malformed_rank_rejected_at_submit(self, trained_setup):

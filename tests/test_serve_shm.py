@@ -122,11 +122,15 @@ class TestShmServing:
         assert not any(segment_exists(name) for name in names)
 
     def test_segments_unlinked_after_worker_crash(self, trained_setup):
+        # Pinned to the no-fault-tolerance baseline (fail_fast, no respawn)
+        # so the kill surfaces to the client and the only cleanup path is
+        # the service's own teardown of the dead worker's segments.
         model, x_test = trained_setup
 
         async def scenario():
             service = InferenceService(model, ServeConfig(
-                max_batch=8, workers="process", transport="shm"))
+                max_batch=8, workers="process", transport="shm",
+                retry_policy="fail_fast", respawn=False))
             await service.start()
             await service.submit(x_test[:8])  # warm-up builds the rings
             await service.submit(x_test[:8])
@@ -147,16 +151,19 @@ class TestShmServing:
         assert not any(segment_exists(name) for name in names)
 
     def test_worker_pool_survives_one_dead_process_worker(self, trained_setup):
-        # A process worker SIGKILLed mid-run fails exactly the batches
+        # Under retry_policy="fail_fast" (the pre-fault-tolerance baseline)
+        # a process worker SIGKILLed mid-run fails exactly the batches
         # routed to it; the rest of the pool keeps serving, and shutdown
-        # still cleans up every worker and segment.
+        # still cleans up every worker and segment.  The redispatch path
+        # is covered by tests/test_fault_tolerance.py.
         model, x_test = trained_setup
         direct = run_model(model, x_test[:8], backend="ideal", batch_size=8)
 
         async def scenario():
             service = InferenceService(model, ServeConfig(
                 max_batch=8, num_workers=2, workers="process",
-                policy="round_robin"))
+                policy="round_robin", retry_policy="fail_fast",
+                respawn=False))
             await service.start()
             # Warm both workers (round robin alternates batches).
             assert np.array_equal(await service.submit(x_test[:8]),
