@@ -65,6 +65,14 @@ GUARDED_RATIOS: Dict[str, Dict[str, float]] = {
     # to keep the gate's arithmetic uniform.
     "BENCH_recovery.json": {"client_success_ratio": 0.0,
                             "recovered_fraction": 0.0},
+    # The observability overheads are contract floors the benchmark
+    # hard-asserts (sampling keeps >= 95% of disabled throughput, the
+    # disabled hooks stay within their 2% budget), and the committed
+    # baseline sits exactly on them — so any fresh run that passed the
+    # benchmark also passes the gate, and a zero floor keeps the
+    # arithmetic uniform with the recovery fractions above.
+    "BENCH_obs.json": {"sampled_throughput_ratio": 0.0,
+                       "disabled_headroom": 0.0},
 }
 
 #: Guarded files whose *absence* from a fresh run is expected on some

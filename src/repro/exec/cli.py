@@ -9,6 +9,7 @@ compiled-plan speedup from a shell::
     python -m repro run --backend analog --profile
     python -m repro run --backend analog --no-plan --profile
     python -m repro run --backend analog --pipeline-stages 2 --profile
+    python -m repro run --backend analog --trace-out trace.json --profile
 """
 
 from __future__ import annotations
@@ -55,6 +56,10 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--macro-budget", type=int, default=None,
                         help="per-stage crossbar capacity in macros for the "
                              "pipeline partitioner")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export the run's per-layer DAC/crossbar/ADC "
+                             "spans as Chrome/Perfetto trace-event JSON "
+                             "(single-worker plan runs)")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the model, data and backend")
     return parser
@@ -96,6 +101,11 @@ def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
     if args.backend == "ideal":
         context = dataclasses.replace(context, calibration=None)
     if args.pipeline_stages > 1:
+        if args.trace_out:
+            raise SystemExit(
+                "--trace-out traces the single-worker plan run; for "
+                "pipeline-stage spans use "
+                "`python -m repro loadtest --pipeline-stages N --trace-out`")
         # Imported lazily: the shard layer pulls in the multiprocessing
         # pipeline machinery only sharded runs need.
         from repro.shard import run_pipelined
@@ -114,7 +124,44 @@ def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
                 profile["bubble_s"] = stage.get("bubble_s", 0.0)
                 lines.append(render_stage_profile(profile))
         return "\n".join(lines), 0
-    report = run_model(model, images, backend=args.backend, context=context)
+    tracer = None
+    if args.trace_out:
+        # The run is one synthetic "request": the per-layer spans recorded
+        # by the plan hook are re-anchored under it exactly as the serving
+        # path re-anchors a worker forward, so `run` and `loadtest` traces
+        # read the same in Perfetto.
+        import time
+
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.trace import PlanTraceBuffer, Tracer, plan_trace
+
+        start = time.perf_counter()
+        buffer = PlanTraceBuffer(t0=start)
+        with plan_trace(buffer):
+            report = run_model(model, images, backend=args.backend,
+                               context=context)
+        end = time.perf_counter()
+        tracer = Tracer(sample_rate=1.0, seed=args.seed)
+        root = tracer.begin("run", category="request", start_s=start,
+                            backend=args.backend, samples=int(args.samples))
+        # The worker span covers the measured forward only — plan prepare
+        # shows as the gap after the root opens, and the aggregated
+        # profile's total matches the report's forward wall time.  The
+        # buffer anchored its relative clocks at `start` (before prepare),
+        # so the records are rebased onto the forward window.
+        forward_start = max(start, end - report.wall_time_s)
+        offset = forward_start - start
+        records = [(name, category, rel_start - offset, rel_end - offset,
+                    parent_index)
+                   for name, category, rel_start, rel_end, parent_index
+                   in buffer.records]
+        tracer.attach_remote([(None, report.wall_time_s, records)],
+                             parent=root, start_s=forward_start, end_s=end)
+        tracer.end(root, end)
+        write_chrome_trace(args.trace_out, tracer.spans)
+    else:
+        report = run_model(model, images, backend=args.backend,
+                           context=context)
     lines = [
         f"Backend {report.backend}: {report.samples} samples in "
         f"{report.wall_time_s * 1e3:.1f} ms "
@@ -123,8 +170,17 @@ def run_run_command(args: argparse.Namespace) -> Tuple[str, int]:
         f"{report.conversions} conversions, "
         f"plan={report.plan_mode}",
     ]
-    if args.profile and report.stage_profile is not None:
-        lines.append(render_stage_profile(report.stage_profile))
+    if tracer is not None:
+        lines.append(f"trace: {len(tracer.spans)} spans -> {args.trace_out}")
+    if args.profile:
+        if tracer is not None:
+            # One timing pathway: the profile is re-derived from the span
+            # aggregates, which carry exactly the StageProfile timer deltas.
+            from repro.obs.export import aggregate_profile
+
+            lines.append(render_stage_profile(aggregate_profile(tracer.spans)))
+        elif report.stage_profile is not None:
+            lines.append(render_stage_profile(report.stage_profile))
     return "\n".join(lines), 0
 
 

@@ -73,6 +73,7 @@ from repro.formats.fp8 import quantization_lut, quantize_via_lut
 from repro.formats.quantizer import compile_quantizer
 from repro.nn.layers import Layer, Linear
 from repro.nn.model import Model
+from repro.obs.trace import plan_trace_buffer
 
 
 class PlanArena:
@@ -970,6 +971,26 @@ class _PlannedMatmulForward:
         return cols, codec
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # Per-layer tracing hook: when a plan-trace buffer is active on
+        # this thread (a sampled request is being served), time the layer
+        # and turn the profile-timer deltas this forward accumulated into
+        # DAC/crossbar/ADC child spans.  The disabled path costs one
+        # thread-local read.
+        buffer = plan_trace_buffer()
+        if buffer is None:
+            return self._forward(x, training)
+        profile = self.mapped.profile
+        before = (profile.dac_s, profile.crossbar_s, profile.adc_s)
+        start = time.perf_counter()
+        result = self._forward(x, training)
+        buffer.record_layer(
+            getattr(self.mapped, "key", self.key), start, time.perf_counter(),
+            dac_s=profile.dac_s - before[0],
+            crossbar_s=profile.crossbar_s - before[1],
+            adc_s=profile.adc_s - before[2])
+        return result
+
+    def _forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         layer = self.layer
         if training:
             return type(layer).forward(layer, x, training=True)

@@ -1,0 +1,49 @@
+"""Unified observability for the serving stack: tracing, metrics, probes.
+
+::
+
+    submit ──► queue_wait ──► batch ──► dispatch ──► worker / stage ──► layer
+      │            │            │          │              │               │
+      └────────────┴────────────┴──── one span tree per sampled request ──┘
+
+* :mod:`repro.obs.trace` — spans, the per-service :class:`Tracer`
+  (seeded sampling via ``ServeConfig(trace_sample_rate=...)``), the
+  worker-side :class:`PlanTraceBuffer` plan kernels record into, and the
+  cross-process clock re-anchoring that keeps remote spans nested.
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev), JSONL span logs, and
+  the span→profile aggregation behind ``--profile``.
+* :mod:`repro.obs.exposition` — Prometheus-text and JSON renderings of
+  :class:`~repro.serve.metrics.MetricsSnapshot`.
+* :mod:`repro.obs.http` — the stdlib scrape server: ``/metrics``,
+  ``/metrics.json``, ``/healthz`` (liveness), ``/readyz`` (readiness).
+"""
+
+from .trace import (PlanTraceBuffer, RequestTrace, Span, SpanEvent, Tracer,
+                    plan_trace, plan_trace_buffer, validate_span_tree)
+from .export import (REQUIRED_EVENT_KEYS, aggregate_profile, chrome_trace,
+                     validate_chrome_trace, write_chrome_trace,
+                     write_spans_jsonl)
+from .exposition import render_prometheus, snapshot_to_json
+from .http import MetricsServer, ServiceProbe
+
+__all__ = [
+    "PlanTraceBuffer",
+    "RequestTrace",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "plan_trace",
+    "plan_trace_buffer",
+    "validate_span_tree",
+    "REQUIRED_EVENT_KEYS",
+    "aggregate_profile",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "render_prometheus",
+    "snapshot_to_json",
+    "MetricsServer",
+    "ServiceProbe",
+]

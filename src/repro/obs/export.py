@@ -1,0 +1,188 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON, JSONL, aggregation.
+
+The Chrome trace-event format is the JSON-object flavour documented for
+``chrome://tracing`` / Perfetto: ``{"traceEvents": [...]}`` where every
+event carries ``ph`` (phase), ``ts`` (microseconds), ``pid``, ``tid`` and
+``name``.  Spans become complete events (``ph="X"`` with ``dur``); span
+events become global instants (``ph="i"``).  Each trace gets its own
+``tid`` so one request's tree renders as one nested flame-graph track,
+and timestamps are rebased to the earliest span so the numbers stay small.
+
+:func:`aggregate_profile` folds a span set back into the
+``StageProfile``-shaped dict that ``render_stage_profile`` consumes — this
+is what makes spans and ``--profile`` a single timing pathway.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .trace import Span, SpanEvent
+
+#: Keys every exported trace event must carry (validated in CI).
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+_EXPORT_PID = 1
+
+
+def _to_micros(seconds: float, epoch_s: float) -> float:
+    return round((seconds - epoch_s) * 1e6, 3)
+
+
+def chrome_trace(spans: Sequence[Span], events: Sequence[SpanEvent] = (),
+                 *, process_name: str = "repro-serve") -> dict:
+    """Render spans + instant events as a Chrome trace-event document."""
+    epoch_s = min(
+        [span.start_s for span in spans]
+        + [event.timestamp_s for event in events],
+        default=0.0,
+    )
+    trace_tids: Dict[int, int] = {}
+
+    def tid_for(trace_id: Optional[int]) -> int:
+        if trace_id is None:
+            return 0  # service-global track (untraced instants)
+        return trace_tids.setdefault(trace_id, len(trace_tids) + 1)
+
+    trace_events: List[dict] = []
+    for span in spans:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        record = {
+            "ph": "X",
+            "ts": _to_micros(span.start_s, epoch_s),
+            "dur": round(max(end_s - span.start_s, 0.0) * 1e6, 3),
+            "pid": _EXPORT_PID,
+            "tid": tid_for(span.trace_id),
+            "name": span.name,
+            "cat": span.category,
+        }
+        args = dict(span.args)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        record["args"] = args
+        trace_events.append(record)
+    for event in events:
+        record = {
+            "ph": "i",
+            "s": "g",
+            "ts": _to_micros(event.timestamp_s, epoch_s),
+            "pid": _EXPORT_PID,
+            "tid": tid_for(event.trace_id),
+            "name": event.name,
+            "cat": "event",
+            "args": dict(event.args),
+        }
+        trace_events.append(record)
+    # Metadata events give Perfetto readable track names.  They carry the
+    # same required keys (ts=0) so one validator covers every event.
+    metadata = [{
+        "ph": "M", "ts": 0, "pid": _EXPORT_PID, "tid": 0,
+        "name": "process_name", "args": {"name": process_name},
+    }]
+    for trace_id, tid in sorted(trace_tids.items(), key=lambda item: item[1]):
+        metadata.append({
+            "ph": "M", "ts": 0, "pid": _EXPORT_PID, "tid": tid,
+            "name": "thread_name", "args": {"name": f"trace {trace_id}"},
+        })
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Sequence[Span],
+                       events: Sequence[SpanEvent] = (), *,
+                       process_name: str = "repro-serve") -> dict:
+    """Write (and return) the Chrome trace-event document for ``spans``."""
+    document = chrome_trace(spans, events, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return document
+
+
+def validate_chrome_trace(document: dict) -> List[dict]:
+    """Check a Chrome trace-event document; return its event list.
+
+    Raises :class:`ValueError` when the document is not the JSON-object
+    flavour, when any event is missing a required key (``ph``, ``ts``,
+    ``pid``, ``tid``, ``name``), or when a complete event has a negative
+    duration.  This is the CI obs-smoke validator.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a Chrome trace document: missing 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] ({event.get('name', '?')!r}) "
+                    f"missing required key {key!r}")
+        if event["ph"] == "X" and event.get("dur", 0) < 0:
+            raise ValueError(
+                f"traceEvents[{index}] has negative duration {event['dur']}")
+    return events
+
+
+def write_spans_jsonl(path: str, spans: Sequence[Span],
+                      events: Sequence[SpanEvent] = ()) -> int:
+    """Append-friendly span log: one JSON object per line; returns count."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps({
+                "kind": "span",
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "category": span.category,
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "duration_s": span.duration_s,
+                "args": span.args,
+            }) + "\n")
+            written += 1
+        for event in events:
+            handle.write(json.dumps({
+                "kind": "event",
+                "trace_id": event.trace_id,
+                "name": event.name,
+                "timestamp_s": event.timestamp_s,
+                "args": event.args,
+            }) + "\n")
+            written += 1
+    return written
+
+
+def aggregate_profile(spans: Iterable[Span]) -> Dict[str, float]:
+    """Fold spans back into a ``StageProfile``-shaped breakdown dict.
+
+    Converter time comes from the per-layer ``dac``/``crossbar``/``adc``
+    child spans (duration-accurate profile-timer aggregates); total time
+    and forward count come from the remote ``worker_forward``/``stage_*``
+    spans (falling back to ``layer`` spans when no remote roots exist,
+    e.g. a ``run --trace-out`` single-process trace rooted differently).
+    The result feeds ``repro.exec.cli.render_stage_profile`` directly.
+    """
+    totals = {"dac_s": 0.0, "crossbar_s": 0.0, "adc_s": 0.0,
+              "total_s": 0.0, "forwards": 0, "transport_s": 0.0,
+              "bubble_s": 0.0}
+    layer_total = 0.0
+    for span in spans:
+        if span.category in ("dac", "crossbar", "adc"):
+            totals[f"{span.category}_s"] += span.duration_s
+        elif span.category == "worker":
+            totals["total_s"] += span.duration_s
+            totals["forwards"] += 1
+        elif span.category == "layer":
+            layer_total += span.duration_s
+    if totals["forwards"] == 0 and layer_total > 0.0:
+        totals["total_s"] = layer_total
+        totals["forwards"] = sum(1 for span in spans
+                                 if span.category == "layer")
+    return totals

@@ -52,6 +52,11 @@ class Request:
     arrival: float
     priority: str = DEFAULT_PRIORITY
     request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
+    #: Live trace handle (:class:`repro.obs.trace.RequestTrace`) when this
+    #: request was sampled for tracing; None otherwise.  The batcher never
+    #: touches it — it rides along so the dispatch path can build the
+    #: queue-wait / batch / dispatch span chain.
+    trace: Optional[object] = None
 
     @property
     def rows(self) -> int:

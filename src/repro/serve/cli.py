@@ -16,6 +16,8 @@ scheduling knobs, and an optional batch-size-1 comparison run::
         --scenario kill-storm --kills 3
     python -m repro loadtest --priority-classes interactive=0.5,batch=20 \
         --priority-mix interactive=0.3,batch=0.7
+    python -m repro loadtest --trace-out trace.json --metrics-port 0 \
+        --metrics-out metrics.json
 """
 
 from __future__ import annotations
@@ -156,6 +158,22 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                         help="autoscaling floor (default: --workers)")
     parser.add_argument("--max-workers", type=int, default=None,
                         help="autoscaling ceiling (default: --workers)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export the run's request span trees as "
+                             "Chrome/Perfetto trace-event JSON (open in "
+                             "ui.perfetto.dev or chrome://tracing); implies "
+                             "--trace-sample 1.0 unless set explicitly")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        metavar="RATE",
+                        help="per-request trace sampling probability in "
+                             "[0, 1] (default 0 = tracing off)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics, /metrics.json, /healthz and "
+                             "/readyz on this port during the run (0 picks "
+                             "a free port) and self-check the scrapes")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the final metrics snapshot as JSON")
     if command == "loadtest":
         parser.add_argument("--compare-batch1", action="store_true",
                             help="also run max_batch=1 at the same offered "
@@ -185,6 +203,11 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
     priority_classes = (parse_class_map(args.priority_classes,
                                         "--priority-classes")
                         if args.priority_classes else None)
+    # --trace-out without an explicit rate means "trace this run": sample
+    # everything so the exported file actually holds the request trees.
+    trace_sample = args.trace_sample
+    if trace_sample is None:
+        trace_sample = 1.0 if args.trace_out else 0.0
     return ServeConfig(
         backend=args.backend,
         max_batch=args.max_batch,
@@ -205,6 +228,7 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         autoscale=args.autoscale,
         min_workers=args.min_workers,
         max_workers=args.max_workers,
+        trace_sample_rate=trace_sample,
     )
 
 
@@ -229,7 +253,10 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
                           kills=getattr(args, "kills", 3),
                           kill_interval_s=getattr(args, "kill_interval_ms",
                                                   50.0) / 1e3,
-                          priority_mix=priority_mix)
+                          priority_mix=priority_mix,
+                          trace_out=args.trace_out,
+                          metrics_port=args.metrics_port,
+                          metrics_out=args.metrics_out)
     if args.pipeline_stages > 1:
         mode_tag = f"pipeline x{args.pipeline_stages}"
     else:

@@ -43,13 +43,20 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import json
 import os
 import signal
+import urllib.error
+import urllib.request
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.model import Model
+from repro.obs.http import MetricsServer, ServiceProbe
+from repro.obs.trace import validate_span_tree
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.obs.exposition import snapshot_to_json
 from repro.serve.metrics import MetricsSnapshot
 from repro.serve.service import InferenceService, ServeConfig
 
@@ -156,6 +163,9 @@ class LoadResult:
     stage_profiles: Optional[List[Dict[str, float]]] = None
     #: Scenario summary (overload shedding / kill-storm recovery), if any.
     chaos: Optional[Dict[str, object]] = None
+    #: Observability summary (trace export, scrape statuses), when the
+    #: load test ran with ``trace_out`` / ``metrics_port`` / ``metrics_out``.
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def achieved_rps(self) -> float:
@@ -175,6 +185,10 @@ class LoadResult:
             pairs = ", ".join(f"{key}={value}"
                               for key, value in self.chaos.items())
             text += f"\nscenario: {pairs}"
+        if self.obs:
+            pairs = ", ".join(f"{key}={value}"
+                              for key, value in sorted(self.obs.items()))
+            text += f"\nobservability: {pairs}"
         return text
 
 
@@ -293,6 +307,58 @@ async def _kill_worker_processes(service: InferenceService,
     return killed
 
 
+def _scrape(url: str, timeout_s: float = 5.0) -> Dict[str, object]:
+    """GET one scrape endpoint; returns ``{status, bytes}`` (503 is a valid
+    probe answer, so HTTP errors are captured rather than raised)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            return {"status": int(response.status),
+                    "bytes": len(response.read())}
+    except urllib.error.HTTPError as exc:  # 503 from /readyz etc.
+        return {"status": int(exc.code), "bytes": len(exc.read())}
+
+
+async def _collect_obs(service: InferenceService,
+                       server: Optional[MetricsServer],
+                       trace_out: Optional[str],
+                       metrics_out: Optional[str]) -> Dict[str, object]:
+    """Export the trace, self-scrape the endpoints, dump the snapshot.
+
+    Runs while the service is still up (the probes answer live state) and
+    *validates* what it produced — a malformed Chrome trace, a disconnected
+    span tree or a failing scrape raises, which is what lets the CI
+    obs-smoke step be a single loadtest command.
+    """
+    obs: Dict[str, object] = {}
+    tracer = service.tracer
+    if trace_out is not None:
+        document = write_chrome_trace(trace_out, tracer.spans, tracer.events)
+        validate_chrome_trace(document)
+        validate_span_tree(tracer.spans)
+        obs.update(trace_out=trace_out,
+                   traced_requests=tracer.traced_requests,
+                   spans=len(tracer.spans), span_events=len(tracer.events),
+                   dropped_spans=tracer.dropped_spans)
+    if server is not None:
+        scrapes = {}
+        for path in ("/metrics", "/metrics.json", "/healthz", "/readyz"):
+            scrapes[path] = await asyncio.to_thread(_scrape, server.url(path))
+        for path in ("/metrics", "/metrics.json", "/healthz"):
+            if scrapes[path]["status"] != 200:
+                raise RuntimeError(
+                    f"scrape of {path} failed with "
+                    f"HTTP {scrapes[path]['status']}")
+        obs["metrics_port"] = server.port
+        obs["scrapes"] = {path: result["status"]
+                          for path, result in scrapes.items()}
+    if metrics_out is not None:
+        document = snapshot_to_json(service.metrics_snapshot())
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        obs["metrics_out"] = metrics_out
+    return obs
+
+
 async def _await_pool_recovery(service: InferenceService,
                                timeout_s: float) -> bool:
     """Poll until the worker pool is back at full strength (or time out)."""
@@ -313,7 +379,10 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
                  scenario: str = "steady",
                  kills: int = 3, kill_interval_s: float = 0.05,
                  recovery_timeout_s: float = 30.0,
-                 priority_mix: Optional[Dict[str, float]] = None) -> LoadResult:
+                 priority_mix: Optional[Dict[str, float]] = None,
+                 trace_out: Optional[str] = None,
+                 metrics_port: Optional[int] = None,
+                 metrics_out: Optional[str] = None) -> LoadResult:
     """Start a service, drive it with a seeded arrival process, drain, report.
 
     ``collect_profile=True`` additionally gathers every worker's plan-stage
@@ -327,6 +396,15 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
     during traffic and then waits (up to ``recovery_timeout_s``) for the
     pool to respawn to full strength.  ``priority_mix`` tags requests
     with seeded SLO classes, e.g. ``{"interactive": 0.2, "batch": 0.8}``.
+
+    Observability (:mod:`repro.obs`): ``trace_out`` exports the run's span
+    trees as validated Chrome/Perfetto trace-event JSON (pair it with
+    ``ServeConfig(trace_sample_rate=...)``); ``metrics_port`` serves
+    ``/metrics``, ``/metrics.json``, ``/healthz`` and ``/readyz`` during
+    the run (``0`` picks a free port) and self-scrapes them before
+    shutdown, failing the load test on a malformed endpoint;
+    ``metrics_out`` writes the final snapshot as JSON.  The collected
+    summary lands in ``LoadResult.obs``.
     """
     if scenario not in LOAD_SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}; "
@@ -338,7 +416,11 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
     async def _run() -> LoadResult:
         service = InferenceService(model, config)
         await service.start()
+        server: Optional[MetricsServer] = None
         try:
+            if metrics_port is not None:
+                server = MetricsServer(ServiceProbe(service),
+                                       port=metrics_port).start()
             traffic = asyncio.ensure_future(
                 run_open_loop(service, images, arrivals,
                               time_scale=time_scale, priorities=priorities))
@@ -381,7 +463,15 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
             if collect_profile:
                 result = dataclasses.replace(
                     result, stage_profiles=await service.stage_profiles())
+            if trace_out is not None or server is not None or metrics_out is not None:
+                # Collected before stop: the probes answer live state and
+                # every span of the drained traffic is closed by now.
+                obs = await _collect_obs(service, server, trace_out,
+                                         metrics_out)
+                result = dataclasses.replace(result, obs=obs)
         finally:
+            if server is not None:
+                server.close()
             await service.stop()
         return result
 

@@ -89,6 +89,11 @@ class WorkerSnapshot:
     transport_s: float = 0.0
     #: Per-stage occupancy of a pipeline-sharded worker (empty otherwise).
     stages: tuple = ()
+    #: Whether the worker was accepting placements at snapshot time (a dead
+    #: worker awaiting respawn reports False) — the /metrics worker gauge.
+    alive: bool = True
+    #: Whether the worker was retired by the autoscaler.
+    retired: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -311,8 +316,18 @@ class ServiceMetrics:
         return max(self.last_completion - self.first_arrival, 0.0)
 
     def snapshot(self, workers: Sequence[WorkerSnapshot] = ()) -> MetricsSnapshot:
-        """Freeze the current counters into a :class:`MetricsSnapshot`."""
+        """Freeze the current counters into a :class:`MetricsSnapshot`.
+
+        Safe to call from outside the event loop (the metrics HTTP
+        endpoint scrapes from its own thread): the sample lists are
+        copied before any numpy reduction, so a concurrent append on the
+        loop thread cannot resize an array mid-percentile.
+        """
         wall = self.wall_time_s()
+        latencies = list(self.latencies_s)
+        class_latencies = {name: list(values)
+                           for name, values in self.class_latencies_s.items()}
+        queue_depths = list(self.queue_depths)
         # Prefer metered conversions; fall back to the mapping-geometry
         # estimate so digital backends still report an energy figure.
         estimated = self.conversions == 0 and self.estimated_conversions > 0
@@ -331,14 +346,14 @@ class ServiceMetrics:
             dropped=self.dropped,
             wall_time_s=wall,
             throughput_rps=self.requests / wall if wall > 0 else float("inf"),
-            latency_p50_ms=percentile_ms(self.latencies_s, 50),
-            latency_p95_ms=percentile_ms(self.latencies_s, 95),
-            latency_p99_ms=percentile_ms(self.latencies_s, 99),
+            latency_p50_ms=percentile_ms(latencies, 50),
+            latency_p95_ms=percentile_ms(latencies, 95),
+            latency_p99_ms=percentile_ms(latencies, 99),
             mean_batch_rows=self.samples / self.batches if self.batches else 0.0,
             batch_histogram=dict(self.batch_histogram),
-            max_queue_depth=max(self.queue_depths, default=0),
+            max_queue_depth=max(queue_depths, default=0),
             mean_queue_depth=(
-                float(np.mean(self.queue_depths)) if self.queue_depths else 0.0
+                float(np.mean(queue_depths)) if queue_depths else 0.0
             ),
             conversions=conversions,
             conversions_estimated=estimated,
@@ -346,12 +361,12 @@ class ServiceMetrics:
             workers=list(workers),
             class_latency_ms={
                 name: {
-                    "requests": float(len(latencies)),
-                    "p50_ms": percentile_ms(latencies, 50),
-                    "p95_ms": percentile_ms(latencies, 95),
-                    "p99_ms": percentile_ms(latencies, 99),
+                    "requests": float(len(values)),
+                    "p50_ms": percentile_ms(values, 50),
+                    "p95_ms": percentile_ms(values, 95),
+                    "p99_ms": percentile_ms(values, 99),
                 }
-                for name, latencies in self.class_latencies_s.items()
+                for name, values in class_latencies.items()
             },
             worker_deaths=self.worker_deaths,
             retried_batches=self.retried_batches,

@@ -114,6 +114,19 @@ class Scheduler:
         worker.assigned_batches += 1
         return worker
 
+    def pool_stats(self) -> Dict[str, int]:
+        """Alive / dead / retired counts over the live pool.
+
+        This is the placement-eligibility view the readiness probe and
+        the metrics exposition report — derived fresh per call because
+        the service mutates worker states in place.
+        """
+        alive = sum(1 for worker in self.workers if worker.alive)
+        retired = sum(1 for worker in self.workers if worker.retired)
+        dead = len(self.workers) - alive - retired
+        return {"alive": alive, "dead": max(dead, 0), "retired": retired,
+                "total": len(self.workers)}
+
     def _pick(self, rows: int) -> WorkerState:
         raise NotImplementedError
 

@@ -53,6 +53,7 @@ from repro.exec.engine import BatchRunner
 from repro.exec.plan import PlanCache, plan_fingerprint
 from repro.exec.registry import create_backend
 from repro.nn.model import Model
+from repro.obs.trace import PlanTraceBuffer, RequestTrace, Tracer, plan_trace
 from repro.power.efficiency import energy_per_conversion
 from repro.serve.batcher import (
     CLOSE,
@@ -110,11 +111,25 @@ def _process_ready() -> Optional[int]:
     return _PROCESS_PLAN.conversions()
 
 
-def _process_forward(images: np.ndarray) -> Tuple[np.ndarray, int, float]:
-    """Pickle-transport batch: returns (logits, total conversions, forward s)."""
+def _process_forward(images: np.ndarray, traced: bool = False) -> Tuple:
+    """Pickle-transport batch: (logits, total conversions, forward s, spans).
+
+    ``traced`` batches record per-layer plan spans into a worker-local
+    buffer (this interpreter's ``perf_counter`` clock, relative to the
+    forward start) that ride home on the result tuple for the parent to
+    re-anchor.
+    """
     start = time.perf_counter()
-    logits = _PROCESS_PLAN.forward(images)
-    return logits, _PROCESS_PLAN.conversions(), time.perf_counter() - start
+    spans: List = []
+    if traced:
+        buffer = PlanTraceBuffer(t0=start)
+        with plan_trace(buffer):
+            logits = _PROCESS_PLAN.forward(images)
+        spans = buffer.records
+    else:
+        logits = _PROCESS_PLAN.forward(images)
+    return (logits, _PROCESS_PLAN.conversions(),
+            time.perf_counter() - start, spans)
 
 
 def _process_attach_rings(request_name: str, response_name: str, slots: int,
@@ -128,25 +143,36 @@ def _process_attach_rings(request_name: str, response_name: str, slots: int,
     return True
 
 
-def _process_forward_shm(slot: int, shape: Tuple[int, ...]) -> Tuple:
+def _process_forward_shm(slot: int, shape: Tuple[int, ...],
+                         traced: bool = False) -> Tuple:
     """Shared-memory batch: read the request slot, run, fill the response slot.
 
     The plan consumes a zero-copy view of the request slot (forwards never
     mutate their input) and the logits are written into the matching
     response slot; only these few coordinates cross the executor pipe.
     Logits too large for the slot fall back to being returned by value.
+    Traced batches additionally ship their per-layer plan spans (see
+    :func:`_process_forward`) — span tuples are tiny, so they ride the
+    pipe even on the shared-memory transport.
     """
     requests, responses = _PROCESS_RINGS
     images = requests.view(slot, shape)
     start = time.perf_counter()
-    logits = _PROCESS_PLAN.forward(images)
+    spans: List = []
+    if traced:
+        buffer = PlanTraceBuffer(t0=start)
+        with plan_trace(buffer):
+            logits = _PROCESS_PLAN.forward(images)
+        spans = buffer.records
+    else:
+        logits = _PROCESS_PLAN.forward(images)
     forward_s = time.perf_counter() - start
     logits = np.ascontiguousarray(logits, dtype=np.float64)
     total = _PROCESS_PLAN.conversions()
     if responses.fits(logits.nbytes):
         responses.write(slot, logits)
-        return ("shm", logits.shape, total, forward_s)
-    return ("pickle", logits, total, forward_s)
+        return ("shm", logits.shape, total, forward_s, spans)
+    return ("pickle", logits, total, forward_s, spans)
 
 
 def _process_profile() -> Dict[str, float]:
@@ -162,11 +188,35 @@ class _ThreadWorker:
     def __init__(self, runner: BatchRunner) -> None:
         self.runner = runner
 
-    async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
-        """Run one batch; returns (logits, measured conversions)."""
+    async def forward(self, images: np.ndarray, traced: bool = False
+                      ) -> Tuple[np.ndarray, int, Optional[List]]:
+        """Run one batch; returns (logits, measured conversions, remote spans).
+
+        ``remote`` is None untraced, else ``[(None, forward_s, records)]``
+        — the worker-clock span payload :meth:`Tracer.attach_remote`
+        re-anchors under the dispatch span.  Thread workers share the
+        service clock, but shipping relative spans keeps one format across
+        all three substrates.
+        """
         before = self.runner.conversions()
-        logits = await asyncio.to_thread(self.runner.forward, images)
-        return logits, self.runner.conversions() - before
+        if traced:
+            logits, forward_s, records = await asyncio.to_thread(
+                self._traced_forward, images)
+            remote: Optional[List] = [(None, forward_s, records)]
+        else:
+            logits = await asyncio.to_thread(self.runner.forward, images)
+            remote = None
+        return logits, self.runner.conversions() - before, remote
+
+    def _traced_forward(self, images: np.ndarray) -> Tuple:
+        # Runs inside the asyncio.to_thread worker thread, so the
+        # thread-local plan-trace buffer never leaks across concurrent
+        # batches on other threads.
+        start = time.perf_counter()
+        buffer = PlanTraceBuffer(t0=start)
+        with plan_trace(buffer):
+            logits = self.runner.forward(images)
+        return logits, time.perf_counter() - start, buffer.records
 
     async def stage_profile(self) -> Dict[str, float]:
         """The runner's plan-stage breakdown."""
@@ -262,8 +312,14 @@ class _ProcessWorker:
         """Names of this worker's segments (empty on the pickle transport)."""
         return [] if self._channel is None else self._channel.segment_names
 
-    async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
-        """Run one batch; returns (logits, measured conversions)."""
+    async def forward(self, images: np.ndarray, traced: bool = False
+                      ) -> Tuple[np.ndarray, int, Optional[List]]:
+        """Run one batch; returns (logits, measured conversions, remote spans).
+
+        ``remote`` (traced batches only) is ``[(None, forward_s, records)]``
+        — the worker interpreter's relative-clock spans, piggybacked on the
+        result tuple over whichever transport served the batch.
+        """
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         if self._slot_serves(images):
@@ -272,24 +328,26 @@ class _ProcessWorker:
             try:
                 self._channel.requests.write(slot, images)
                 outcome = await loop.run_in_executor(
-                    self.executor, _process_forward_shm, slot, images.shape)
+                    self.executor, _process_forward_shm, slot, images.shape,
+                    traced)
                 if outcome[0] == "shm":
-                    _, shape, total, forward_s = outcome
+                    _, shape, total, forward_s, spans = outcome
                     # Copy out before the slot is released for reuse.
                     logits = np.array(self._channel.responses.view(slot, shape))
                 else:
-                    _, logits, total, forward_s = outcome
+                    _, logits, total, forward_s, spans = outcome
             finally:
                 self._free_slots.put_nowait(slot)
         else:
-            logits, total, forward_s = await loop.run_in_executor(
-                self.executor, _process_forward, images)
+            logits, total, forward_s, spans = await loop.run_in_executor(
+                self.executor, _process_forward, images, traced)
             if self.transport == "shm" and self._channel is None:
                 await self._build_channel(images, logits)
         measured = total - self._conversions_total
         self._conversions_total = total
         self.transport_s += max(time.perf_counter() - start - forward_s, 0.0)
-        return logits, measured
+        remote = [(None, forward_s, spans)] if traced else None
+        return logits, measured, remote
 
     async def stage_profile(self) -> Dict[str, float]:
         """The remote plan's stage breakdown plus parent-side transport time."""
@@ -356,14 +414,22 @@ class _PipelineWorker:
         """Names of the live stage-ring segments (for the leak tests)."""
         return self.pipeline.segment_names
 
-    async def forward(self, images: np.ndarray) -> Tuple[np.ndarray, int]:
-        """Run one batch; returns (logits, measured conversions)."""
+    async def forward(self, images: np.ndarray, traced: bool = False
+                      ) -> Tuple[np.ndarray, int, Optional[List]]:
+        """Run one batch; returns (logits, measured conversions, remote spans).
+
+        For traced batches every stage ships its per-layer spans and this
+        batch's forward seconds in its stats dict; ``remote`` lays them out
+        in stage order — ``[(stage_index, batch_forward_s, spans), ...]`` —
+        so the parent renders the stages sequentially under the dispatch
+        span (their real overlap is across *batches*, not within one).
+        """
         loop = asyncio.get_running_loop()
         async with self._submit_lock:
             # submit() may block on edge-0 backpressure; keep it off the
             # event loop, but under the lock so batches enter in order.
             future = await loop.run_in_executor(None, self.pipeline.submit,
-                                                images)
+                                                images, traced)
         logits, stats = await asyncio.wrap_future(future)
         # Each stage stamps its cumulative conversion count as the batch
         # passes, so a completed batch carries a consistent "all stages
@@ -373,7 +439,15 @@ class _PipelineWorker:
         self._conversions_total = total
         self.stage_stats = stats
         self.transport_s = sum(stage["transport_s"] for stage in stats)
-        return logits, measured
+        remote = None
+        if traced:
+            remote = [
+                (stage.get("stage", position),
+                 stage.get("batch_forward_s", 0.0),
+                 stage.get("spans", []))
+                for position, stage in enumerate(stats)
+            ]
+        return logits, measured, remote
 
     async def stage_profile(self) -> Dict[str, float]:
         """Summed plan-stage breakdown plus a per-pipeline-stage list."""
@@ -529,6 +603,18 @@ class ServeConfig:
         Period of the autoscaler's signal sampling.
     scale_down_idle_ticks:
         Consecutive idle autoscaler ticks before a replica is retired.
+    trace_sample_rate:
+        Per-request probability (``0..1``) of recording a full distributed
+        span tree — queue wait, batch formation, dispatch, worker/stage
+        forwards, per-layer DAC/crossbar/ADC — for that request
+        (:mod:`repro.obs`).  Sampling is seeded from ``context.seed`` so
+        traced runs are reproducible, and it never touches the numpy RNG
+        streams, so sampled serving stays bit-identical to untraced
+        serving.  ``0`` (default) disables tracing; the remaining cost is
+        one attribute check per request.
+    trace_max_spans:
+        Bound on retained spans; spans past it are counted as dropped
+        instead of growing memory without limit.
     """
 
     backend: Union[str, ExecutionBackend] = "ideal"
@@ -558,6 +644,8 @@ class ServeConfig:
     max_workers: Optional[int] = None
     autoscale_interval_ms: float = 20.0
     scale_down_idle_ticks: int = 5
+    trace_sample_rate: float = 0.0
+    trace_max_spans: int = 200_000
 
 
 class InferenceService:
@@ -608,6 +696,15 @@ class InferenceService:
             )
         self.metrics = ServiceMetrics(
             energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
+        )
+        # The Tracer validates trace_sample_rate itself; seeding from the
+        # execution context's seed (its own random.Random, never the numpy
+        # streams) makes which requests get traced reproducible without
+        # perturbing served numerics.
+        self.tracer = Tracer(
+            sample_rate=self.config.trace_sample_rate,
+            seed=getattr(self.config.context, "seed", 0),
+            max_spans=self.config.trace_max_spans,
         )
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[DynamicBatcher] = None
@@ -930,8 +1027,12 @@ class InferenceService:
             )
             return future
         self._outstanding += 1
-        self._queue.put_nowait(Request(images=array, future=future,
-                                       arrival=now, priority=priority))
+        request = Request(images=array, future=future, arrival=now,
+                          priority=priority)
+        if self.tracer.enabled:
+            request.trace = self.tracer.maybe_start_request(
+                request.request_id, priority, request.rows)
+        self._queue.put_nowait(request)
         self.metrics.record_arrival(now, self._queue.qsize())
         return future
 
@@ -1019,7 +1120,67 @@ class InferenceService:
                 return
             if item is not CLOSE:
                 fail_requests([item], error)
+                self._finish_request_traces([item], error=error)
                 self._outstanding -= 1
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _trace_batch_formed(self, batch: List[Request]) -> None:
+        """Close queue-wait spans; open the primary trace's batch span.
+
+        The first traced request of a batch is its *primary*: batch- and
+        dispatch-level spans attach to that one trace (a batch is one
+        execution, not one per client), and every other traced request in
+        the batch records the primary's trace id for cross-reference.
+        """
+        if not self.tracer.enabled:
+            return
+        traced = [request for request in batch if request.trace is not None]
+        if not traced:
+            return
+        now = self.tracer.clock()
+        for request in traced:
+            self.tracer.end(request.trace.queue_span, now)
+        primary = traced[0].trace
+        primary.batch_span = self.tracer.begin(
+            "batch", category="batch", trace_id=primary.trace_id,
+            parent=primary.root, start_s=now,
+            rows=sum(request.rows for request in batch),
+            requests=len(batch))
+        for other in traced[1:]:
+            other.trace.root.args["batched_into"] = primary.trace_id
+
+    def _batch_primary_trace(self, batch: List[Request]
+                             ) -> Optional[RequestTrace]:
+        """The batch's primary trace handle (first traced request), if any."""
+        if not self.tracer.enabled:
+            return None
+        for request in batch:
+            if request.trace is not None:
+                return request.trace
+        return None
+
+    def _finish_request_traces(self, batch: List[Request],
+                               error: Optional[BaseException] = None) -> None:
+        """End every span of the batch's traced requests (success or failure).
+
+        Idempotent per span, so a request finished here after its batch
+        span closed normally only picks up whatever is still open — which
+        is what keeps failure paths (admission races, retries exhausted,
+        drain) from leaking unclosed spans as orphans.
+        """
+        if not self.tracer.enabled:
+            return
+        now = self.tracer.clock()
+        outcome = {} if error is None else {"error": repr(error)}
+        for request in batch:
+            trace = request.trace
+            if trace is None:
+                continue
+            self.tracer.end(trace.queue_span, now)
+            self.tracer.end(trace.batch_span, now, **outcome)
+            self.tracer.end(trace.root, now, **outcome)
 
     async def _dispatch_loop(self) -> None:
         try:
@@ -1033,6 +1194,7 @@ class InferenceService:
                     break
                 if batch is None:
                     break
+                self._trace_batch_formed(batch)
                 if self._conversions_per_sample is None:
                     try:
                         # Off the event loop: the probe runs a real forward,
@@ -1053,6 +1215,7 @@ class InferenceService:
                         (batch, estimate, 0))
                 except Exception as exc:  # noqa: BLE001 — fail, don't hang
                     fail_requests(batch, exc)
+                    self._finish_request_traces(batch, error=exc)
                     self._outstanding -= len(batch)
         finally:
             # Always broadcast shutdown, even if dispatch died: workers must
@@ -1117,10 +1280,29 @@ class InferenceService:
                 RuntimeError(f"worker {state.index} died before serving "
                              "the batch"))
             return
+        primary = self._batch_primary_trace(batch)
+        dispatch_span = None
         try:
             inputs = stack_requests(batch)
-            logits, measured = await worker.forward(inputs)
+            if primary is not None:
+                dispatch_span = self.tracer.begin(
+                    "dispatch", category="dispatch",
+                    trace_id=primary.trace_id,
+                    parent=primary.batch_span or primary.root,
+                    worker=state.index, mode=state.mode, attempt=retries)
+            logits, measured, remote = await worker.forward(
+                inputs, traced=dispatch_span is not None)
             now = loop.time()
+            if dispatch_span is not None:
+                dispatch_end = self.tracer.clock()
+                self.tracer.end(dispatch_span, dispatch_end)
+                if remote:
+                    # Re-anchor the worker-clock spans inside the observed
+                    # dispatch window — the tree stays connected without a
+                    # shared clock epoch.
+                    self.tracer.attach_remote(
+                        remote, parent=dispatch_span,
+                        start_s=dispatch_span.start_s, end_s=dispatch_end)
             # Scatter first: it validates the worker returned one logits
             # row per batched sample row before any future resolves.
             scatter_results(batch, logits)
@@ -1141,7 +1323,10 @@ class InferenceService:
                 estimated_conversions=0.0 if measured else float(estimate),
                 request_classes=[request.priority for request in batch],
             )
+            self._finish_request_traces(batch)
         except Exception as exc:  # noqa: BLE001 — classify, retry or fail
+            if dispatch_span is not None:
+                self.tracer.end(dispatch_span, error=repr(exc))
             state.accelerator.cancel_inference(estimate)
             # A fault is worker-level either by type (BrokenExecutor,
             # StageDiedError) or by correlation: the worker was marked
@@ -1161,6 +1346,7 @@ class InferenceService:
             # replica, so it propagates to exactly this batch's clients.
             # The worker itself survives any single bad batch.
             fail_requests(batch, exc)
+            self._finish_request_traces(batch, error=exc)
             self._outstanding -= len(batch)
 
     async def _retry_or_fail(self, batch: List[Request], retries: int,
@@ -1180,6 +1366,7 @@ class InferenceService:
             except Exception as redispatch_exc:  # noqa: BLE001
                 exc = redispatch_exc
         fail_requests(batch, exc)
+        self._finish_request_traces(batch, error=exc)
         self._outstanding -= len(batch)
 
     # ------------------------------------------------------------------
@@ -1202,6 +1389,8 @@ class InferenceService:
             return
         state.alive = False
         self.metrics.record_worker_death()
+        self.tracer.event("worker_death", worker=state.index,
+                          mode=state.mode, error=repr(exc))
         if self._degraded_since is None:
             self._degraded_since = asyncio.get_running_loop().time()
         dead = self._workers[state.index]
@@ -1239,6 +1428,7 @@ class InferenceService:
         self._workers[index] = worker
         self._worker_states[index].alive = True
         self.metrics.record_respawn()
+        self.tracer.event("worker_respawn", worker=index)
         if self._degraded_since is not None and self.pool_recovered():
             loop = asyncio.get_running_loop()
             self.metrics.record_recovery(loop.time() - self._degraded_since)
@@ -1276,6 +1466,10 @@ class InferenceService:
         worker = await self._place_batch(rows)
         worker.accelerator.begin_inference(estimate)
         self.metrics.record_retry()
+        primary = self._batch_primary_trace(batch)
+        self.tracer.event(
+            "retry", trace_id=primary.trace_id if primary else None,
+            worker=worker.index, attempt=retries, rows=rows)
         await self._worker_queues[worker.index].put((batch, estimate, retries))
 
     # ------------------------------------------------------------------
@@ -1390,6 +1584,8 @@ class InferenceService:
                 busy_seconds=state.accelerator.busy_seconds,
                 mode=state.mode,
                 transport_s=state.transport_s,
+                alive=state.alive,
+                retired=state.retired,
                 stages=tuple(
                     StageOccupancy(
                         index=int(stage.get("stage", 0)),
@@ -1446,6 +1642,23 @@ class InferenceService:
     def alive_worker_count(self) -> int:
         """Workers currently accepting placements."""
         return sum(1 for state in self._worker_states if state.alive)
+
+    def transport_counters(self) -> Dict[str, int]:
+        """Summed shm-ring writes/bytes across the live process workers.
+
+        Empty-ringed workers (thread mode, pickle transport, pre-first-
+        batch) contribute zeros; the exposition reports the totals as
+        ``shm_*`` gauges.
+        """
+        totals = {"request_writes": 0, "request_bytes": 0,
+                  "response_writes": 0, "response_bytes": 0}
+        for worker in self._workers:
+            channel = getattr(worker, "_channel", None)
+            if channel is None:
+                continue
+            for key, value in channel.transport_counters().items():
+                totals[key] += int(value)
+        return totals
 
     def pool_recovered(self) -> bool:
         """Whether every non-retired worker slot is alive again."""

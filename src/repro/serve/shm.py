@@ -28,7 +28,7 @@ requests transparently fall back to pickling.
 from __future__ import annotations
 
 from multiprocessing import shared_memory
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +68,11 @@ class SlotRing:
             raise ValueError("need at least one slot of at least one byte")
         self.slots = slots
         self.slot_nbytes = int(slot_nbytes)
+        #: Transport counters for this process's side of the ring:
+        #: cumulative slot writes and bytes copied through :meth:`write`.
+        #: The metrics exposition reports them as shm transport gauges.
+        self.writes = 0
+        self.bytes_written = 0
         self.segment = (segment if segment is not None
                         else shared_memory.SharedMemory(
                             create=True, size=slots * self.slot_nbytes))
@@ -121,6 +126,8 @@ class SlotRing:
                 f"{self.slot_nbytes}-byte slot"
             )
         self.view(slot, array.shape, array.dtype)[...] = array
+        self.writes += 1
+        self.bytes_written += int(array.nbytes)
 
     def close(self) -> None:
         """Drop this process's mapping (the segment itself stays)."""
@@ -160,6 +167,20 @@ class ShmChannel:
         """The attach coordinates shipped to the worker process."""
         return (self.requests.name, self.responses.name, self.slots,
                 self.requests.slot_nbytes, self.responses.slot_nbytes)
+
+    def transport_counters(self) -> Dict[str, int]:
+        """Cumulative parent-side slot writes and bytes through both rings.
+
+        Only the parent's copies are counted (batch in via ``requests``;
+        the worker writes ``responses`` in its own process), which is
+        exactly the serving process's shm transport cost.
+        """
+        return {
+            "request_writes": self.requests.writes,
+            "request_bytes": self.requests.bytes_written,
+            "response_writes": self.responses.writes,
+            "response_bytes": self.responses.bytes_written,
+        }
 
     def close(self, unlink: bool = True) -> None:
         """Close the mappings and (by default) unlink both segments."""

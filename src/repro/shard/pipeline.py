@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import PlanTraceBuffer, plan_trace
 from repro.serve.shm import SlotRing
 
 
@@ -69,9 +70,13 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
 
     Messages on the ready queues:
 
-    * ``("batch", seq, desc, stats)`` — one micro-batch; ``desc`` is
-      ``("shm", slot, shape)`` or ``("data", array)``; ``stats`` is the
+    * ``("batch", seq, desc, stats[, traced])`` — one micro-batch; ``desc``
+      is ``("shm", slot, shape)`` or ``("data", array)``; ``stats`` is the
       list of upstream per-stage accounting dicts this stage appends to.
+      A truthy ``traced`` flag asks every stage to record per-layer plan
+      spans for this batch (stage-local ``perf_counter`` clock, relative
+      to the stage's forward start) and ship them in its stats dict under
+      ``"spans"`` / ``"batch_forward_s"`` — the parent re-anchors them.
     * ``("err", seq, message, stats)`` — a batch a stage failed on;
       propagated untouched so the parent can fail exactly that future.
     * ``("attach", descs)`` — ring coordinates for every edge; the stage
@@ -112,11 +117,14 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
             if kind == "err":
                 ready_out.put(message)
                 continue
-            _, seq, desc, stats = message
+            _, seq, desc, stats = message[:4]
+            traced = bool(message[4]) if len(message) > 4 else False
             if served_first:
                 bubble_s += waited
             served_first = True
             slot_in: Optional[int] = None
+            batch_forward_s = 0.0
+            batch_spans: List = []
             try:
                 if desc[0] == "shm":
                     slot_in, shape = desc[1], desc[2]
@@ -124,8 +132,15 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
                 else:
                     batch = desc[1]
                 tick = time.perf_counter()
-                result = plan.forward(batch)
-                forward_s += time.perf_counter() - tick
+                if traced:
+                    buffer = PlanTraceBuffer(t0=tick)
+                    with plan_trace(buffer):
+                        result = plan.forward(batch)
+                    batch_spans = buffer.records
+                else:
+                    result = plan.forward(batch)
+                batch_forward_s = time.perf_counter() - tick
+                forward_s += batch_forward_s
                 result = np.ascontiguousarray(
                     np.asarray(result, dtype=np.float64))
                 if slot_in is not None and np.may_share_memory(result, batch):
@@ -167,7 +182,11 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
                 "out_row_nbytes": out_row_nbytes,
                 "profile": plan.stage_profile(),
             }
-            ready_out.put(("batch", seq, desc_out, stats + [stage_stats]))
+            if traced:
+                stage_stats["spans"] = batch_spans
+                stage_stats["batch_forward_s"] = batch_forward_s
+            ready_out.put(("batch", seq, desc_out, stats + [stage_stats],
+                           traced))
     finally:
         for ring in (in_ring, out_ring):
             if ring is not None:
@@ -350,12 +369,15 @@ class ShardedPipeline:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, images: np.ndarray) -> "concurrent.futures.Future":
+    def submit(self, images: np.ndarray,
+               traced: bool = False) -> "concurrent.futures.Future":
         """Enqueue one micro-batch; future resolves to ``(logits, stats)``.
 
         Blocks only for edge-0 backpressure (a free request slot once the
         rings are live); the returned future completes when the batch has
-        flowed through every stage.
+        flowed through every stage.  ``traced=True`` asks every stage to
+        record per-layer plan spans for this batch and ship them back in
+        its stats dict (see :func:`_stage_main`).
         """
         if not self._started or self._closed:
             raise PipelineStageError("pipeline is not running")
@@ -381,9 +403,11 @@ class ShardedPipeline:
                 if slot is not None:
                     ring.write(slot, batch)
                     self._ready[0].put(("batch", seq, ("shm", slot,
-                                                       batch.shape), []))
+                                                       batch.shape), [],
+                                        traced))
             else:
-                self._ready[0].put(("batch", seq, ("data", batch), []))
+                self._ready[0].put(("batch", seq, ("data", batch), [],
+                                    traced))
             if (self._failure is not None or self._closed) and not future.done():
                 # The pipeline died around this submission and the
                 # collector's cleanup may already have drained the future
@@ -468,7 +492,7 @@ class ShardedPipeline:
                 if future is not None:
                     future.set_exception(PipelineStageError(text))
                 continue
-            _, seq, desc, stats = message
+            _, seq, desc, stats = message[:4]
             if desc[0] == "shm":
                 logits = np.array(self._rings[-1].view(desc[1], desc[2]))
                 self._free[-1].put(desc[1])
