@@ -60,11 +60,16 @@ GUARDED_RATIOS: Dict[str, Dict[str, float]] = {
     # the warn-don't-fail missing-fresh handling below tolerates.
     "BENCH_pipeline.json": {"pipeline_speedup": 0.35},
     # The recovery ratios are success *fractions*, not speedups: the
-    # benchmark hard-asserts both at 1.0 (zero client failures, full
-    # respawn), so any drop at all is a regression — the floor exists only
-    # to keep the gate's arithmetic uniform.
+    # benchmark hard-asserts them all at 1.0 (zero client failures, full
+    # respawn — for the kill-storm, the injected-hang and the
+    # corrupt-slot drives alike), so any drop at all is a regression —
+    # the floor exists only to keep the gate's arithmetic uniform.
     "BENCH_recovery.json": {"client_success_ratio": 0.0,
-                            "recovered_fraction": 0.0},
+                            "recovered_fraction": 0.0,
+                            "hang_success_ratio": 0.0,
+                            "hang_recovered_fraction": 0.0,
+                            "corrupt_success_ratio": 0.0,
+                            "corrupt_recovered_fraction": 0.0},
     # The observability overheads are contract floors the benchmark
     # hard-asserts (sampling keeps >= 95% of disabled throughput, the
     # disabled hooks stay within their 2% budget), and the committed

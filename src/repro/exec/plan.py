@@ -1372,7 +1372,21 @@ class PlanCache:
     ``hits`` / ``misses`` count lookups for the serving metrics; writes are
     atomic (tempfile + ``os.replace``) so a crashed writer cannot leave a
     half-written entry behind for a concurrent reader.
+
+    **Concurrent writers.**  Entries are content-addressed, so two writers
+    racing on one key hold bit-identical payloads and last-writer-wins via
+    ``os.replace`` is always *safe* — but both paid the compile.
+    :meth:`claim` / :meth:`wait_for` add a write-once guard: the first
+    writer claims the key with an ``O_EXCL`` lock file and compiles; later
+    contenders see the claim, wait for the entry, and skip their compile.
+    A claimant that dies without storing merely lets the waiters time out
+    and fall back to compiling themselves (the lock file carries the
+    claimant's pid and a ``claim_age_s`` guard makes stale claims
+    ignorable), so the guard can only ever *reduce* work, never wedge it.
     """
+
+    #: A claim older than this is treated as abandoned by waiters.
+    claim_age_s = 300.0
 
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
@@ -1383,6 +1397,68 @@ class PlanCache:
     def path_for(self, key: str) -> str:
         """Entry path of a fingerprint key."""
         return os.path.join(self.directory, f"{key}.plan")
+
+    def claim_path_for(self, key: str) -> str:
+        """Lock-file path guarding one key's compilation."""
+        return os.path.join(self.directory, f"{key}.claim")
+
+    def claim(self, key: str) -> bool:
+        """Try to become ``key``'s sole compiler (O_EXCL lock file).
+
+        Returns True when this caller holds the claim (it must
+        :meth:`store` then :meth:`release` — or just :meth:`release` on
+        failure).  False means another live writer already claimed the
+        key; call :meth:`wait_for` instead of compiling.  A stale claim
+        (older than :attr:`claim_age_s`) is broken and re-taken.
+        """
+        path = self.claim_path_for(key)
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(path)
+                except OSError:
+                    continue  # claimant released between open and stat
+                if age <= self.claim_age_s:
+                    return False
+                try:
+                    os.unlink(path)  # abandoned claim; contend again
+                except OSError:
+                    pass
+                continue
+            except OSError:
+                return True  # unclaimable directory: degrade to compiling
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            return True
+
+    def release(self, key: str) -> None:
+        """Drop this writer's claim (idempotent)."""
+        try:
+            os.unlink(self.claim_path_for(key))
+        except OSError:
+            pass
+
+    def wait_for(self, key: str, timeout_s: float = 60.0,
+                 poll_s: float = 0.05) -> Optional[bytes]:
+        """Wait for another writer's entry; None on timeout/abandonment.
+
+        Returns as soon as the entry appears (counted as a hit by the
+        underlying :meth:`load`) or as soon as the claim disappears
+        without an entry (the claimant failed); the caller then compiles
+        itself — correctness never depends on the other writer.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.load(key)
+            if payload is not None:
+                return payload
+            if not os.path.exists(self.claim_path_for(key)):
+                return None
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_s)
 
     def load(self, key: str) -> Optional[bytes]:
         """Cached plan payload for ``key``, or None (counted as a miss)."""

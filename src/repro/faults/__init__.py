@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the serving stack.
+
+The injector is a seeded, replayable chaos layer: named injection sites are
+threaded through the serving hot paths (worker forward entry, shm slot
+writes, pipeline stage handoffs, plan-cache loads, the respawn path) and a
+:class:`FaultSpec` describes which sites misbehave, how, and when.  Every
+decision is drawn from a per-site ``random.Random`` seeded from
+``(spec.seed, site)``, so a chaos run is exactly reproducible from the
+``(seed, fault_spec)`` pair — the CACE-style verification discipline of
+sweeping faults deterministically instead of SIGKILL-ing ad hoc.
+
+With no injector installed every site costs one module-global ``None``
+check (or nothing at all where call sites gate on configuration), keeping
+the disabled overhead inside the obs hook budget.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultRule,
+    FaultSpec,
+    InjectedFaultError,
+    SITES,
+    fire,
+    get_installed,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "FaultSpec",
+    "InjectedFaultError",
+    "SITES",
+    "fire",
+    "get_installed",
+    "install",
+    "uninstall",
+]

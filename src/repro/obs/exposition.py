@@ -84,6 +84,28 @@ def render_prometheus(snapshot, extra_gauges: Optional[Dict[str, float]] = None
                snapshot.retried_batches)
     out.sample("respawns_total", "counter",
                "Background worker respawns completed.", snapshot.respawns)
+    out.sample("dispatch_timeouts_total", "counter",
+               "Batches that blew their dispatch deadline (hung worker).",
+               snapshot.dispatch_timeouts)
+    out.sample("heartbeat_trips_total", "counter",
+               "Workers killed after their heartbeat counter stalled.",
+               snapshot.heartbeat_trips)
+    out.sample("corruptions_total", "counter",
+               "Shared-memory slots failing their CRC32 check.",
+               snapshot.corruptions)
+    out.sample("shed_requests_total", "counter",
+               "Requests shed at admission under graceful degradation.",
+               snapshot.shed_requests)
+    out.sample("respawn_failures_total", "counter",
+               "Failed worker respawn attempts.", snapshot.respawn_failures)
+    out.sample("breaker_trips_total", "counter",
+               "Respawn circuit breakers opened.", snapshot.breaker_trips)
+    out.sample("backoff_waits_total", "counter",
+               "Retry/respawn exponential-backoff waits taken.",
+               snapshot.backoff_waits)
+    out.sample("backoff_seconds_total", "counter",
+               "Total seconds spent in retry/respawn backoff.",
+               snapshot.backoff_total_s)
     out.sample("plan_cache_hits_total", "counter",
                "Compiled-plan cache hits during (re)spawns.",
                snapshot.plan_cache_hits)
@@ -211,6 +233,14 @@ def snapshot_to_json(snapshot,
             "retried_batches": snapshot.retried_batches,
             "respawns": snapshot.respawns,
             "recovery_times_s": list(snapshot.recovery_times_s),
+            "dispatch_timeouts": snapshot.dispatch_timeouts,
+            "heartbeat_trips": snapshot.heartbeat_trips,
+            "corruptions": snapshot.corruptions,
+            "shed_requests": snapshot.shed_requests,
+            "respawn_failures": snapshot.respawn_failures,
+            "breaker_trips": snapshot.breaker_trips,
+            "backoff_waits": snapshot.backoff_waits,
+            "backoff_total_s": snapshot.backoff_total_s,
         },
         "plan_cache": {"hits": snapshot.plan_cache_hits,
                        "misses": snapshot.plan_cache_misses},

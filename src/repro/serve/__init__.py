@@ -67,6 +67,7 @@ from repro.serve.service import (
     InferenceService,
     ServeConfig,
     ServiceClosedError,
+    ServiceDegradedError,
     ServiceOverloadedError,
     serve_requests,
 )
@@ -102,6 +103,7 @@ __all__ = [
     "InferenceService",
     "ServeConfig",
     "ServiceClosedError",
+    "ServiceDegradedError",
     "ServiceOverloadedError",
     "serve_requests",
 ]

@@ -14,6 +14,9 @@ scheduling knobs, and an optional batch-size-1 comparison run::
     python -m repro loadtest --pipeline-stages 3 --profile
     python -m repro loadtest --worker-mode process --workers 2 \
         --scenario kill-storm --kills 3
+    python -m repro loadtest --worker-mode process --workers 2 \
+        --scenario chaos-sweep --fault-spec chaos.json \
+        --dispatch-timeout-ms 1500 --shm-integrity
     python -m repro loadtest --priority-classes interactive=0.5,batch=20 \
         --priority-mix interactive=0.3,batch=0.7
     python -m repro loadtest --trace-out trace.json --metrics-port 0 \
@@ -158,6 +161,27 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                         help="autoscaling floor (default: --workers)")
     parser.add_argument("--max-workers", type=int, default=None,
                         help="autoscaling ceiling (default: --workers)")
+    parser.add_argument("--fault-spec", default=None, metavar="SPEC",
+                        help="seeded deterministic fault-injection spec: "
+                             "inline JSON or a path to a JSON file "
+                             "({\"seed\": N, \"rules\": [{\"site\": ..., "
+                             "\"action\": ...}, ...]})")
+    parser.add_argument("--dispatch-timeout-ms", type=float, default=None,
+                        help="fail a batch whose worker forward exceeds "
+                             "this deadline: the worker is killed, "
+                             "respawned and the batch re-dispatched")
+    parser.add_argument("--heartbeat-timeout-ms", type=float, default=None,
+                        help="enable the heartbeat watchdog: kill and "
+                             "respawn a process/pipeline worker whose "
+                             "beat counter stalls this long")
+    parser.add_argument("--shm-integrity", action="store_true",
+                        help="CRC32-check every shared-memory slot; a "
+                             "corrupt slot re-dispatches its batch "
+                             "instead of serving bad bytes")
+    parser.add_argument("--shed-alive-fraction", type=float, default=None,
+                        help="graceful degradation: shed the laxest SLO "
+                             "class at admission while fewer than this "
+                             "fraction of workers is alive")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="export the run's request span trees as "
                              "Chrome/Perfetto trace-event JSON (open in "
@@ -190,6 +214,9 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
                                  "during traffic, then check recovery)")
         parser.add_argument("--kills", type=int, default=3,
                             help="kill-storm: number of SIGKILLs to deliver")
+        parser.add_argument("--chaos-kills", type=int, default=0,
+                            help="chaos-sweep: SIGKILLs to mix into the "
+                                 "fault-spec-driven drive (default none)")
         parser.add_argument("--kill-interval-ms", type=float, default=50.0,
                             help="kill-storm: pause between SIGKILLs")
         parser.add_argument("--priority-mix", default=None, metavar="SPEC",
@@ -199,10 +226,36 @@ def build_serve_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
+def parse_fault_spec(text: str):
+    """Parse ``--fault-spec``: inline JSON or the path of a JSON file."""
+    import os
+
+    from repro.faults.injector import FaultSpec
+
+    payload = text
+    if not text.lstrip().startswith("{"):
+        if not os.path.exists(text):
+            raise SystemExit(
+                f"--fault-spec: {text!r} is neither inline JSON nor an "
+                "existing file")
+        with open(text, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+    try:
+        return FaultSpec.from_json(payload)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"--fault-spec: invalid spec: {exc}") from None
+
+
 def _config_from_args(args: argparse.Namespace) -> ServeConfig:
     priority_classes = (parse_class_map(args.priority_classes,
                                         "--priority-classes")
                         if args.priority_classes else None)
+    faults = (parse_fault_spec(args.fault_spec)
+              if getattr(args, "fault_spec", None) else None)
+    dispatch_timeout_s = (args.dispatch_timeout_ms / 1e3
+                          if args.dispatch_timeout_ms is not None else None)
+    heartbeat_timeout_s = (args.heartbeat_timeout_ms / 1e3
+                           if args.heartbeat_timeout_ms is not None else None)
     # --trace-out without an explicit rate means "trace this run": sample
     # everything so the exported file actually holds the request trees.
     trace_sample = args.trace_sample
@@ -229,6 +282,11 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         min_workers=args.min_workers,
         max_workers=args.max_workers,
         trace_sample_rate=trace_sample,
+        faults=faults,
+        dispatch_timeout_s=dispatch_timeout_s,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        shm_integrity=args.shm_integrity,
+        shed_alive_fraction=args.shed_alive_fraction,
     )
 
 
@@ -253,6 +311,7 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
                           kills=getattr(args, "kills", 3),
                           kill_interval_s=getattr(args, "kill_interval_ms",
                                                   50.0) / 1e3,
+                          chaos_kills=getattr(args, "chaos_kills", 0),
                           priority_mix=priority_mix,
                           trace_out=args.trace_out,
                           metrics_port=args.metrics_port,
@@ -314,6 +373,26 @@ def run_serve_command(command: str, args: argparse.Namespace) -> Tuple[str, int]
                 f"KILL-STORM OK: {chaos.get('kills')} kills, 0 client "
                 f"failures, {chaos.get('retried_batches')} batches "
                 f"re-dispatched, pool respawned to {args.workers} workers")
+    elif scenario == "chaos-sweep":
+        chaos = result.chaos or {}
+        problems = []
+        if result.failures:
+            problems.append(f"{result.failures} client-visible failures")
+        if not chaos.get("recovered", False):
+            problems.append(
+                f"pool not recovered ({chaos.get('alive_workers')}/"
+                f"{args.workers} workers alive)")
+        if problems:
+            lines.append("CHAOS-SWEEP FAIL: " + "; ".join(problems))
+            exit_code = 1
+        else:
+            lines.append(
+                f"CHAOS-SWEEP OK: {chaos.get('worker_deaths')} deaths "
+                f"({chaos.get('kills')} kills), "
+                f"{chaos.get('dispatch_timeouts')} dispatch timeouts, "
+                f"{chaos.get('corruptions')} corrupt slots, "
+                f"{chaos.get('retried_batches')} batches re-dispatched, "
+                "0 client failures, pool recovered")
     elif scenario == "overload":
         dropped = result.snapshot.dropped
         if result.failures == dropped:

@@ -37,6 +37,15 @@ failure modes:
     contract is zero client-visible failures and a pool respawned back to
     its configured replica count, which the result's ``chaos`` summary
     reports.
+``chaos-sweep``
+    A *deterministic* chaos drive: the faults come from the seeded
+    ``ServeConfig.faults`` spec (hangs, crashes, slot corruption, delays
+    at named injection sites) instead of — or, with ``chaos_kills > 0``,
+    in addition to — random SIGKILLs.  The contract matches kill-storm
+    (zero client-visible failures, full recovery) and the summary adds
+    the injector's fire report plus the dispatch-timeout / corruption /
+    heartbeat counters, so a sweep is replayable from ``(seed,
+    fault_spec)`` alone.
 """
 
 from __future__ import annotations
@@ -257,7 +266,7 @@ async def run_open_loop(service: InferenceService, images: np.ndarray,
 
 
 #: Scenario names :func:`run_loadtest` understands.
-LOAD_SCENARIOS = ("steady", "overload", "kill-storm")
+LOAD_SCENARIOS = ("steady", "overload", "kill-storm", "chaos-sweep")
 
 
 def assign_priorities(priority_mix: Dict[str, float], num_requests: int,
@@ -379,6 +388,7 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
                  scenario: str = "steady",
                  kills: int = 3, kill_interval_s: float = 0.05,
                  recovery_timeout_s: float = 30.0,
+                 chaos_kills: int = 0,
                  priority_mix: Optional[Dict[str, float]] = None,
                  trace_out: Optional[str] = None,
                  metrics_port: Optional[int] = None,
@@ -394,8 +404,12 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
     shedding in ``LoadResult.chaos``, and ``kill-storm`` SIGKILLs
     ``kills`` random worker processes every ``kill_interval_s`` seconds
     during traffic and then waits (up to ``recovery_timeout_s``) for the
-    pool to respawn to full strength.  ``priority_mix`` tags requests
-    with seeded SLO classes, e.g. ``{"interactive": 0.2, "batch": 0.8}``.
+    pool to respawn to full strength.  ``chaos-sweep`` drives the faults
+    configured in ``ServeConfig.faults`` (its deterministic schedule is
+    the whole point), optionally mixing in ``chaos_kills`` SIGKILLs, and
+    reports the injector's fire counts alongside the recovery summary.
+    ``priority_mix`` tags requests with seeded SLO classes, e.g.
+    ``{"interactive": 0.2, "batch": 0.8}``.
 
     Observability (:mod:`repro.obs`): ``trace_out`` exports the run's span
     trees as validated Chrome/Perfetto trace-event JSON (pair it with
@@ -425,9 +439,12 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
                 run_open_loop(service, images, arrivals,
                               time_scale=time_scale, priorities=priorities))
             chaos: Optional[Dict[str, object]] = None
-            if scenario == "kill-storm":
-                killed = await _kill_worker_processes(
-                    service, traffic, kills, kill_interval_s, seed)
+            if scenario in ("kill-storm", "chaos-sweep"):
+                kill_budget = kills if scenario == "kill-storm" else chaos_kills
+                killed = 0
+                if kill_budget > 0:
+                    killed = await _kill_worker_processes(
+                        service, traffic, kill_budget, kill_interval_s, seed)
                 result = await traffic
                 recovered = await _await_pool_recovery(
                     service, recovery_timeout_s)
@@ -444,6 +461,17 @@ def run_loadtest(model: Model, images: np.ndarray, config: Optional[ServeConfig]
                                    if snapshot.recovery_times_s else 0.0),
                     "plan_cache_hits": snapshot.plan_cache_hits,
                 }
+                if scenario == "chaos-sweep":
+                    chaos.update(
+                        dispatch_timeouts=snapshot.dispatch_timeouts,
+                        heartbeat_trips=snapshot.heartbeat_trips,
+                        corruptions=snapshot.corruptions,
+                        shed_requests=snapshot.shed_requests,
+                        breaker_trips=snapshot.breaker_trips,
+                        # Parent-side fire counts only; worker-site fires
+                        # show up through their effects (timeouts above).
+                        fault_report=service.fault_report(),
+                    )
                 # The recovery wait post-dates the traffic snapshot, so
                 # re-snapshot to include late respawns in the report.
                 result = dataclasses.replace(result, snapshot=snapshot,

@@ -127,6 +127,18 @@ class MetricsSnapshot:
     respawns: int = 0
     #: Per-incident times from first lost capacity to a fully-alive pool.
     recovery_times_s: tuple = ()
+    #: Robustness counters: hung-dispatch deadlines fired, heartbeat
+    #: watchdog trips, CRC slot-corruption detections, requests shed by
+    #: graceful degradation, failed respawn attempts, respawn circuit
+    #: breakers opened, and retry/respawn backoff waits (count + seconds).
+    dispatch_timeouts: int = 0
+    heartbeat_trips: int = 0
+    corruptions: int = 0
+    shed_requests: int = 0
+    respawn_failures: int = 0
+    breaker_trips: int = 0
+    backoff_waits: int = 0
+    backoff_total_s: float = 0.0
     #: On-disk plan-cache lookups (zero when no cache is configured).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -168,6 +180,21 @@ class MetricsSnapshot:
                 f"{self.retried_batches} batches re-dispatched, "
                 f"{self.respawns} respawns "
                 f"(recovery {recovery * 1e3:.1f} ms)"
+            )
+        if (self.dispatch_timeouts or self.heartbeat_trips
+                or self.corruptions or self.shed_requests):
+            lines.append(
+                f"robustness           {self.dispatch_timeouts} dispatch "
+                f"timeouts, {self.heartbeat_trips} heartbeat trips, "
+                f"{self.corruptions} corrupt slots, "
+                f"{self.shed_requests} requests shed"
+            )
+        if self.respawn_failures or self.breaker_trips or self.backoff_waits:
+            lines.append(
+                f"backpressure         {self.respawn_failures} respawn "
+                f"failures, {self.breaker_trips} breakers opened, "
+                f"{self.backoff_waits} backoff waits "
+                f"({self.backoff_total_s * 1e3:.1f} ms total)"
             )
         if self.plan_cache_hits or self.plan_cache_misses:
             lines.append(
@@ -241,6 +268,14 @@ class ServiceMetrics:
         self.retried_batches = 0
         self.respawns = 0
         self.recovery_times_s: List[float] = []
+        self.dispatch_timeouts = 0
+        self.heartbeat_trips = 0
+        self.corruptions = 0
+        self.shed_requests = 0
+        self.respawn_failures = 0
+        self.breaker_trips = 0
+        self.backoff_waits = 0
+        self.backoff_total_s = 0.0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.scale_up_events = 0
@@ -300,6 +335,35 @@ class ServiceMetrics:
     def record_recovery(self, seconds: float) -> None:
         """The pool returned to fully-alive, ``seconds`` after capacity loss."""
         self.recovery_times_s.append(float(seconds))
+
+    def record_dispatch_timeout(self) -> None:
+        """A batch blew its dispatch deadline (hung worker)."""
+        self.dispatch_timeouts += 1
+
+    def record_heartbeat_trip(self) -> None:
+        """The watchdog found a worker's heartbeat counter stalled."""
+        self.heartbeat_trips += 1
+
+    def record_corruption(self) -> None:
+        """A CRC check caught a corrupt shm slot (batch re-dispatched)."""
+        self.corruptions += 1
+
+    def record_shed(self) -> None:
+        """Admission shed a request under graceful degradation."""
+        self.shed_requests += 1
+
+    def record_respawn_failure(self) -> None:
+        """One respawn attempt failed (it may be retried with backoff)."""
+        self.respawn_failures += 1
+
+    def record_breaker_trip(self) -> None:
+        """A worker slot's respawn circuit breaker opened."""
+        self.breaker_trips += 1
+
+    def record_backoff(self, seconds: float) -> None:
+        """A retry or respawn waited ``seconds`` of exponential backoff."""
+        self.backoff_waits += 1
+        self.backoff_total_s += float(seconds)
 
     def record_scale_event(self, direction: str) -> None:
         """Autoscaling spawned (``"up"``) or retired (``"down"``) a replica."""
@@ -372,6 +436,14 @@ class ServiceMetrics:
             retried_batches=self.retried_batches,
             respawns=self.respawns,
             recovery_times_s=tuple(self.recovery_times_s),
+            dispatch_timeouts=self.dispatch_timeouts,
+            heartbeat_trips=self.heartbeat_trips,
+            corruptions=self.corruptions,
+            shed_requests=self.shed_requests,
+            respawn_failures=self.respawn_failures,
+            breaker_trips=self.breaker_trips,
+            backoff_waits=self.backoff_waits,
+            backoff_total_s=self.backoff_total_s,
             plan_cache_hits=self.plan_cache_hits,
             plan_cache_misses=self.plan_cache_misses,
             scale_up_events=self.scale_up_events,

@@ -38,12 +38,15 @@ the fail-the-batch behaviour while keeping respawn.
 from __future__ import annotations
 
 import asyncio
+import collections
 import concurrent.futures
 import copy
 import dataclasses
 import pickle
+import signal
 import time
 import warnings
+from random import Random
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -52,6 +55,8 @@ from repro.exec.backend import ExecutionBackend, ExecutionContext
 from repro.exec.engine import BatchRunner
 from repro.exec.plan import PlanCache, plan_fingerprint
 from repro.exec.registry import create_backend
+from repro.faults import injector as fault_injector
+from repro.faults.injector import FaultInjector, FaultSpec
 from repro.nn.model import Model
 from repro.obs.trace import PlanTraceBuffer, RequestTrace, Tracer, plan_trace
 from repro.power.efficiency import energy_per_conversion
@@ -77,7 +82,7 @@ from repro.serve.scheduler import (
     build_worker_states,
     create_scheduler,
 )
-from repro.serve.shm import ShmChannel, SlotRing
+from repro.serve.shm import IntegrityError, ShmChannel, SlotRing
 
 
 #: Execution plan owned by one process-pool worker (set by the initializer).
@@ -85,16 +90,25 @@ _PROCESS_PLAN = None
 
 #: Worker-side (requests, responses) ring pair once the parent attached one.
 _PROCESS_RINGS: Optional[Tuple[SlotRing, SlotRing]] = None
+#: Keeps the worker's heartbeat-ring attachment alive for the process
+#: lifetime (the beat thread writes through it until the process dies).
+_PROCESS_HEARTBEAT_RING: Optional[SlotRing] = None
 
 
-def _init_process_worker(payload: bytes) -> None:
+def _init_process_worker(payload: bytes,
+                         fault_spec: Optional[Dict] = None) -> None:
     """Process-pool initializer: unpickle the shipped execution plan.
 
     Runs once per worker process.  The plan arrives as explicit pickle bytes
     (not fork-inherited state) so ``workers="process"`` behaves identically
-    under every multiprocessing start method.
+    under every multiprocessing start method.  ``fault_spec`` (plain dict
+    form) installs the deterministic fault injector process-globally —
+    each worker process owns its own per-site call counters, which is what
+    keeps chaos runs replayable across respawns.
     """
     global _PROCESS_PLAN
+    if fault_spec:
+        fault_injector.install(fault_spec)
     _PROCESS_PLAN = pickle.loads(payload)
 
 
@@ -119,6 +133,7 @@ def _process_forward(images: np.ndarray, traced: bool = False) -> Tuple:
     forward start) that ride home on the result tuple for the parent to
     re-anchor.
     """
+    fault_injector.fire("worker.forward")
     start = time.perf_counter()
     spans: List = []
     if traced:
@@ -133,13 +148,44 @@ def _process_forward(images: np.ndarray, traced: bool = False) -> Tuple:
 
 
 def _process_attach_rings(request_name: str, response_name: str, slots: int,
-                          request_nbytes: int, response_nbytes: int) -> bool:
+                          request_nbytes: int, response_nbytes: int,
+                          checksum: bool = False) -> bool:
     """Attach the parent's shared-memory rings (worker side, never unlinks)."""
     global _PROCESS_RINGS
-    _PROCESS_RINGS = (
-        SlotRing.attach(request_name, slots, request_nbytes),
-        SlotRing.attach(response_name, slots, response_nbytes),
-    )
+    requests = SlotRing.attach(request_name, slots, request_nbytes,
+                               checksum=checksum)
+    responses = SlotRing.attach(response_name, slots, response_nbytes,
+                                checksum=checksum)
+    if fault_injector.get_installed() is not None:
+        # Response corruption is injected post-CRC into the slot this
+        # worker just wrote, so the parent's read-side check catches it.
+        responses.fault_site = "shm.response"
+    _PROCESS_RINGS = (requests, responses)
+    return True
+
+
+def _process_start_heartbeat(name: str, slots: int, index: int,
+                             interval_s: float) -> bool:
+    """Attach the parent's heartbeat ring and start the beat thread."""
+    import threading
+
+    global _PROCESS_HEARTBEAT_RING
+    ring = SlotRing.attach(name, slots, 8)
+    # The ring must outlive this call: dropping the last reference would
+    # garbage-collect the SharedMemory mapping under the beat thread, which
+    # then dies after its first write — and the watchdog would reap every
+    # healthy worker at exactly the timeout.
+    _PROCESS_HEARTBEAT_RING = ring
+    cell = ring.view(index, (1,), np.float64)
+
+    def _beat() -> None:
+        count = 0.0
+        while True:
+            count += 1.0
+            cell[0] = count
+            time.sleep(interval_s)
+
+    threading.Thread(target=_beat, daemon=True, name="heartbeat").start()
     return True
 
 
@@ -156,7 +202,8 @@ def _process_forward_shm(slot: int, shape: Tuple[int, ...],
     pipe even on the shared-memory transport.
     """
     requests, responses = _PROCESS_RINGS
-    images = requests.view(slot, shape)
+    images = requests.read(slot, shape)
+    fault_injector.fire("worker.forward")
     start = time.perf_counter()
     spans: List = []
     if traced:
@@ -222,6 +269,15 @@ class _ThreadWorker:
         """The runner's plan-stage breakdown."""
         return self.runner.stage_profile()
 
+    def kill(self) -> None:
+        """No-op: Python threads cannot be killed.
+
+        A hung thread worker is still *classified* dead by the dispatch
+        deadline (its batches re-dispatch and a replacement runner is
+        built); the wedged thread itself is abandoned and only releases
+        its core when its forward eventually returns.
+        """
+
     async def close(self) -> None:
         """Tear the backend off the replica."""
         await asyncio.to_thread(self.runner.close)
@@ -250,17 +306,24 @@ class _ProcessWorker:
     mode = "process"
 
     def __init__(self, payload: bytes, transport: str = "shm",
-                 max_batch: int = 64, slots: int = 4) -> None:
+                 max_batch: int = 64, slots: int = 4,
+                 checksum: bool = False, fault_spec: Optional[Dict] = None,
+                 heartbeat_interval_s: Optional[float] = None) -> None:
         self.executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=1, initializer=_init_process_worker, initargs=(payload,))
+            max_workers=1, initializer=_init_process_worker,
+            initargs=(payload, fault_spec))
         self.transport = transport
         self.max_batch = max(int(max_batch), 1)
         self.slots = max(int(slots), 1)
+        self.checksum = bool(checksum)
+        self.fault_spec = fault_spec
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.transport_s = 0.0
         self._conversions_total = 0
         self._channel: Optional[ShmChannel] = None
         self._free_slots: Optional[asyncio.Queue] = None
         self._logit_row_nbytes = 0
+        self._heartbeat_ring: Optional[SlotRing] = None
 
     async def start(self) -> None:
         """Fail fast if the worker process cannot reconstruct the plan."""
@@ -269,6 +332,37 @@ class _ProcessWorker:
         if baseline is None:
             raise RuntimeError("process worker failed to initialise its plan")
         self._conversions_total = baseline
+        if self.heartbeat_interval_s is not None:
+            try:
+                ring = SlotRing(1, 8)
+                await loop.run_in_executor(
+                    self.executor, _process_start_heartbeat, ring.name, 1, 0,
+                    float(self.heartbeat_interval_s))
+                self._heartbeat_ring = ring
+            except Exception as exc:  # noqa: BLE001 — watchdog is optional
+                warnings.warn(
+                    f"worker heartbeat unavailable ({exc!r}); running "
+                    "without the heartbeat watchdog", RuntimeWarning,
+                    stacklevel=2)
+
+    def heartbeat_counts(self) -> Optional[Tuple[float, ...]]:
+        """The worker's heartbeat counter, or None when disabled."""
+        if self._heartbeat_ring is None:
+            return None
+        return (float(self._heartbeat_ring.view(0, (1,), np.float64)[0]),)
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (hung-worker reaper; sync, best-effort).
+
+        ``close()``'s ``executor.shutdown(wait=True)`` would join a *hung*
+        worker process forever, so the watchdog path hard-kills it first —
+        after which shutdown's join returns immediately.
+        """
+        for proc in list(getattr(self.executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 — already reaped
+                pass
 
     async def _build_channel(self, images: np.ndarray, logits: np.ndarray) -> None:
         """Size and attach the rings from the first served batch's layout."""
@@ -280,7 +374,12 @@ class _ProcessWorker:
         channel: Optional[ShmChannel] = None
         try:
             channel = ShmChannel(self.slots, slot_rows * row_nbytes,
-                                 slot_rows * logit_row_nbytes)
+                                 slot_rows * logit_row_nbytes,
+                                 checksum=self.checksum)
+            if self.fault_spec:
+                # Request slots are written by the parent; the injected
+                # corruption flips bytes after the CRC header is stored.
+                channel.requests.fault_site = "shm.request"
             await loop.run_in_executor(self.executor, _process_attach_rings,
                                        *channel.describe())
         except Exception as exc:  # noqa: BLE001 — /dev/shm unavailable, worker dead…
@@ -310,7 +409,10 @@ class _ProcessWorker:
     @property
     def shm_segment_names(self) -> List[str]:
         """Names of this worker's segments (empty on the pickle transport)."""
-        return [] if self._channel is None else self._channel.segment_names
+        names = [] if self._channel is None else list(self._channel.segment_names)
+        if self._heartbeat_ring is not None:
+            names.append(self._heartbeat_ring.name)
+        return names
 
     async def forward(self, images: np.ndarray, traced: bool = False
                       ) -> Tuple[np.ndarray, int, Optional[List]]:
@@ -332,8 +434,9 @@ class _ProcessWorker:
                     traced)
                 if outcome[0] == "shm":
                     _, shape, total, forward_s, spans = outcome
-                    # Copy out before the slot is released for reuse.
-                    logits = np.array(self._channel.responses.view(slot, shape))
+                    # Copy out before the slot is released for reuse; with
+                    # checksums on, read() verifies the worker's CRC here.
+                    logits = np.array(self._channel.responses.read(slot, shape))
                 else:
                     _, logits, total, forward_s, spans = outcome
             finally:
@@ -368,6 +471,10 @@ class _ProcessWorker:
             if self._channel is not None:
                 self._channel.close(unlink=True)
                 self._channel = None
+            if self._heartbeat_ring is not None:
+                self._heartbeat_ring.close()
+                self._heartbeat_ring.unlink()
+                self._heartbeat_ring = None
 
 
 class _PipelineWorker:
@@ -391,12 +498,17 @@ class _PipelineWorker:
 
     mode = "pipeline"
 
-    def __init__(self, partition, max_batch: int = 64, slots: int = 2) -> None:
+    def __init__(self, partition, max_batch: int = 64, slots: int = 2,
+                 checksum: bool = False, fault_spec: Optional[Dict] = None,
+                 heartbeat_interval_s: Optional[float] = None) -> None:
         from repro.shard.pipeline import ShardedPipeline
 
         self.partition = partition
         self.pipeline = ShardedPipeline(partition.payloads,
-                                        max_batch=max_batch, slots=slots)
+                                        max_batch=max_batch, slots=slots,
+                                        checksum=checksum,
+                                        fault_spec=fault_spec,
+                                        heartbeat_interval_s=heartbeat_interval_s)
         #: Batches the worker loop may keep in flight at once.
         self.max_inflight = partition.num_stages + max(int(slots), 1)
         self.transport_s = 0.0
@@ -408,6 +520,14 @@ class _PipelineWorker:
         """Spawn the stage processes; fails fast if a stage plan won't load."""
         self._submit_lock = asyncio.Lock()
         await asyncio.to_thread(self.pipeline.start)
+
+    def heartbeat_counts(self) -> Optional[Tuple[float, ...]]:
+        """Per-stage heartbeat counters, or None when disabled."""
+        return self.pipeline.heartbeat_counts()
+
+    def kill(self) -> None:
+        """SIGKILL every stage process (hung-pipeline reaper)."""
+        self.pipeline.kill()
 
     @property
     def shm_segment_names(self) -> List[str]:
@@ -489,6 +609,20 @@ class ServiceClosedError(RuntimeError):
 
 class ServiceOverloadedError(RuntimeError):
     """Raised (via the request future) when the service backlog is full."""
+
+
+class ServiceDegradedError(ServiceOverloadedError):
+    """Raised (via the request future) when a degraded pool sheds the
+    request's priority class at admission — the fast 503-style rejection
+    of graceful degradation, instead of queueing past every deadline."""
+
+
+class WorkerHungError(RuntimeError):
+    """A worker blew its dispatch deadline or stopped heartbeating.
+
+    Classified exactly like a worker death: the worker is reaped (hard-
+    killed where a process backs it) and respawned, and its batches
+    re-dispatch under the normal retry budget."""
 
 
 @dataclasses.dataclass
@@ -603,6 +737,66 @@ class ServeConfig:
         Period of the autoscaler's signal sampling.
     scale_down_idle_ticks:
         Consecutive idle autoscaler ticks before a replica is retired.
+    dispatch_timeout_s:
+        Per-dispatch deadline: a batch whose worker forward exceeds it is
+        treated as served by a *hung* worker — the worker is reaped (hard
+        SIGKILL for process/pipeline substrates) and respawned, and the
+        batch re-dispatches under ``max_retries`` exactly like a death.
+        ``None`` (default) disables the deadline.  Note the first batch
+        per worker rides the warm-up path, so leave headroom above the
+        steady-state forward time.
+    class_dispatch_timeout_s:
+        Optional ``{class_name: seconds}`` per-SLO-class deadline
+        overrides; a batch uses the tightest deadline over its member
+        requests' classes, falling back to ``dispatch_timeout_s``.
+    heartbeat_timeout_s:
+        Enables the heartbeat watchdog: process/pipeline workers run a
+        daemon beat thread updating a parent-owned shared-memory counter
+        every ``heartbeat_interval_s``; a worker whose counters stall
+        longer than this is declared hung (reaped + respawned) even with
+        no batch in flight — catching frozen/SIGSTOPped processes the
+        dispatch deadline alone cannot see.  ``None`` (default) disables
+        the watchdog.
+    heartbeat_interval_s:
+        Beat period of the worker-side heartbeat threads and sampling
+        period of the parent watchdog.
+    redispatch_backoff_base_s:
+        Exponential backoff before each batch re-dispatch: attempt ``k``
+        waits ``base * 2**k`` (capped at ``redispatch_backoff_max_s``)
+        plus seeded jitter, so a dying pool is not hammered with
+        immediate retries.  ``0`` (default) keeps the PR-6 immediate
+        re-dispatch.
+    respawn_backoff_base_s / respawn_backoff_max_s:
+        Exponential backoff (plus seeded jitter) between *failed* respawn
+        attempts of one worker slot.
+    max_respawn_failures:
+        Circuit breaker: after this many consecutive respawn failures the
+        slot's breaker opens and respawning stops (capacity stays
+        degraded, counted in metrics) instead of respawn-storming.
+    shm_integrity:
+        CRC32 per shm slot (process-worker rings and pipeline stage
+        rings): computed into a slot header at write, verified on read.
+        A mismatch is classified as a *corrupt batch* — re-dispatched
+        under the retry budget without killing the worker.  Off by
+        default (zero extra bytes or work on the hot path).
+    shed_alive_fraction:
+        Graceful degradation trigger: shed when the alive fraction of the
+        non-retired pool drops *below* this (e.g. ``0.5``).  ``None``
+        disables the alive-fraction trigger.
+    shed_timeout_threshold / shed_timeout_window_s:
+        Second trigger: shed while at least this many dispatch timeouts
+        landed within the trailing window.  ``None`` disables it.
+    shed_classes:
+        Priority classes shed while degraded (fast
+        :class:`ServiceDegradedError` rejection at admission, counted in
+        metrics).  Default: the laxest configured class (largest
+        ``max_wait_ms``) — the lowest SLO tier — or the default class
+        when no classes are configured.
+    faults:
+        Optional :class:`repro.faults.FaultSpec` installing the
+        deterministic chaos injector into this service and every worker
+        process it spawns.  ``None`` (default; production) leaves every
+        injection site a no-op.
     trace_sample_rate:
         Per-request probability (``0..1``) of recording a full distributed
         span tree — queue wait, batch formation, dispatch, worker/stage
@@ -644,6 +838,21 @@ class ServeConfig:
     max_workers: Optional[int] = None
     autoscale_interval_ms: float = 20.0
     scale_down_idle_ticks: int = 5
+    dispatch_timeout_s: Optional[float] = None
+    class_dispatch_timeout_s: Optional[Dict[str, float]] = None
+    heartbeat_timeout_s: Optional[float] = None
+    heartbeat_interval_s: float = 0.05
+    redispatch_backoff_base_s: float = 0.0
+    redispatch_backoff_max_s: float = 1.0
+    respawn_backoff_base_s: float = 0.05
+    respawn_backoff_max_s: float = 5.0
+    max_respawn_failures: int = 3
+    shm_integrity: bool = False
+    shed_alive_fraction: Optional[float] = None
+    shed_timeout_threshold: Optional[int] = None
+    shed_timeout_window_s: float = 1.0
+    shed_classes: Optional[List[str]] = None
+    faults: Optional[FaultSpec] = None
     trace_sample_rate: float = 0.0
     trace_max_spans: int = 200_000
 
@@ -694,6 +903,35 @@ class InferenceService:
                 f"autoscale bounds min_workers={low}, max_workers={high} "
                 "must satisfy 1 <= min <= max"
             )
+        if (self.config.dispatch_timeout_s is not None
+                and self.config.dispatch_timeout_s <= 0):
+            raise ValueError("dispatch_timeout_s must be > 0 (or None)")
+        for name, timeout_s in (self.config.class_dispatch_timeout_s or {}).items():
+            if timeout_s is not None and timeout_s <= 0:
+                raise ValueError(
+                    f"class {name!r} dispatch timeout must be > 0")
+        if (self.config.heartbeat_timeout_s is not None
+                and self.config.heartbeat_timeout_s <= 0):
+            raise ValueError("heartbeat_timeout_s must be > 0 (or None)")
+        if self.config.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be > 0")
+        if (self.config.redispatch_backoff_base_s < 0
+                or self.config.respawn_backoff_base_s < 0):
+            raise ValueError("backoff bases must be >= 0")
+        if self.config.max_respawn_failures < 1:
+            raise ValueError("max_respawn_failures must be >= 1")
+        if (self.config.shed_alive_fraction is not None
+                and not 0.0 < self.config.shed_alive_fraction <= 1.0):
+            raise ValueError("shed_alive_fraction must be in (0, 1]")
+        if (self.config.shed_timeout_threshold is not None
+                and self.config.shed_timeout_threshold < 1):
+            raise ValueError("shed_timeout_threshold must be >= 1 (or None)")
+        known_classes = set(self.config.priority_classes or {})
+        known_classes.add(DEFAULT_PRIORITY)
+        for name in self.config.shed_classes or []:
+            if name not in known_classes:
+                raise ValueError(
+                    f"shed class {name!r} is not a configured priority class")
         self.metrics = ServiceMetrics(
             energy_per_conversion_j=energy_per_conversion(self.config.context.macro_config)
         )
@@ -727,8 +965,45 @@ class InferenceService:
         self._pipeline_partition = None
         self._respawn_tasks: set = set()
         self._autoscale_task: Optional[asyncio.Task] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
         self._signature: Optional[Tuple[int, ...]] = None
         self._degraded_since: Optional[float] = None
+        # --- robustness state (fault injection, hangs, backoff, shedding) ---
+        self._injector: Optional[FaultInjector] = None
+        self._fault_spec_dict = (self.config.faults.to_dict()
+                                 if self.config.faults is not None else None)
+        self._timeouts_enabled = (
+            self.config.dispatch_timeout_s is not None
+            or bool(self.config.class_dispatch_timeout_s))
+        self._shed_enabled = (
+            self.config.shed_alive_fraction is not None
+            or self.config.shed_timeout_threshold is not None)
+        self._shed_classes = self._resolve_shed_classes()
+        self._timeout_times: collections.deque = collections.deque()
+        self._respawn_breaker_open: set = set()
+        # Seeded apart from the numpy streams: jitter must never perturb
+        # served numerics.
+        self._backoff_rng = Random(
+            f"serve-backoff:{getattr(self.config.context, 'seed', 0)}")
+        self._heartbeat_seen: Dict[int, Tuple[object, Tuple, float]] = {}
+        self._fault_report: Dict[str, Dict[str, int]] = {}
+
+    def _resolve_shed_classes(self) -> frozenset:
+        """Which priority classes degradation sheds (config or derived).
+
+        Without an explicit list, the laxest configured class (largest
+        flush budget — the lowest SLO tier) is shed; with no classes at
+        all, everything is the default class and is sheddable.
+        """
+        config = self.config
+        if config.shed_classes:
+            return frozenset(config.shed_classes)
+        classes = config.priority_classes
+        if not classes:
+            return frozenset((DEFAULT_PRIORITY,))
+        laxest = max(classes.values())
+        return frozenset(name for name, wait in classes.items()
+                         if wait >= laxest)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -754,6 +1029,15 @@ class InferenceService:
         self._pipeline_partition = None
         self._respawn_tasks = set()
         self._degraded_since = None
+        self._timeout_times = collections.deque()
+        self._respawn_breaker_open = set()
+        self._heartbeat_seen = {}
+        if config.faults is not None:
+            # Parent-side sites (shm request writes, plan-cache loads, the
+            # respawn path) fire on this injector; worker processes install
+            # their own copy from the shipped spec dict.
+            self._injector = fault_injector.install(
+                FaultInjector(config.faults))
         self._plan_cache = (PlanCache(config.plan_cache)
                             if config.plan_cache else None)
         # The admission signature locks from the calibration batch when one
@@ -799,6 +1083,10 @@ class InferenceService:
         if config.autoscale:
             self._autoscale_task = asyncio.create_task(
                 self._autoscale_loop(), name="serve-autoscale")
+        if (config.heartbeat_timeout_s is not None
+                and self._worker_mode in ("process", "pipeline")):
+            self._watchdog_task = asyncio.create_task(
+                self._watchdog_loop(), name="serve-watchdog")
         self._started = True
         self._accepting = True
 
@@ -837,11 +1125,19 @@ class InferenceService:
         # cannot see; only registry-name recipes are cacheable.
         cache = self._plan_cache if isinstance(config.backend, str) else None
         key = None
+        claimed = False
         if cache is not None:
             key = await asyncio.to_thread(
                 plan_fingerprint, self.model, config.backend,
                 config.backend_options, config.context)
-            payload = await asyncio.to_thread(cache.load, key)
+            payload = await self._load_cached_plan(cache, key)
+            if payload is None:
+                # Write-once guard: first contender claims the key and
+                # compiles; the rest wait for its entry instead of
+                # double-compiling the identical plan.
+                claimed = await asyncio.to_thread(cache.claim, key)
+                if not claimed:
+                    payload = await asyncio.to_thread(cache.wait_for, key)
             if payload is not None:
                 if config.macro_budget is not None:
                     # The budget guard normally runs on the freshly
@@ -851,22 +1147,40 @@ class InferenceService:
                     self._enforce_plan_budget(plan)
                 self._plan_payload = payload
                 return payload
-        runner = await self._build_runner()
         try:
-            if config.macro_budget is not None:
-                await asyncio.to_thread(self._enforce_macro_budget, runner)
-            payload = await asyncio.to_thread(pickle.dumps, runner.plan)
-        finally:
-            await asyncio.to_thread(runner.close)
-        if cache is not None and key is not None:
+            runner = await self._build_runner()
             try:
-                await asyncio.to_thread(cache.store, key, payload)
-            except OSError as exc:
-                warnings.warn(
-                    f"plan cache write failed ({exc!r}); serving without it",
-                    RuntimeWarning, stacklevel=2)
+                if config.macro_budget is not None:
+                    await asyncio.to_thread(self._enforce_macro_budget, runner)
+                payload = await asyncio.to_thread(pickle.dumps, runner.plan)
+            finally:
+                await asyncio.to_thread(runner.close)
+            if cache is not None and key is not None:
+                try:
+                    await asyncio.to_thread(cache.store, key, payload)
+                except OSError as exc:
+                    warnings.warn(
+                        f"plan cache write failed ({exc!r}); serving "
+                        "without it", RuntimeWarning, stacklevel=2)
+        finally:
+            if claimed:
+                await asyncio.to_thread(cache.release, key)
         self._plan_payload = payload
         return payload
+
+    async def _load_cached_plan(self, cache: PlanCache,
+                                key: str) -> Optional[bytes]:
+        """One cache lookup, with the ``plan_cache.load`` injection site.
+
+        A ``crash`` rule here makes the (re)spawn path fail — exercising
+        respawn backoff and the circuit breaker; a ``corrupt`` rule (no
+        mutable payload at this site) degrades the lookup to a miss.
+        """
+        corrupt = False
+        if self._injector is not None:
+            corrupt = self._injector.fire("plan_cache.load")
+        payload = await asyncio.to_thread(cache.load, key)
+        return None if corrupt else payload
 
     async def _partition_payloads(self):
         """The per-stage pipeline payloads, built once per service run.
@@ -889,10 +1203,15 @@ class InferenceService:
                                            "_PipelineWorker"]:
         """Build and start one worker of the configured substrate."""
         config = self.config
+        heartbeat = (config.heartbeat_interval_s
+                     if config.heartbeat_timeout_s is not None else None)
         if config.pipeline_stages > 1:
             partition = await self._partition_payloads()
             worker = _PipelineWorker(partition, max_batch=config.max_batch,
-                                     slots=config.transport_slots)
+                                     slots=config.transport_slots,
+                                     checksum=config.shm_integrity,
+                                     fault_spec=self._fault_spec_dict,
+                                     heartbeat_interval_s=heartbeat)
             try:
                 await worker.start()
             except Exception:
@@ -903,7 +1222,10 @@ class InferenceService:
             payload = await self._process_plan_payload()
             worker = _ProcessWorker(payload, transport=config.transport,
                                     max_batch=config.max_batch,
-                                    slots=config.transport_slots)
+                                    slots=config.transport_slots,
+                                    checksum=config.shm_integrity,
+                                    fault_spec=self._fault_spec_dict,
+                                    heartbeat_interval_s=heartbeat)
             try:
                 await worker.start()
             except Exception:
@@ -932,13 +1254,15 @@ class InferenceService:
         self._stopping = True
         first_error: Optional[BaseException] = None
         try:
-            if self._autoscale_task is not None:
-                self._autoscale_task.cancel()
-                try:
-                    await self._autoscale_task
-                except (asyncio.CancelledError, Exception):  # noqa: BLE001
-                    pass
-                self._autoscale_task = None
+            for attribute in ("_autoscale_task", "_watchdog_task"):
+                task = getattr(self, attribute)
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
+                    setattr(self, attribute, None)
             # Let in-flight respawns finish (they check _stopping and tear
             # their worker back down) so no executor leaks past stop.
             if self._respawn_tasks:
@@ -962,6 +1286,12 @@ class InferenceService:
             self._workers = []
             self._started = False
             self._stopping = False
+            if self._injector is not None:
+                # Parent-side fire counts survive stop for chaos summaries.
+                self._fault_report = self._injector.report()
+                if fault_injector.get_installed() is self._injector:
+                    fault_injector.uninstall()
+                self._injector = None
         if first_error is not None:
             # Cleanup succeeded; still surface the crash rather than hide it.
             raise first_error
@@ -1016,6 +1346,19 @@ class InferenceService:
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[np.ndarray]" = loop.create_future()
         now = loop.time()
+        if self._shed_enabled and priority in self._shed_classes:
+            reason = self._shedding_now(now)
+            if reason is not None:
+                # Graceful degradation: a struggling pool sheds its
+                # lowest-priority classes at admission so stricter SLO
+                # classes keep their capacity.
+                self.metrics.record_shed()
+                self.tracer.event("shed", priority=priority, reason=reason)
+                future.set_exception(
+                    ServiceDegradedError(
+                        f"service degraded ({reason}); shedding "
+                        f"{priority!r}-class requests"))
+                return future
         capacity = self.config.queue_capacity
         if capacity is not None and self._outstanding >= capacity:
             self.metrics.record_drop()
@@ -1290,8 +1633,13 @@ class InferenceService:
                     trace_id=primary.trace_id,
                     parent=primary.batch_span or primary.root,
                     worker=state.index, mode=state.mode, attempt=retries)
-            logits, measured, remote = await worker.forward(
-                inputs, traced=dispatch_span is not None)
+            timeout_s = self._dispatch_timeout_for(batch)
+            forward = worker.forward(inputs, traced=dispatch_span is not None)
+            if timeout_s is not None:
+                logits, measured, remote = await asyncio.wait_for(
+                    forward, timeout=timeout_s)
+            else:
+                logits, measured, remote = await forward
             now = loop.time()
             if dispatch_span is not None:
                 dispatch_end = self.tracer.clock()
@@ -1324,10 +1672,45 @@ class InferenceService:
                 request_classes=[request.priority for request in batch],
             )
             self._finish_request_traces(batch)
+        except asyncio.TimeoutError:
+            # Dispatch deadline: the forward outlived its SLO budget — a
+            # wedged worker (injected hang, livelock) that never raises.
+            # Classified exactly like a death, plus a hard kill() first:
+            # executor shutdown would otherwise join the hung process
+            # forever.  Must precede the generic handler — on Python 3.11+
+            # asyncio.TimeoutError is the builtin TimeoutError.
+            if dispatch_span is not None:
+                self.tracer.end(dispatch_span, error="dispatch_timeout")
+            state.accelerator.cancel_inference(estimate)
+            exc = WorkerHungError(
+                f"worker {state.index} exceeded its "
+                f"{self._dispatch_timeout_for(batch)}s dispatch deadline")
+            self.metrics.record_dispatch_timeout()
+            self._timeout_times.append(loop.time())
+            self.tracer.event("dispatch_timeout", worker=state.index,
+                              mode=state.mode, attempt=retries)
+            if not self._stopping:
+                self._note_worker_death(state, exc, kill=True)
+                await self._retry_or_fail(batch, retries, exc)
+                return
+            fail_requests(batch, exc)
+            self._finish_request_traces(batch, error=exc)
+            self._outstanding -= len(batch)
         except Exception as exc:  # noqa: BLE001 — classify, retry or fail
             if dispatch_span is not None:
                 self.tracer.end(dispatch_span, error=repr(exc))
             state.accelerator.cancel_inference(estimate)
+            if (self._is_corruption(exc) and state.alive
+                    and not state.retired and not self._stopping):
+                # A CRC check caught slot bit-rot: the payload is bad but
+                # the worker is healthy, so the batch is re-dispatched
+                # without killing anything.
+                self.metrics.record_corruption()
+                self.tracer.event("slot_corruption", worker=state.index,
+                                  mode=state.mode, attempt=retries,
+                                  error=repr(exc))
+                await self._retry_or_fail(batch, retries, exc)
+                return
             # A fault is worker-level either by type (BrokenExecutor,
             # StageDiedError) or by correlation: the worker was marked
             # dead while this batch raced its teardown, so errors like
@@ -1355,11 +1738,24 @@ class InferenceService:
 
         Retries are bounded by ``max_retries`` and disabled entirely under
         ``retry_policy="fail_fast"`` (the pre-fault-tolerance behaviour,
-        for noise-stream-sensitive runs).
+        for noise-stream-sensitive runs).  With
+        ``redispatch_backoff_base_s > 0`` each attempt waits
+        ``base * 2**(attempt-1)`` (capped by ``redispatch_backoff_max_s``)
+        plus up to 25% seeded jitter before re-entering placement, so a
+        flapping pool is not hammered by its own retry traffic.
         """
         if (self.config.retry_policy == "redispatch"
                 and retries < self.config.max_retries
                 and not self._stopping):
+            base = self.config.redispatch_backoff_base_s
+            if base > 0.0 and retries >= 0:
+                wait_s = min(base * (2.0 ** retries),
+                             self.config.redispatch_backoff_max_s)
+                wait_s *= 1.0 + 0.25 * self._backoff_rng.random()
+                self.metrics.record_backoff(wait_s)
+                self.tracer.event("redispatch_backoff", attempt=retries + 1,
+                                  wait_s=round(wait_s, 6))
+                await asyncio.sleep(wait_s)
             try:
                 await self._redispatch(batch, retries + 1)
                 return
@@ -1382,9 +1778,48 @@ class InferenceService:
             return False
         return isinstance(exc, StageDiedError)
 
-    def _note_worker_death(self, state: WorkerState,
-                           exc: BaseException) -> None:
-        """Mark a worker dead once and kick off its background recovery."""
+    def _is_corruption(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is a transport-integrity (CRC) failure.
+
+        Corruption means the *payload* went bad in flight, not the worker:
+        the batch is re-dispatched but nothing is killed or respawned.
+        """
+        if isinstance(exc, IntegrityError):
+            return True
+        try:
+            from repro.shard.pipeline import StageCorruptionError
+        except ImportError:  # pragma: no cover - shard always ships
+            return False
+        return isinstance(exc, StageCorruptionError)
+
+    def _dispatch_timeout_for(self, batch: List[Request]) -> Optional[float]:
+        """The dispatch deadline for ``batch`` (tightest member's class).
+
+        A batch can mix SLO classes; the strictest per-class override in
+        it wins, falling back to the global ``dispatch_timeout_s``.
+        """
+        if not self._timeouts_enabled:
+            return None
+        config = self.config
+        timeout = config.dispatch_timeout_s
+        overrides = config.class_dispatch_timeout_s
+        if overrides:
+            for request in batch:
+                override = overrides.get(request.priority)
+                if override is not None and (timeout is None
+                                             or override < timeout):
+                    timeout = override
+        return timeout
+
+    def _note_worker_death(self, state: WorkerState, exc: BaseException,
+                           kill: bool = False) -> None:
+        """Mark a worker dead once and kick off its background recovery.
+
+        ``kill=True`` (hung workers: dispatch timeouts, heartbeat trips)
+        SIGKILLs the worker's processes before teardown — a wedged process
+        never exits on its own, and a plain executor shutdown would join
+        it forever.
+        """
         if not state.alive or state.retired or self._stopping:
             return
         state.alive = False
@@ -1395,32 +1830,70 @@ class InferenceService:
             self._degraded_since = asyncio.get_running_loop().time()
         dead = self._workers[state.index]
         task = asyncio.create_task(
-            self._recover_worker(state.index, dead),
+            self._recover_worker(state.index, dead, kill_first=kill),
             name=f"serve-respawn-{state.index}")
         self._respawn_tasks.add(task)
         task.add_done_callback(self._respawn_tasks.discard)
 
-    async def _recover_worker(self, index: int, dead_worker) -> None:
+    async def _recover_worker(self, index: int, dead_worker,
+                              kill_first: bool = False) -> None:
         """Release a dead worker's resources and (optionally) respawn it.
 
         Closing the dead worker first unlinks its shared-memory segments
         even mid-crash (the parent owns them).  The replacement is built
         from the cached plan payload — the on-disk cache when configured,
         the in-memory copy otherwise — so respawn never recompiles.
+
+        Respawn attempts retry with exponential backoff (seeded jitter)
+        up to ``max_respawn_failures`` times; exhausting them opens this
+        slot's circuit breaker — capacity stays degraded and no further
+        respawns are attempted for the slot, so a poisoned spawn path
+        (e.g. an injected ``plan_cache.load`` crash) cannot spin hot.
         """
+        if kill_first and dead_worker is not None:
+            try:
+                await asyncio.to_thread(dead_worker.kill)
+            except Exception:  # noqa: BLE001 — already half-dead
+                pass
         try:
             await dead_worker.close()
         except Exception:  # noqa: BLE001 — it is already dead
             pass
         if not self.config.respawn or self._stopping:
             return
-        try:
-            worker = await self._build_worker()
-        except Exception as exc:  # noqa: BLE001 — capacity stays degraded
-            warnings.warn(
-                f"worker {index} respawn failed ({exc!r}); "
-                "pool capacity stays degraded",
-                RuntimeWarning, stacklevel=2)
+        if index in self._respawn_breaker_open:
+            return
+        config = self.config
+        failures = 0
+        while not self._stopping:
+            try:
+                if self._injector is not None:
+                    self._injector.fire("respawn")
+                worker = await self._build_worker()
+                break
+            except Exception as exc:  # noqa: BLE001 — count and back off
+                failures += 1
+                self.metrics.record_respawn_failure()
+                self.tracer.event("respawn_failure", worker=index,
+                                  attempt=failures, error=repr(exc))
+                if failures >= config.max_respawn_failures:
+                    self._respawn_breaker_open.add(index)
+                    self.metrics.record_breaker_trip()
+                    self.tracer.event("respawn_breaker_open", worker=index)
+                    warnings.warn(
+                        f"worker {index} respawn failed {failures} times "
+                        f"(last: {exc!r}); circuit breaker open, pool "
+                        "capacity stays degraded",
+                        RuntimeWarning, stacklevel=2)
+                    return
+                wait_s = min(
+                    config.respawn_backoff_base_s * (2.0 ** (failures - 1)),
+                    config.respawn_backoff_max_s)
+                wait_s *= 1.0 + 0.25 * self._backoff_rng.random()
+                if wait_s > 0:
+                    self.metrics.record_backoff(wait_s)
+                    await asyncio.sleep(wait_s)
+        else:
             return
         if self._stopping:
             await worker.close()
@@ -1433,6 +1906,94 @@ class InferenceService:
             loop = asyncio.get_running_loop()
             self.metrics.record_recovery(loop.time() - self._degraded_since)
             self._degraded_since = None
+
+    async def _watchdog_loop(self) -> None:
+        """Trip hung workers whose heartbeat counters stop advancing.
+
+        Each process/pipeline worker runs a beat thread bumping a counter
+        in a parent-owned shm ring.  This loop samples every alive
+        worker's counters; when none of them changed for
+        ``heartbeat_timeout_s`` the process is frozen at the OS level
+        (SIGSTOP, pathological GC, a crashed beat thread) and is killed
+        and respawned.  An injected ``hang`` (a sleeping forward) keeps
+        beating — the *dispatch deadline* owns that case; the watchdog
+        owns true freezes that a deadline alone cannot distinguish from
+        slow work.
+        """
+        timeout_s = self.config.heartbeat_timeout_s
+        interval = max(self.config.heartbeat_interval_s, 0.01)
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            if self._stopping or not self._started:
+                return
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            for state in list(self._worker_states):
+                if not state.alive or state.retired:
+                    self._heartbeat_seen.pop(state.index, None)
+                    continue
+                worker = (self._workers[state.index]
+                          if state.index < len(self._workers) else None)
+                if worker is None:
+                    continue
+                counts = worker.heartbeat_counts()
+                if counts is None:
+                    continue  # ring degraded at spawn: watchdog blind here
+                seen = self._heartbeat_seen.get(state.index)
+                if (seen is None or seen[0] is not worker
+                        or seen[1] != counts):
+                    self._heartbeat_seen[state.index] = (worker, counts, now)
+                    continue
+                if now - seen[2] >= timeout_s:
+                    self._heartbeat_seen.pop(state.index, None)
+                    self.metrics.record_heartbeat_trip()
+                    self._timeout_times.append(now)
+                    self.tracer.event("heartbeat_trip", worker=state.index,
+                                      mode=state.mode,
+                                      stalled_s=round(now - seen[2], 3))
+                    self._note_worker_death(
+                        state,
+                        WorkerHungError(
+                            f"worker {state.index} heartbeat stalled for "
+                            f"{now - seen[2]:.2f}s"),
+                        kill=True)
+
+    def _shedding_now(self, now: float) -> Optional[str]:
+        """The active degradation reason, or None when admitting normally.
+
+        Sheds when the alive fraction of the pool dropped below
+        ``shed_alive_fraction`` or when ``shed_timeout_threshold`` dispatch
+        timeouts / heartbeat trips landed inside the sliding
+        ``shed_timeout_window_s``.
+        """
+        config = self.config
+        if config.shed_alive_fraction is not None and self._worker_states:
+            states = [s for s in self._worker_states if not s.retired]
+            if states:
+                alive = sum(1 for s in states if s.alive)
+                if alive / len(states) < config.shed_alive_fraction:
+                    return (f"alive fraction {alive}/{len(states)} below "
+                            f"{config.shed_alive_fraction}")
+        if config.shed_timeout_threshold is not None:
+            horizon = now - config.shed_timeout_window_s
+            times = self._timeout_times
+            while times and times[0] < horizon:
+                times.popleft()
+            if len(times) >= config.shed_timeout_threshold:
+                return (f"{len(times)} timeouts in the last "
+                        f"{config.shed_timeout_window_s}s")
+        return None
+
+    def fault_report(self) -> Dict[str, Dict[str, int]]:
+        """Parent-side injected-fault fire counts per site and action.
+
+        Live while serving; after :meth:`stop` the final counts survive
+        (worker-process counts never leave their processes).  Empty when
+        no faults are configured.
+        """
+        if self._injector is not None:
+            return self._injector.report()
+        return dict(self._fault_report)
 
     async def _place_batch(self, rows: int) -> WorkerState:
         """Select a worker, waiting out a total loss of capacity.

@@ -23,14 +23,35 @@ Slot sizes are learned from the first served batch (which rides the pickle
 path and doubles as the worker warm-up): ``max_batch`` rows of that batch's
 row layout, so steady-state traffic is zero-copy while oversized one-off
 requests transparently fall back to pickling.
+
+**Integrity (optional):** with ``checksum=True`` every slot is prefixed by
+a 16-byte header carrying the CRC32 and byte count of its payload,
+computed at :meth:`SlotRing.write` and verified by :meth:`SlotRing.read`.
+A mismatch raises :class:`IntegrityError`, which the serving layer
+classifies as a corrupt (re-dispatchable) batch rather than a dead worker.
+The check is off the hot path by default (``checksum=False`` keeps the
+exact PR-4 slot geometry and zero extra work) and both sides of a ring
+must agree on the flag — it is part of the attach coordinates.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.faults.injector import fire as _fault_fire
+
+#: Per-slot integrity header: CRC32, reserved, payload byte count.
+_HEADER = struct.Struct("<IIQ")
+HEADER_NBYTES = _HEADER.size
+
+
+class IntegrityError(RuntimeError):
+    """A slot's payload failed its CRC32 check (bit-rot or torn write)."""
 
 
 def attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -63,11 +84,21 @@ class SlotRing:
     """One shared-memory segment cut into fixed-size array slots."""
 
     def __init__(self, slots: int, slot_nbytes: int,
-                 segment: Optional[shared_memory.SharedMemory] = None) -> None:
+                 segment: Optional[shared_memory.SharedMemory] = None,
+                 checksum: bool = False) -> None:
         if slots < 1 or slot_nbytes < 1:
             raise ValueError("need at least one slot of at least one byte")
         self.slots = slots
         self.slot_nbytes = int(slot_nbytes)
+        self.checksum = bool(checksum)
+        #: Byte distance between slot starts (header + payload).
+        self.slot_stride = self.slot_nbytes + (HEADER_NBYTES
+                                               if self.checksum else 0)
+        #: Fault-injection site prefix; when set, :meth:`write` fires
+        #: ``<site>.write`` with the freshly written slot bytes *after*
+        #: the CRC header is stored, so injected corruption is exactly
+        #: the bit-rot the read-side check is meant to catch.
+        self.fault_site: Optional[str] = None
         #: Transport counters for this process's side of the ring:
         #: cumulative slot writes and bytes copied through :meth:`write`.
         #: The metrics exposition reports them as shm transport gauges.
@@ -75,10 +106,11 @@ class SlotRing:
         self.bytes_written = 0
         self.segment = (segment if segment is not None
                         else shared_memory.SharedMemory(
-                            create=True, size=slots * self.slot_nbytes))
+                            create=True, size=slots * self.slot_stride))
 
     @classmethod
-    def attach(cls, name: str, slots: int, slot_nbytes: int) -> "SlotRing":
+    def attach(cls, name: str, slots: int, slot_nbytes: int,
+               checksum: bool = False) -> "SlotRing":
         """Worker-side view of a parent-owned ring (never unlinks it).
 
         The segment must be large enough for the advertised geometry: a
@@ -88,16 +120,18 @@ class SlotRing:
         serving layer treats it like any other broken-transport fault.
         """
         segment = attach_segment(name)
-        needed = slots * int(slot_nbytes)
+        stride = int(slot_nbytes) + (HEADER_NBYTES if checksum else 0)
+        needed = slots * stride
         if segment.size < needed:
             segment.close()
             raise ValueError(
                 f"segment {name!r} holds {segment.size} bytes but the "
                 f"advertised ring geometry needs {needed} "
-                f"({slots} slots x {slot_nbytes} bytes); stale attach "
-                "coordinates?"
+                f"({slots} slots x {slot_nbytes} bytes"
+                f"{' + checksum headers' if checksum else ''}); stale "
+                "attach coordinates?"
             )
-        return cls(slots, slot_nbytes, segment=segment)
+        return cls(slots, slot_nbytes, segment=segment, checksum=checksum)
 
     @property
     def name(self) -> str:
@@ -110,24 +144,65 @@ class SlotRing:
 
     def view(self, slot: int, shape: Tuple[int, ...],
              dtype=np.float64) -> np.ndarray:
-        """A zero-copy array view of one slot."""
+        """A zero-copy array view of one slot's payload."""
         if not 0 <= slot < self.slots:
             raise IndexError(f"slot {slot} out of range 0..{self.slots - 1}")
-        offset = slot * self.slot_nbytes
+        offset = slot * self.slot_stride
+        if self.checksum:
+            offset += HEADER_NBYTES
         view = np.ndarray(shape, dtype=dtype,
                           buffer=self.segment.buf[offset:offset + self.slot_nbytes])
         return view
 
     def write(self, slot: int, array: np.ndarray) -> None:
-        """Copy ``array`` into ``slot`` (the transport's single copy)."""
+        """Copy ``array`` into ``slot`` (the transport's single copy).
+
+        With ``checksum`` enabled the payload's CRC32 and byte count are
+        stored into the slot header after the copy; :meth:`read` on the
+        other side verifies them.
+        """
         if not self.fits(array.nbytes):
             raise ValueError(
                 f"array of {array.nbytes} bytes exceeds the "
                 f"{self.slot_nbytes}-byte slot"
             )
-        self.view(slot, array.shape, array.dtype)[...] = array
+        view = self.view(slot, array.shape, array.dtype)
+        view[...] = array
+        if self.checksum:
+            self._write_header(slot, view)
+        if self.fault_site is not None:
+            _fault_fire(f"{self.fault_site}.write", view)
         self.writes += 1
         self.bytes_written += int(array.nbytes)
+
+    def read(self, slot: int, shape: Tuple[int, ...],
+             dtype=np.float64) -> np.ndarray:
+        """A payload view of one slot, CRC-verified when checksums are on.
+
+        Raises :class:`IntegrityError` when the stored header disagrees
+        with the slot bytes (bit-rot, torn write) or with the requested
+        geometry (a stale or mangled coordinate message).
+        """
+        view = self.view(slot, shape, dtype)
+        if self.checksum:
+            stored_crc, _, stored_nbytes = _HEADER.unpack_from(
+                self.segment.buf, slot * self.slot_stride)
+            if stored_nbytes != view.nbytes:
+                raise IntegrityError(
+                    f"slot {slot} header advertises {stored_nbytes} bytes "
+                    f"but the requested view covers {view.nbytes}")
+            actual_crc = zlib.crc32(view.reshape(-1).view(np.uint8).data)
+            if actual_crc != stored_crc:
+                raise IntegrityError(
+                    f"slot {slot} payload CRC mismatch: stored "
+                    f"{stored_crc:#010x}, computed {actual_crc:#010x} "
+                    f"over {view.nbytes} bytes")
+        return view
+
+    def _write_header(self, slot: int, view: np.ndarray) -> None:
+        crc = zlib.crc32(view.reshape(-1).view(np.uint8).data)
+        _HEADER.pack_into(self.segment.buf, slot * self.slot_stride,
+                          crc, 0, view.nbytes)
 
     def close(self) -> None:
         """Drop this process's mapping (the segment itself stays)."""
@@ -148,25 +223,29 @@ class ShmChannel:
     """The parent-owned request/response ring pair of one process worker."""
 
     def __init__(self, slots: int, request_slot_nbytes: int,
-                 response_slot_nbytes: int) -> None:
-        self.requests = SlotRing(slots, request_slot_nbytes)
+                 response_slot_nbytes: int, checksum: bool = False) -> None:
+        self.requests = SlotRing(slots, request_slot_nbytes,
+                                 checksum=checksum)
         try:
-            self.responses = SlotRing(slots, response_slot_nbytes)
+            self.responses = SlotRing(slots, response_slot_nbytes,
+                                      checksum=checksum)
         except Exception:
             self.requests.close()
             self.requests.unlink()
             raise
         self.slots = slots
+        self.checksum = bool(checksum)
 
     @property
     def segment_names(self) -> List[str]:
         """Names of both segments (what the unlink tests check)."""
         return [self.requests.name, self.responses.name]
 
-    def describe(self) -> Tuple[str, str, int, int, int]:
+    def describe(self) -> Tuple[str, str, int, int, int, bool]:
         """The attach coordinates shipped to the worker process."""
         return (self.requests.name, self.responses.name, self.slots,
-                self.requests.slot_nbytes, self.responses.slot_nbytes)
+                self.requests.slot_nbytes, self.responses.slot_nbytes,
+                self.checksum)
 
     def transport_counters(self) -> Dict[str, int]:
         """Cumulative parent-side slot writes and bytes through both rings.

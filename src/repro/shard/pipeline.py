@@ -44,8 +44,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults import injector as fault_injector
 from repro.obs.trace import PlanTraceBuffer, plan_trace
-from repro.serve.shm import SlotRing
+from repro.serve.shm import IntegrityError, SlotRing
 
 
 class PipelineStageError(RuntimeError):
@@ -64,8 +65,41 @@ class StageDiedError(PipelineStageError):
     """
 
 
+class StageCorruptionError(PipelineStageError):
+    """A stage-ring slot failed its CRC32 check (``checksum=True`` rings).
+
+    Classified apart from both plain stage errors and stage deaths: the
+    *transport* mangled the batch, so the batch is re-dispatchable and the
+    stage processes themselves stay up.
+    """
+
+
+def _start_heartbeat(ring: SlotRing, slot: int, interval_s: float) -> None:
+    """Daemon thread bumping this process's heartbeat counter.
+
+    The counter lives in a parent-owned shared-memory ring; the parent's
+    watchdog declares the process hung when the counter stops advancing.
+    A daemon thread dies with the process, so a SIGKILLed/SIGSTOPped (or
+    otherwise frozen) worker stops beating — which is exactly the class
+    of fault the dispatch deadline alone cannot see while no batch is in
+    flight.
+    """
+    cell = ring.view(slot, (1,), np.float64)
+
+    def _beat() -> None:
+        count = 0.0
+        while True:
+            count += 1.0
+            cell[0] = count
+            time.sleep(interval_s)
+
+    threading.Thread(target=_beat, daemon=True,
+                     name=f"heartbeat-{slot}").start()
+
+
 def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
-                free_in, free_out, control) -> None:
+                free_in, free_out, control, options: Optional[Dict] = None
+                ) -> None:
     """One pipeline stage process: load the stage plan, stream batches.
 
     Messages on the ready queues:
@@ -77,15 +111,31 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
       spans for this batch (stage-local ``perf_counter`` clock, relative
       to the stage's forward start) and ship them in its stats dict under
       ``"spans"`` / ``"batch_forward_s"`` — the parent re-anchors them.
-    * ``("err", seq, message, stats)`` — a batch a stage failed on;
-      propagated untouched so the parent can fail exactly that future.
+    * ``("err", seq, message, stats[, kind])`` — a batch a stage failed
+      on; propagated untouched so the parent can fail exactly that
+      future.  ``kind == "corrupt"`` marks a CRC failure so the parent
+      can classify it as a re-dispatchable transport fault.
     * ``("attach", descs)`` — ring coordinates for every edge; the stage
       attaches its input/output rings and forwards the message.
     * ``None`` — shutdown; forwarded downstream before exiting.
+
+    ``options`` carries the robustness extras: ``checksum`` switches the
+    stage rings to CRC32 slot headers, ``fault_spec`` installs the
+    process-global deterministic fault injector, and ``heartbeat`` is the
+    ``(name, slots, interval_s)`` coordinates of the parent's heartbeat
+    ring this stage bumps its own slot in.
     """
+    options = options or {}
     try:
+        if options.get("fault_spec"):
+            fault_injector.install(options["fault_spec"])
         plan = pickle.loads(payload)
         conversions_baseline = plan.conversions()
+        heartbeat = options.get("heartbeat")
+        if heartbeat is not None:
+            hb_name, hb_slots, hb_interval = heartbeat
+            hb_ring = SlotRing.attach(hb_name, hb_slots, 8)
+            _start_heartbeat(hb_ring, stage_index, hb_interval)
     except BaseException as exc:  # noqa: BLE001 — report, then die
         control.put(("error", stage_index, repr(exc)))
         return
@@ -112,6 +162,10 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
                 descs = message[1]
                 in_ring = SlotRing.attach(*descs[stage_index])
                 out_ring = SlotRing.attach(*descs[stage_index + 1])
+                if fault_injector.get_installed() is not None:
+                    # Downstream handoff corruption is injected post-CRC
+                    # into the slot this stage just wrote.
+                    out_ring.fault_site = "pipeline.edge"
                 ready_out.put(message)
                 continue
             if kind == "err":
@@ -128,9 +182,10 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
             try:
                 if desc[0] == "shm":
                     slot_in, shape = desc[1], desc[2]
-                    batch = in_ring.view(slot_in, shape)
+                    batch = in_ring.read(slot_in, shape)
                 else:
                     batch = desc[1]
+                fault_injector.fire("worker.forward")
                 tick = time.perf_counter()
                 if traced:
                     buffer = PlanTraceBuffer(t0=tick)
@@ -150,8 +205,11 @@ def _stage_main(payload: bytes, stage_index: int, ready_in, ready_out,
             except BaseException as exc:  # noqa: BLE001 — fail the batch only
                 if slot_in is not None:
                     free_in.put(slot_in)
+                err_kind = ("corrupt" if isinstance(exc, IntegrityError)
+                            else "error")
                 ready_out.put(("err", seq,
-                               f"stage {stage_index}: {exc!r}", stats))
+                               f"stage {stage_index}: {exc!r}", stats,
+                               err_kind))
                 continue
             if slot_in is not None:
                 free_in.put(slot_in)
@@ -241,7 +299,9 @@ class ShardedPipeline:
     """
 
     def __init__(self, payloads: Sequence[bytes], max_batch: int = 64,
-                 slots: int = 2, start_timeout_s: float = 60.0) -> None:
+                 slots: int = 2, start_timeout_s: float = 60.0,
+                 checksum: bool = False, fault_spec: Optional[Dict] = None,
+                 heartbeat_interval_s: Optional[float] = None) -> None:
         if not payloads:
             raise ValueError("need at least one stage payload")
         self.num_stages = len(payloads)
@@ -249,6 +309,14 @@ class ShardedPipeline:
         self.max_batch = max(int(max_batch), 1)
         self.slots = max(int(slots), 1)
         self.start_timeout_s = start_timeout_s
+        #: CRC32 slot headers on every stage ring (see repro.serve.shm).
+        self.checksum = bool(checksum)
+        #: Deterministic fault spec (plain dict form) installed into every
+        #: stage process; None disables injection entirely.
+        self.fault_spec = fault_spec
+        #: Stage heartbeat period; None disables the heartbeat ring.
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._heartbeat_ring: Optional[SlotRing] = None
         self.stage_macros: List[int] = []
         self._procs: List[multiprocessing.Process] = []
         self._ready: List = []
@@ -280,12 +348,27 @@ class ShardedPipeline:
         self._free = [context.Queue() for _ in range(edges)]
         self._control = context.Queue()
         self._rings = [None] * edges
+        heartbeat = None
+        if self.heartbeat_interval_s is not None:
+            try:
+                # One 8-byte float64 counter slot per stage, parent-owned.
+                self._heartbeat_ring = SlotRing(self.num_stages, 8)
+                heartbeat = (self._heartbeat_ring.name, self.num_stages,
+                             float(self.heartbeat_interval_s))
+            except Exception as exc:  # noqa: BLE001 — /dev/shm unavailable
+                warnings.warn(
+                    f"stage heartbeat ring unavailable ({exc!r}); "
+                    "running without the heartbeat watchdog",
+                    RuntimeWarning, stacklevel=2)
+                self._heartbeat_ring = None
+        options = {"checksum": self.checksum, "fault_spec": self.fault_spec,
+                   "heartbeat": heartbeat}
         self._procs = [
             context.Process(
                 target=_stage_main,
                 args=(self._payloads[index], index, self._ready[index],
                       self._ready[index + 1], self._free[index],
-                      self._free[index + 1], self._control),
+                      self._free[index + 1], self._control, options),
                 daemon=True,
                 name=f"pipeline-stage-{index}",
             )
@@ -349,6 +432,10 @@ class ShardedPipeline:
             if ring is not None:
                 ring.close()
                 ring.unlink()
+        if self._heartbeat_ring is not None:
+            self._heartbeat_ring.close()
+            self._heartbeat_ring.unlink()
+            self._heartbeat_ring = None
         for q in self._ready + self._free + [self._control]:
             if q is None:
                 continue
@@ -357,6 +444,30 @@ class ShardedPipeline:
                 q.close()
             except Exception:  # noqa: BLE001 — best-effort teardown
                 pass
+
+    def kill(self) -> None:
+        """SIGKILL every stage process immediately (hung-pipeline reaper).
+
+        ``close()`` joins the stages with a grace period first, which is
+        right for an orderly stop but wrong for a *hung* stage that will
+        never drain its sentinel; the serving layer's watchdog calls this
+        before ``close()`` so teardown cannot block on a wedged process.
+        """
+        for proc in self._procs:
+            if proc.is_alive():
+                try:
+                    proc.kill()
+                except Exception:  # noqa: BLE001 — already reaped
+                    pass
+
+    def heartbeat_counts(self) -> Optional[Tuple[float, ...]]:
+        """Current per-stage heartbeat counters, or None when disabled."""
+        if self._heartbeat_ring is None:
+            return None
+        return tuple(
+            float(self._heartbeat_ring.view(stage, (1,), np.float64)[0])
+            for stage in range(self.num_stages)
+        )
 
     def __enter__(self) -> "ShardedPipeline":
         if not self._started:
@@ -486,15 +597,27 @@ class ShardedPipeline:
             if kind == "attach":
                 continue  # the attach round-trip marker; nothing to do
             if kind == "err":
-                _, seq, text, stats = message
+                _, seq, text, stats = message[:4]
+                corrupt = len(message) > 4 and message[4] == "corrupt"
                 self._record_stats(stats)
                 future = self._futures.pop(seq, None)
                 if future is not None:
-                    future.set_exception(PipelineStageError(text))
+                    error_class = (StageCorruptionError if corrupt
+                                   else PipelineStageError)
+                    future.set_exception(error_class(text))
                 continue
             _, seq, desc, stats = message[:4]
             if desc[0] == "shm":
-                logits = np.array(self._rings[-1].view(desc[1], desc[2]))
+                try:
+                    logits = np.array(self._rings[-1].read(desc[1], desc[2]))
+                except IntegrityError as exc:
+                    self._free[-1].put(desc[1])
+                    self._record_stats(stats)
+                    future = self._futures.pop(seq, None)
+                    if future is not None:
+                        future.set_exception(StageCorruptionError(
+                            f"final stage ring: {exc}"))
+                    continue
                 self._free[-1].put(desc[1])
             else:
                 logits = desc[1]
@@ -523,7 +646,8 @@ class ShardedPipeline:
         rings: List[SlotRing] = []
         try:
             for nbytes in row_nbytes:
-                rings.append(SlotRing(self.slots, nbytes * self.max_batch))
+                rings.append(SlotRing(self.slots, nbytes * self.max_batch,
+                                      checksum=self.checksum))
         except Exception as exc:  # noqa: BLE001 — /dev/shm unavailable
             for ring in rings:
                 ring.close()
@@ -536,10 +660,15 @@ class ShardedPipeline:
                 RuntimeWarning, stacklevel=2)
             return
         self._rings = list(rings)
+        if self.fault_spec:
+            # Edge 0 is written by the parent process; the other edges'
+            # writers set their own site when they attach.
+            rings[0].fault_site = "pipeline.edge"
         for edge, ring in enumerate(rings):
             for slot in range(self.slots):
                 self._free[edge].put(slot)
-        descs = [(ring.name, self.slots, ring.slot_nbytes) for ring in rings]
+        descs = [(ring.name, self.slots, ring.slot_nbytes, ring.checksum)
+                 for ring in rings]
         self._ready[0].put(("attach", descs))
         self._shm_ready = True
 
@@ -578,4 +707,7 @@ class ShardedPipeline:
     @property
     def segment_names(self) -> List[str]:
         """Names of the live shared-memory segments (empty pre-warm-up)."""
-        return [ring.name for ring in self._rings if ring is not None]
+        names = [ring.name for ring in self._rings if ring is not None]
+        if self._heartbeat_ring is not None:
+            names.append(self._heartbeat_ring.name)
+        return names
