@@ -1,0 +1,72 @@
+"""Benchmark: the hardware characterization suite's spec-line gate.
+
+Unlike the wall-clock benchmarks, what this guards is *measured hardware
+quality*: every datasheet spec line must pass, and the headline spec-line
+margins must not erode.  The margins are normalised headroom to each
+acceptance limit (``(limit - measured) / |limit|`` for max-type limits and
+the mirror for min-type), so they travel across machines; the guarded
+subset below sticks to scalars produced by elementwise-deterministic math
+(linearity, noise budget, seeded Monte-Carlo device statistics) — the
+end-to-end corner logit error goes through BLAS matmuls whose last-bit
+behaviour is machine-dependent, so it stays a spec line but not a guarded
+trajectory key.
+
+The suite always runs at full Monte-Carlo depth here (it takes ~2 s), so
+the emitted ``BENCH_characterize.json`` is comparable to the committed
+baseline whether or not ``BENCH_SMOKE`` is set.  A same-seed
+re-characterization must render byte-identical datasheet JSON — the
+determinism contract that lets datasheets be committed artifacts.
+
+Run with::
+
+    pytest benchmarks/bench_characterize.py -q -s
+"""
+
+from _timing import write_bench_json
+from repro.characterize import CharacterizeOptions, characterize_macro
+
+#: Spec-line margins guarded by the CI regression gate.  Elementwise
+#: deterministic scalars only (see module docstring).
+GUARDED_MARGIN_KEYS = (
+    "adc_inl_max_lsb",
+    "dac_inl_max_lsb",
+    "noise_floor_mv",
+    "programming_sigma_rel",
+    "drift_margin",
+)
+
+#: Full Monte-Carlo depth regardless of smoke mode, so the margins match
+#: the committed baseline on every runner.
+OPTIONS = CharacterizeOptions(corners=8, mc_samples=128, seed=0)
+
+
+def test_characterization_margins():
+    """All spec lines pass, datasheets are deterministic, margins recorded."""
+    margins = {}
+    all_pass = True
+    for config_name in OPTIONS.configs:
+        sheet = characterize_macro(config_name, OPTIONS)
+        again = characterize_macro(config_name, OPTIONS)
+        assert sheet.to_json() == again.to_json(), (
+            f"{config_name}: same-seed characterization is not bit-reproducible")
+        assert sheet.passed, (
+            f"{config_name}: spec lines failed: "
+            + ", ".join(f"{line.name}={line.measured}"
+                        for line in sheet.spec_lines if not line.passed))
+        all_pass = all_pass and sheet.passed
+        margins[config_name] = {
+            line.name: line.margin for line in sheet.spec_lines
+            if line.name in GUARDED_MARGIN_KEYS
+        }
+        missing = set(GUARDED_MARGIN_KEYS) - set(margins[config_name])
+        assert not missing, f"{config_name}: spec lines vanished: {missing}"
+        for name, margin in margins[config_name].items():
+            assert margin >= 0.0, f"{config_name}.{name} margin negative"
+
+    path = write_bench_json("characterize", {
+        "configs": list(OPTIONS.configs),
+        "all_specs_pass": all_pass,
+        "margins": margins,
+        "deterministic": True,
+    })
+    print(f"\ncharacterization margins: {margins}\nwrote {path}")

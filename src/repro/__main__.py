@@ -1,4 +1,4 @@
-"""``python -m repro`` — regenerate the paper's experiments from the shell."""
+"""``python -m repro`` — experiments, serving and hardware characterization."""
 
 import sys
 

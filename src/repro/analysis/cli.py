@@ -16,6 +16,11 @@ Two serving subcommands live next to the experiments and are routed to
 
     python -m repro serve          # in-process dynamic-batching service demo
     python -m repro loadtest       # full load-generation harness
+
+The hardware characterization suite is routed to
+:mod:`repro.characterize.cli`::
+
+    python -m repro characterize   # per-config datasheets with spec verdicts
 """
 
 from __future__ import annotations
@@ -70,7 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Other subcommands: `python -m repro run` (one-shot backend "
                "inference, see `python -m repro run --help`), `python -m "
                "repro serve` and `python -m repro loadtest` (see `python -m "
-               "repro serve --help`).",
+               "repro serve --help`), and `python -m repro characterize` "
+               "(hardware datasheets, see `python -m repro characterize "
+               "--help`).",
     )
     parser.add_argument("experiment", choices=available_experiments(),
                         help="which experiment to run")
@@ -112,6 +119,10 @@ def main(argv: List[str] = None) -> int:
         from repro.exec.cli import main as run_main
 
         return run_main(argv[1:])
+    if argv and argv[0] == "characterize":
+        from repro.characterize.cli import main as characterize_main
+
+        return characterize_main(argv[1:])
     args = build_parser().parse_args(argv)
     print(run_experiment(args.experiment, quick=args.quick))
     return 0

@@ -1,0 +1,59 @@
+"""Hardware characterization suite: spec-line observability of the substrate.
+
+``python -m repro characterize`` drives every analog block the way a bench
+characterization would and emits one auto-datasheet (markdown + JSON) per
+macro configuration:
+
+* :mod:`repro.characterize.linearity` — pure INL/DNL math over
+  measured-vs-ideal converter staircases (exact on the FP grid).
+* :mod:`repro.characterize.sweeps` — the named sweep registry and the five
+  engines: FP-DAC / FP-ADC linearity, noise-floor-vs-energy operating
+  points, transient settling extraction, Monte-Carlo RRAM device corners
+  run through the planned analog backend.
+* :mod:`repro.characterize.specs` — JSON-declared per-config acceptance
+  limits and their measured-vs-limit verdicts.
+* :mod:`repro.characterize.datasheet` — the datasheet document and its
+  byte-stable JSON / markdown renderings.
+* :mod:`repro.characterize.runner` — configs x sweeps orchestration, smoke
+  mode, and publication of headline scalars as hardware-health gauges
+  (:mod:`repro.obs.health`).
+
+Everything is deterministic for a fixed seed: the same options produce
+bit-identical datasheet JSON, which is what lets CI commit and gate on
+characterization baselines.
+"""
+
+from .datasheet import Datasheet
+from .linearity import local_lsb, staircase_dnl, staircase_inl, worst_abs
+from .runner import (CharacterizationReport, CharacterizeOptions,
+                     MACRO_CONFIGS, characterize_macro, get_macro_config,
+                     publish_datasheet_gauges, run_characterization,
+                     smoke_mode)
+from .specs import (DEFAULT_SPEC_JSON, SpecLimit, SpecLine, SpecRegistry)
+from .sweeps import (SweepOptions, SweepResult, available_sweeps, get_sweep,
+                     register_sweep)
+
+__all__ = [
+    "Datasheet",
+    "local_lsb",
+    "staircase_dnl",
+    "staircase_inl",
+    "worst_abs",
+    "CharacterizationReport",
+    "CharacterizeOptions",
+    "MACRO_CONFIGS",
+    "characterize_macro",
+    "get_macro_config",
+    "publish_datasheet_gauges",
+    "run_characterization",
+    "smoke_mode",
+    "DEFAULT_SPEC_JSON",
+    "SpecLimit",
+    "SpecLine",
+    "SpecRegistry",
+    "SweepOptions",
+    "SweepResult",
+    "available_sweeps",
+    "get_sweep",
+    "register_sweep",
+]

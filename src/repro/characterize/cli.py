@@ -1,0 +1,112 @@
+"""``python -m repro characterize`` — run the suite, emit datasheets.
+
+Examples::
+
+    python -m repro characterize                       # both FP8 configs
+    python -m repro characterize --config e2m5 --out build/char
+    python -m repro characterize --sweep dac_linearity --sweep noise_energy
+    python -m repro characterize --corners 16 --seed 7 --serve
+    python -m repro characterize --list-sweeps
+
+The exit code is the spec verdict: 0 when every spec line of every
+datasheet passes, 1 otherwise — so CI can gate on the command directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.characterize.runner import (CharacterizeOptions, MACRO_CONFIGS,
+                                       run_characterization, smoke_mode)
+from repro.characterize.sweeps import available_sweeps
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``python -m repro characterize``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro characterize",
+        description="Characterize the analog substrate and emit per-config "
+                    "datasheets with pass/fail spec lines.",
+        epilog=f"Set {'CHARACTERIZE_SMOKE'}=1 for the reduced CI "
+               "configuration (fewer Monte-Carlo corners and samples).",
+    )
+    parser.add_argument("--config", action="append", dest="configs",
+                        choices=sorted(MACRO_CONFIGS), metavar="NAME",
+                        help="macro config to characterize (repeatable; "
+                             f"default: all of {', '.join(sorted(MACRO_CONFIGS))})")
+    parser.add_argument("--sweep", action="append", dest="sweeps",
+                        metavar="NAME",
+                        help="run only this sweep (repeatable; default: all "
+                             "registered sweeps, with full spec evaluation)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for <config>.datasheet.{json,md} "
+                             "(default: print summaries only)")
+    parser.add_argument("--corners", type=int, default=None,
+                        help="Monte-Carlo device corners (default 8, "
+                             "3 in smoke mode)")
+    parser.add_argument("--mc-samples", type=int, default=None,
+                        help="Monte-Carlo samples per corner measurement "
+                             "(default 128, 32 in smoke mode)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of every stochastic draw (default 0)")
+    parser.add_argument("--specs", default=None, metavar="FILE",
+                        help="JSON spec-limit file overriding the built-in "
+                             "acceptance limits")
+    parser.add_argument("--serve", action="store_true",
+                        help="route the corner workload through a one-worker "
+                             "InferenceService instead of a bare BatchRunner")
+    parser.add_argument("--list-sweeps", action="store_true",
+                        help="print the registered sweep names and exit")
+    return parser
+
+
+def _summarise(sheet) -> str:
+    lines = [f"== {sheet.config_name} "
+             f"({sheet.macro.format_name}) — "
+             f"{'PASS' if sheet.passed else 'FAIL'}"]
+    for line in sheet.spec_lines:
+        bound = "<=" if line.kind == "max" else ">="
+        measured = ("missing" if line.measured is None
+                    else f"{line.measured:.6g}")
+        lines.append(f"  [{line.verdict:>7}] {line.name}: {measured} "
+                     f"({bound} {line.limit:g} {line.units})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (1 on any spec FAIL)."""
+    args = build_parser().parse_args(argv)
+    if args.list_sweeps:
+        print("\n".join(available_sweeps()))
+        return 0
+
+    spec_json = None
+    if args.specs is not None:
+        spec_json = pathlib.Path(args.specs).read_text()
+    options = CharacterizeOptions(
+        configs=tuple(args.configs) if args.configs
+        else tuple(sorted(MACRO_CONFIGS)),
+        sweeps=tuple(args.sweeps) if args.sweeps else None,
+        seed=args.seed,
+        corners=args.corners,
+        mc_samples=args.mc_samples,
+        spec_json=spec_json,
+        use_serve=args.serve,
+    )
+    if smoke_mode():
+        print("characterize: smoke mode (reduced Monte-Carlo depth)")
+    report = run_characterization(
+        options, out_dir=args.out if args.out else None)
+    for sheet in report.datasheets:
+        print(_summarise(sheet))
+        written = report.paths.get(sheet.config_name, {})
+        for kind in sorted(written):
+            print(f"  wrote {written[kind]}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

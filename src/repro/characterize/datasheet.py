@@ -1,0 +1,171 @@
+"""Auto-datasheet generation: one markdown + JSON document per macro config.
+
+A :class:`Datasheet` bundles everything one characterization run measured
+about one macro configuration — the config table, every sweep's scalars and
+tables, and the evaluated spec lines — and renders it twice: a sorted-key
+JSON document (machine-readable, byte-stable for a fixed seed, committed as
+a regression artifact) and a markdown datasheet for humans, with the spec
+verdict table up front the way a silicon datasheet leads with its
+electrical characteristics.
+
+Nothing in a datasheet derives from wall-clock time; two runs with the same
+options produce bit-identical files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List
+
+from repro.characterize.specs import SpecLine
+from repro.characterize.sweeps import SweepResult
+from repro.core.config import MacroConfig
+
+
+def _config_summary(macro: MacroConfig) -> Dict[str, object]:
+    """The identification table of the datasheet, all plain JSON types."""
+    return {
+        "format": macro.format_name,
+        "rows": macro.rows,
+        "cols": macro.cols,
+        "analog_supply_v": macro.analog_supply,
+        "digital_supply_v": macro.digital_supply,
+        "conversion_time_ns": macro.conversion_time * 1e9,
+        "integration_time_ns": macro.adc.integration_time * 1e9,
+        "unit_capacitance_ff": macro.adc.unit_capacitance * 1e15,
+        "full_scale_current_ua": macro.adc.full_scale_current * 1e6,
+        "dac_full_scale_v": macro.dac.v_full_scale,
+        "conductance_levels": macro.conductance.levels,
+        "g_min_us": macro.conductance.g_min * 1e6,
+        "g_max_us": macro.conductance.g_max * 1e6,
+    }
+
+
+@dataclasses.dataclass
+class Datasheet:
+    """The complete characterization record of one macro configuration."""
+
+    config_name: str
+    macro: MacroConfig
+    sweeps: List[SweepResult]
+    spec_lines: List[SpecLine]
+    seed: int
+
+    @property
+    def passed(self) -> bool:
+        """True when every spec line passes."""
+        return all(line.passed for line in self.spec_lines)
+
+    @property
+    def scalars(self) -> Dict[str, float]:
+        """All sweep scalars merged (sweep names prefix on collision)."""
+        merged: Dict[str, float] = {}
+        for sweep in self.sweeps:
+            for key, value in sweep.scalars.items():
+                name = key if key not in merged else f"{sweep.name}.{key}"
+                merged[name] = float(value)
+        return merged
+
+    # ------------------------------------------------------------------
+    def to_document(self) -> Dict[str, object]:
+        """The datasheet as one plain-JSON-types document."""
+        return {
+            "config_name": self.config_name,
+            "seed": self.seed,
+            "passed": self.passed,
+            "macro": _config_summary(self.macro),
+            "scalars": self.scalars,
+            "spec_lines": [
+                {
+                    "name": line.name,
+                    "kind": line.kind,
+                    "limit": line.limit,
+                    "units": line.units,
+                    "description": line.description,
+                    "measured": line.measured,
+                    "margin": line.margin,
+                    "verdict": line.verdict,
+                }
+                for line in self.spec_lines
+            ],
+            "sweeps": [
+                {
+                    "name": sweep.name,
+                    "scalars": {k: float(v) for k, v in sweep.scalars.items()},
+                    "tables": sweep.tables,
+                    "notes": sweep.notes,
+                }
+                for sweep in self.sweeps
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON rendering (sorted keys, fixed separators)."""
+        return json.dumps(self.to_document(), sort_keys=True, indent=2) + "\n"
+
+    # ------------------------------------------------------------------
+    def render_markdown(self) -> str:
+        """Human-readable datasheet, spec verdicts first."""
+        lines: List[str] = []
+        title = f"AFPR-CIM macro datasheet — `{self.config_name}`"
+        lines += [f"# {title}", ""]
+        verdict = "PASS" if self.passed else "**FAIL**"
+        lines += [f"Overall verdict: {verdict} "
+                  f"({sum(l.passed for l in self.spec_lines)}/"
+                  f"{len(self.spec_lines)} spec lines pass, seed {self.seed})",
+                  ""]
+
+        lines += ["## Spec lines", "",
+                  "| spec | limit | measured | margin | verdict |",
+                  "|---|---|---|---|---|"]
+        for line in self.spec_lines:
+            bound = "<=" if line.kind == "max" else ">="
+            measured = ("—" if line.measured is None
+                        else f"{line.measured:.6g}")
+            margin = ("—" if line.measured is None
+                      else f"{line.margin:+.3f}")
+            lines.append(
+                f"| {line.name} | {bound} {line.limit:g} {line.units} "
+                f"| {measured} | {margin} | {line.verdict} |")
+        lines.append("")
+
+        lines += ["## Configuration", "", "| parameter | value |", "|---|---|"]
+        for key, value in _config_summary(self.macro).items():
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"| {key} | {rendered} |")
+        lines.append("")
+
+        for sweep in self.sweeps:
+            lines += [f"## Sweep: {sweep.name}", ""]
+            if sweep.scalars:
+                lines += ["| scalar | value |", "|---|---|"]
+                for key in sorted(sweep.scalars):
+                    lines.append(f"| {key} | {sweep.scalars[key]:.6g} |")
+                lines.append("")
+            for note in sweep.notes:
+                lines.append(f"> {note}")
+            if sweep.notes:
+                lines.append("")
+            for table_name, table in sweep.tables.items():
+                rows = table["rows"]
+                lines += [f"### {table_name} ({len(rows)} rows)", ""]
+                lines.append("| " + " | ".join(table["columns"]) + " |")
+                lines.append("|" + "---|" * len(table["columns"]))
+                for row in rows:
+                    lines.append(
+                        "| " + " | ".join(f"{v:.6g}" for v in row) + " |")
+                lines.append("")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def write(self, out_dir: pathlib.Path) -> Dict[str, pathlib.Path]:
+        """Write ``<config>.datasheet.json`` and ``.md`` under ``out_dir``."""
+        out_dir = pathlib.Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        json_path = out_dir / f"{self.config_name}.datasheet.json"
+        md_path = out_dir / f"{self.config_name}.datasheet.md"
+        json_path.write_text(self.to_json())
+        md_path.write_text(self.render_markdown() + "\n")
+        return {"json": json_path, "markdown": md_path}

@@ -1,0 +1,77 @@
+"""Pure INL/DNL math over measured-vs-ideal converter staircases.
+
+Both converters of the macro reduce to a monotone staircase once measured:
+the FP-DAC's per-code output voltages, and the FP-ADC's per-code transition
+charges.  The floating-point grid makes the classic integer-converter
+definitions work unchanged — within one exponent binade the ideal steps are
+uniform, and the step across a binade boundary equals the *lower* binade's
+step (``2^{e+1} - (2 - 1/L)·2^e = 2^e/L``), so every adjacent pair has a
+well-defined local LSB.
+
+The functions here are deliberately pure array math (no converter objects),
+so the tests can drive them with analytically known staircases:
+
+* an ideal staircase gives ``INL = DNL = 0`` exactly;
+* a single-code offset ``δ`` at code ``j`` gives ``INL[j] = δ/LSB(j)``,
+  ``DNL[j-1] = +δ/step(j-1)`` and ``DNL[j] = -δ/step(j)``, everything else
+  untouched.
+
+INL here is *absolute* (no endpoint correction): a static gain error shows
+up as INL rather than being fitted away, which is what a regression gate
+wants — the ideal reference is exactly computable, so there is no fit noise
+to hide behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validated(measured: np.ndarray, ideal: np.ndarray) -> tuple:
+    measured = np.asarray(measured, dtype=np.float64)
+    ideal = np.asarray(ideal, dtype=np.float64)
+    if measured.ndim != 1 or ideal.ndim != 1:
+        raise ValueError("staircases are one-dimensional")
+    if measured.shape != ideal.shape:
+        raise ValueError("measured and ideal staircases must match in length")
+    if measured.size < 2:
+        raise ValueError("need at least two staircase levels")
+    if np.any(np.diff(ideal) <= 0):
+        raise ValueError("ideal staircase must be strictly increasing")
+    return measured, ideal
+
+
+def local_lsb(ideal: np.ndarray) -> np.ndarray:
+    """The ideal step size *at* each code (same length as ``ideal``).
+
+    Code ``k`` uses the ideal step of the segment ``[k, k+1]``; the last
+    code reuses the final segment's step.
+    """
+    ideal = np.asarray(ideal, dtype=np.float64)
+    steps = np.diff(ideal)
+    return np.concatenate([steps, steps[-1:]])
+
+
+def staircase_dnl(measured: np.ndarray, ideal: np.ndarray) -> np.ndarray:
+    """Differential non-linearity per adjacent code pair, in local LSBs.
+
+    ``DNL[k] = (measured[k+1] - measured[k]) / (ideal[k+1] - ideal[k]) - 1``
+    — zero for an ideal staircase, ``-1`` for a fully missing code.  Length
+    is ``len(measured) - 1``.
+    """
+    measured, ideal = _validated(measured, ideal)
+    return np.diff(measured) / np.diff(ideal) - 1.0
+
+
+def staircase_inl(measured: np.ndarray, ideal: np.ndarray) -> np.ndarray:
+    """Integral non-linearity per code, in units of the local ideal LSB."""
+    measured, ideal = _validated(measured, ideal)
+    return (measured - ideal) / local_lsb(ideal)
+
+
+def worst_abs(values: np.ndarray) -> float:
+    """Largest magnitude of an error array (``0.0`` when empty)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(np.max(np.abs(values)))

@@ -1,0 +1,189 @@
+"""Characterization runner: macro configs x sweeps -> datasheets + gauges.
+
+:func:`characterize_macro` runs the selected sweep engines against one named
+macro configuration, evaluates the spec registry over the merged scalars and
+assembles the :class:`~repro.characterize.datasheet.Datasheet`;
+:func:`run_characterization` does that for every requested config, writes
+the datasheet files and publishes the headline scalars to the hardware-health
+gauge registry (:mod:`repro.obs.health`) so ``/metrics`` scrapes carry them.
+
+Setting ``CHARACTERIZE_SMOKE=1`` (mirroring the benchmark suite's
+``BENCH_SMOKE``) shrinks the Monte-Carlo knobs — fewer corners, fewer
+samples, a smaller corner workload — so CI can exercise the whole pipeline
+in seconds; explicit option values always win over the smoke defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.characterize.datasheet import Datasheet
+from repro.characterize.specs import SpecRegistry
+from repro.characterize.sweeps import (SweepOptions, SweepResult,
+                                       available_sweeps, get_sweep)
+from repro.core.config import (MacroConfig, e2m5_macro_config,
+                               e3m4_macro_config)
+from repro.exec.backend import ExecutionContext
+from repro.exec.registry import resolve_registered
+from repro.nn.model import Model
+
+#: Named macro configurations the suite characterizes out of the box.
+MACRO_CONFIGS: Dict[str, Callable[[], MacroConfig]] = {
+    "e2m5": e2m5_macro_config,
+    "e3m4": e3m4_macro_config,
+}
+
+#: Environment flag selecting the reduced CI smoke configuration.
+SMOKE_ENV = "CHARACTERIZE_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """Whether the reduced-size CI smoke configuration is requested."""
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0")
+
+
+def get_macro_config(name: str) -> MacroConfig:
+    """Build a registered macro configuration by name."""
+    return resolve_registered(MACRO_CONFIGS, name, "macro config")()
+
+
+def serve_analog_forward(model: Model, context: ExecutionContext,
+                         images: np.ndarray) -> np.ndarray:
+    """Corner forward pass routed through a one-worker InferenceService.
+
+    The served logits match the direct :class:`~repro.exec.engine.
+    BatchRunner` path bit for bit (same seeded context, one replica, one
+    batch), so ``--serve`` characterizes the substrate *as deployed* without
+    changing the numbers.
+    """
+    import asyncio
+
+    from repro.serve import InferenceService, ServeConfig
+
+    async def _run() -> np.ndarray:
+        service = InferenceService(model, ServeConfig(
+            backend="analog", context=context, num_workers=1,
+            max_batch=int(images.shape[0]), max_wait_ms=1.0))
+        await service.start()
+        try:
+            return await service.submit_many(images)
+        finally:
+            await service.stop(drain=False)
+
+    return asyncio.run(_run())
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizeOptions:
+    """What to characterize and how hard.
+
+    ``corners`` / ``mc_samples`` left at ``None`` pick the full-depth
+    defaults, or the reduced ones when :func:`smoke_mode` is on.
+    """
+
+    configs: Tuple[str, ...] = tuple(sorted(MACRO_CONFIGS))
+    sweeps: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+    corners: Optional[int] = None
+    mc_samples: Optional[int] = None
+    retention_seconds: float = 3600.0
+    spec_json: Optional[str] = None
+    use_serve: bool = False
+
+    def sweep_names(self) -> List[str]:
+        names = list(self.sweeps) if self.sweeps else available_sweeps()
+        for name in names:
+            get_sweep(name)  # fail early, listing the registry
+        return names
+
+    def sweep_options(self) -> SweepOptions:
+        smoke = smoke_mode()
+        return SweepOptions(
+            seed=self.seed,
+            corners=self.corners if self.corners is not None
+            else (3 if smoke else 8),
+            mc_samples=self.mc_samples if self.mc_samples is not None
+            else (32 if smoke else 128),
+            retention_seconds=self.retention_seconds,
+            train_samples=96 if smoke else 192,
+            eval_samples=32 if smoke else 64,
+            analog_forward=serve_analog_forward if self.use_serve else None,
+        )
+
+
+def characterize_macro(config_name: str,
+                       options: CharacterizeOptions = CharacterizeOptions()
+                       ) -> Datasheet:
+    """Run the selected sweeps against one macro config and evaluate specs.
+
+    A full run (every registered sweep) evaluates every spec line, with a
+    limit whose scalar is missing counting as a failure; a ``--sweep``
+    subset run only evaluates the limits its sweeps can measure, so partial
+    characterizations stay meaningful.
+    """
+    macro = get_macro_config(config_name)
+    sweep_options = options.sweep_options()
+    names = options.sweep_names()
+    results: List[SweepResult] = [get_sweep(name)(macro, sweep_options)
+                                  for name in names]
+
+    registry = (SpecRegistry.from_json(options.spec_json, config_name)
+                if options.spec_json is not None
+                else SpecRegistry.default_for(config_name))
+    scalars: Dict[str, float] = {}
+    for result in results:
+        scalars.update(result.scalars)
+    if set(names) != set(available_sweeps()):
+        registry = SpecRegistry(limit for name, limit in registry.limits.items()
+                                if name in scalars)
+    return Datasheet(config_name=config_name, macro=macro, sweeps=results,
+                     spec_lines=registry.evaluate(scalars),
+                     seed=options.seed)
+
+
+def publish_datasheet_gauges(datasheet: Datasheet) -> Dict[str, float]:
+    """Publish a datasheet's headline scalars as hardware-health gauges.
+
+    Every measured spec-line value goes up (so both the limit-gated figures
+    and their drift over deployments are scrapeable) plus the overall
+    ``specs_pass`` verdict.  Returns what was published.
+    """
+    from repro.obs.health import publish_hardware_health
+
+    gauges = {line.name: float(line.measured)
+              for line in datasheet.spec_lines if line.measured is not None}
+    gauges["specs_pass"] = 1.0 if datasheet.passed else 0.0
+    publish_hardware_health(datasheet.config_name, gauges)
+    return gauges
+
+
+@dataclasses.dataclass
+class CharacterizationReport:
+    """Everything one :func:`run_characterization` produced."""
+
+    datasheets: List[Datasheet]
+    paths: Dict[str, Dict[str, object]]
+
+    @property
+    def passed(self) -> bool:
+        """True when every datasheet's every spec line passes."""
+        return all(sheet.passed for sheet in self.datasheets)
+
+
+def run_characterization(options: CharacterizeOptions = CharacterizeOptions(),
+                         out_dir: Optional[str] = None
+                         ) -> CharacterizationReport:
+    """Characterize every requested config; write datasheets, publish gauges."""
+    datasheets: List[Datasheet] = []
+    paths: Dict[str, Dict[str, object]] = {}
+    for config_name in options.configs:
+        sheet = characterize_macro(config_name, options)
+        datasheets.append(sheet)
+        publish_datasheet_gauges(sheet)
+        if out_dir is not None:
+            paths[config_name] = dict(sheet.write(out_dir))
+    return CharacterizationReport(datasheets=datasheets, paths=paths)

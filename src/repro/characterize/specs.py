@@ -1,0 +1,204 @@
+"""Spec registry: per-macro-config pass/fail limits on measured scalars.
+
+A *spec line* is one measured-vs-limit verdict on a headline scalar the
+sweep engines produce (``adc_inl_max_lsb <= 0.5``, ``drift_margin >=
+0.2``, …).  Limits are JSON-declared — the defaults below are literally a
+JSON document parsed at import, and ``SpecRegistry.from_json`` loads the
+same format from a user file (``characterize --specs my_limits.json``), so
+a deployment can tighten or relax its silicon acceptance without touching
+code.
+
+Verdict semantics: a measurement **exactly at its limit passes** (``<=`` /
+``>=``), a scalar a limit names but no sweep produced is a *missing*
+failure (a renamed scalar must not silently un-gate its spec line), and
+scalars without a limit are informational only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Mapping, Optional
+
+#: Spec-limit kinds: ``max`` passes while measured <= limit, ``min`` while
+#: measured >= limit.
+KINDS = ("max", "min")
+
+#: The default acceptance limits, declared as JSON (see module docstring).
+#: Keys are macro-config names (`characterize --config <name>`); ``*`` holds
+#: format-independent limits every config inherits, and per-config sections
+#: override or extend them (the two FP8 formats differ in mantissa LSB, so
+#: their noise floors budget differently).
+DEFAULT_SPEC_JSON = """
+{
+  "*": {
+    "adc_inl_max_lsb":      {"kind": "max", "limit": 0.5,  "units": "LSB",
+                             "description": "FP-ADC integral non-linearity, worst code"},
+    "adc_dnl_max_lsb":      {"kind": "max", "limit": 0.5,  "units": "LSB",
+                             "description": "FP-ADC differential non-linearity, worst pair"},
+    "dac_inl_max_lsb":      {"kind": "max", "limit": 0.5,  "units": "LSB",
+                             "description": "FP-DAC integral non-linearity, worst code"},
+    "dac_dnl_max_lsb":      {"kind": "max", "limit": 0.5,  "units": "LSB",
+                             "description": "FP-DAC differential non-linearity, worst pair"},
+    "settle_margin":        {"kind": "min", "limit": 0.05, "units": "frac",
+                             "description": "fraction of T_S left after the last range adaptation"},
+    "transient_value_dev":  {"kind": "max", "limit": 0.1,  "units": "code",
+                             "description": "functional-vs-transient decoded value deviation"},
+    "programming_sigma_rel": {"kind": "max", "limit": 0.03, "units": "frac",
+                             "description": "relative RMS programming error across corners"},
+    "stuck_fault_rate":     {"kind": "max", "limit": 0.005, "units": "frac",
+                             "description": "stuck-at-LRS/HRS cell fraction across corners"},
+    "drift_margin":         {"kind": "min", "limit": 0.2,  "units": "frac",
+                             "description": "retention-window margin left after drift"},
+    "corner_logit_rms_worst": {"kind": "max", "limit": 0.35, "units": "frac",
+                             "description": "worst-corner logit RMS error vs ideal backend"}
+  },
+  "e2m5": {
+    "noise_floor_mv":       {"kind": "max", "limit": 16.0, "units": "mV",
+                             "description": "input-referred noise floor (half a mantissa LSB)"},
+    "conversion_energy_nj": {"kind": "max", "limit": 18.0, "units": "nJ",
+                             "description": "modelled energy of one whole-macro conversion"}
+  },
+  "e3m4": {
+    "noise_floor_mv":       {"kind": "max", "limit": 32.0, "units": "mV",
+                             "description": "input-referred noise floor (half a mantissa LSB)"},
+    "conversion_energy_nj": {"kind": "max", "limit": 28.0, "units": "nJ",
+                             "description": "modelled energy of one whole-macro conversion"}
+  }
+}
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecLimit:
+    """One declared acceptance limit on a measured scalar."""
+
+    name: str
+    kind: str
+    limit: float
+    units: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"spec {self.name!r}: unknown kind {self.kind!r}; "
+                f"expected one of {KINDS}")
+
+    def passes(self, measured: float) -> bool:
+        """Whether a measurement satisfies the limit (at-limit passes)."""
+        if self.kind == "max":
+            return measured <= self.limit
+        return measured >= self.limit
+
+    def margin(self, measured: float) -> float:
+        """Normalised headroom to the limit (positive = passing).
+
+        ``(limit - measured) / |limit|`` for ``max`` limits and the mirror
+        for ``min`` — exactly ``0.0`` at the limit, which still passes.
+        """
+        scale = abs(self.limit) if self.limit != 0 else 1.0
+        if self.kind == "max":
+            return (self.limit - measured) / scale
+        return (measured - self.limit) / scale
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecLine:
+    """One evaluated measured-vs-limit verdict of a datasheet."""
+
+    name: str
+    kind: str
+    limit: float
+    units: str
+    description: str
+    measured: Optional[float]
+    passed: bool
+    margin: float
+
+    @property
+    def verdict(self) -> str:
+        if self.measured is None:
+            return "MISSING"
+        return "PASS" if self.passed else "FAIL"
+
+
+class SpecRegistry:
+    """The set of spec limits one macro config is characterized against."""
+
+    def __init__(self, limits: Iterable[SpecLimit]) -> None:
+        self.limits: Dict[str, SpecLimit] = {}
+        for limit in limits:
+            if limit.name in self.limits:
+                raise ValueError(f"duplicate spec limit {limit.name!r}")
+            self.limits[limit.name] = limit
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_section(section: Mapping[str, Mapping]) -> Dict[str, SpecLimit]:
+        limits: Dict[str, SpecLimit] = {}
+        for name, fields in section.items():
+            if not isinstance(fields, Mapping):
+                raise ValueError(f"spec {name!r}: expected an object of "
+                                 f"fields, got {type(fields).__name__}")
+            unknown = set(fields) - {"kind", "limit", "units", "description"}
+            if unknown:
+                raise ValueError(f"spec {name!r}: unknown fields {sorted(unknown)}")
+            if "kind" not in fields or "limit" not in fields:
+                raise ValueError(f"spec {name!r}: 'kind' and 'limit' are required")
+            limits[name] = SpecLimit(
+                name=name,
+                kind=str(fields["kind"]),
+                limit=float(fields["limit"]),
+                units=str(fields.get("units", "")),
+                description=str(fields.get("description", "")),
+            )
+        return limits
+
+    @classmethod
+    def from_document(cls, document: Mapping, config_name: str) -> "SpecRegistry":
+        """Build the registry for one macro config from a parsed spec file.
+
+        The document maps config names to limit sections; the ``*`` section
+        applies to every config, and the named section overrides it.
+        """
+        merged: Dict[str, SpecLimit] = {}
+        merged.update(cls._parse_section(document.get("*", {})))
+        merged.update(cls._parse_section(document.get(config_name, {})))
+        return cls(merged.values())
+
+    @classmethod
+    def from_json(cls, text: str, config_name: str) -> "SpecRegistry":
+        """Parse a JSON spec document and build the registry for one config."""
+        return cls.from_document(json.loads(text), config_name)
+
+    @classmethod
+    def default_for(cls, config_name: str) -> "SpecRegistry":
+        """The built-in acceptance limits for a macro config."""
+        return cls.from_json(DEFAULT_SPEC_JSON, config_name)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, scalars: Mapping[str, float]) -> List[SpecLine]:
+        """Evaluate every declared limit against the measured scalars.
+
+        Limits whose scalar is absent from ``scalars`` produce a failing
+        ``MISSING`` line (a sweep that stopped producing a guarded scalar
+        must not silently pass).  Lines are returned in sorted-name order
+        so datasheets are byte-stable.
+        """
+        lines: List[SpecLine] = []
+        for name in sorted(self.limits):
+            limit = self.limits[name]
+            if name in scalars:
+                measured = float(scalars[name])
+                lines.append(SpecLine(
+                    name=name, kind=limit.kind, limit=limit.limit,
+                    units=limit.units, description=limit.description,
+                    measured=measured, passed=limit.passes(measured),
+                    margin=limit.margin(measured)))
+            else:
+                lines.append(SpecLine(
+                    name=name, kind=limit.kind, limit=limit.limit,
+                    units=limit.units, description=limit.description,
+                    measured=None, passed=False, margin=float("-inf")))
+        return lines

@@ -1,0 +1,476 @@
+"""The per-block characterization sweep engines and their name registry.
+
+Each sweep drives one block of the analog substrate the way a bench
+characterization would — sweep every code, extract the figure of merit —
+and returns a :class:`SweepResult`: headline scalars (the values spec lines
+gate on), tabular data for the datasheet, and free-form notes.  Sweeps are
+registered by name (``register_sweep``) and resolved through the same
+KeyError-lists-the-alternatives contract as the execution-backend registry,
+so ``characterize --sweep dac_linearities`` fails with the full menu.
+
+Determinism is a hard requirement: every stochastic draw comes from a
+generator seeded by :class:`SweepOptions`, nothing reads the clock, and the
+Monte-Carlo corners build fresh seeded device models per corner — the same
+options always produce bit-identical results, which is what lets the
+datasheets be committed as regression baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.characterize.linearity import staircase_dnl, staircase_inl, worst_abs
+from repro.circuits.noise import adc_noise_budget
+from repro.core.config import MacroConfig
+from repro.core.fp_adc import FPADC, FPADCTransient
+from repro.core.fp_dac import FPDAC
+from repro.exec.backend import ExecutionContext
+from repro.exec.engine import BatchRunner
+from repro.exec.registry import resolve_registered
+from repro.nn.model import Model
+from repro.power.macro_power import energy_at_unit_capacitance
+from repro.rram.device import RRAMDeviceModel
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepOptions:
+    """Knobs shared by every sweep engine.
+
+    ``analog_forward`` lets the runner substitute how the corner sweep
+    pushes batches through the analog substrate (``None`` uses a
+    :class:`~repro.exec.engine.BatchRunner` directly; the serve-routed
+    characterization passes a closure over an ``InferenceService``).
+    """
+
+    seed: int = 0
+    corners: int = 8
+    mc_samples: int = 128
+    retention_seconds: float = 3600.0
+    #: Relative conductance shift the retention spec budgets for — the
+    #: ``drift_margin`` scalar is the fraction of this allowance left.
+    drift_allowance: float = 0.05
+    train_samples: int = 192
+    eval_samples: int = 64
+    analog_forward: Optional[
+        Callable[[Model, ExecutionContext, np.ndarray], np.ndarray]] = None
+
+    def __post_init__(self) -> None:
+        if self.corners < 1 or self.mc_samples < 1:
+            raise ValueError("corners and mc_samples must be >= 1")
+        if self.retention_seconds < 0 or self.drift_allowance <= 0:
+            raise ValueError("retention must be >= 0 and drift allowance > 0")
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Output of one sweep: headline scalars, datasheet tables, notes.
+
+    ``scalars`` feed the spec lines and the exported gauges; ``tables`` map
+    a table name to ``{"columns": [...], "rows": [[...], ...]}`` for the
+    datasheet renderer.  Nothing here may depend on wall-clock time.
+    """
+
+    name: str
+    scalars: Dict[str, float]
+    tables: Dict[str, Dict[str, list]]
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+
+SweepFn = Callable[[MacroConfig, SweepOptions], SweepResult]
+
+_SWEEPS: Dict[str, SweepFn] = {}
+
+
+def register_sweep(name: str) -> Callable[[SweepFn], SweepFn]:
+    """Decorator registering a sweep engine under a CLI-visible name."""
+
+    def decorate(fn: SweepFn) -> SweepFn:
+        if name in _SWEEPS and _SWEEPS[name] is not fn:
+            raise ValueError(f"sweep name {name!r} is already registered")
+        _SWEEPS[name] = fn
+        return fn
+
+    return decorate
+
+
+def available_sweeps() -> List[str]:
+    """Sorted names of every registered sweep."""
+    return sorted(_SWEEPS)
+
+
+def get_sweep(name: str) -> SweepFn:
+    """Resolve a sweep name, raising a KeyError that lists the registry."""
+    return resolve_registered(_SWEEPS, name, "characterization sweep")
+
+
+def _table(columns: List[str], rows: np.ndarray) -> Dict[str, list]:
+    return {"columns": list(columns),
+            "rows": [[float(v) for v in row] for row in np.atleast_2d(rows)]}
+
+
+# ----------------------------------------------------------------------
+# DAC linearity
+# ----------------------------------------------------------------------
+@register_sweep("dac_linearity")
+def dac_linearity(macro: MacroConfig, options: SweepOptions) -> SweepResult:
+    """FP-DAC INL/DNL across all input codes, vs the exact ideal transfer.
+
+    The measured staircase is the DAC's output voltage per code (reference
+    ladder + PGA, including their static mismatch); the reference is the
+    mismatch-free :meth:`~repro.core.fp_dac.FPDAC.ideal_transfer_table`.
+    With per-conversion output noise configured the staircase is averaged
+    over ``mc_samples`` conversions.
+    """
+    dac = FPDAC(macro.dac, rng=np.random.default_rng(options.seed))
+    notes: List[str] = []
+    ideal = dac.ideal_transfer_table()
+    if macro.dac.output_noise_rms > 0:
+        stack = np.stack([dac.transfer_table()[:, 2]
+                          for _ in range(options.mc_samples)])
+        measured = stack.mean(axis=0)
+        notes.append(f"stochastic output stage: staircase averaged over "
+                     f"{options.mc_samples} conversions")
+    else:
+        measured = dac.transfer_table()[:, 2]
+    inl = staircase_inl(measured, ideal[:, 2])
+    dnl = staircase_dnl(measured, ideal[:, 2])
+    codes = ideal[:, 0]
+    rows = np.stack([codes, ideal[:, 2], measured, inl,
+                     np.concatenate([dnl, [0.0]])], axis=1)
+    return SweepResult(
+        name="dac_linearity",
+        scalars={
+            "dac_inl_max_lsb": worst_abs(inl),
+            "dac_dnl_max_lsb": worst_abs(dnl),
+        },
+        tables={"dac_transfer": _table(
+            ["code", "ideal_v", "measured_v", "inl_lsb", "dnl_lsb"], rows)},
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# ADC linearity
+# ----------------------------------------------------------------------
+def _estimated_transitions(adc: FPADC, ideal_bounds: np.ndarray,
+                           ideal_values: np.ndarray,
+                           options: SweepOptions) -> np.ndarray:
+    """Estimate transition charges of a stochastic ADC by mean-value bisection.
+
+    For each code boundary the mean decoded value over ``mc_samples``
+    conversions is bisected toward the midpoint of the two adjacent ideal
+    code values.  Boundaries whose adjacent values coincide (the saturation
+    edge) keep the ideal charge — there is nothing to rank there.
+    """
+    noisy = FPADC(adc.config, channels=ideal_bounds.size,
+                  rng=np.random.default_rng(options.seed + 17))
+    lo = ideal_bounds * 0.5
+    hi = ideal_bounds * 1.5
+    target = 0.5 * (ideal_values[:-1] + ideal_values[1:])
+    fixed = ideal_values[:-1] >= ideal_values[1:]
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        currents = np.tile(mid / adc.config.integration_time,
+                           (options.mc_samples, 1))
+        mean_value = noisy.convert(currents).value.mean(axis=0)
+        above = mean_value >= target
+        hi = np.where(above, mid, hi)
+        lo = np.where(above, lo, mid)
+    estimate = 0.5 * (lo + hi)
+    return np.where(fixed, ideal_bounds, estimate)
+
+
+@register_sweep("adc_linearity")
+def adc_linearity(macro: MacroConfig, options: SweepOptions) -> SweepResult:
+    """FP-ADC INL/DNL over every output-code transition charge.
+
+    The measured staircase is the exact charge of every code transition
+    (:meth:`~repro.core.fp_adc.FPADC.transition_charges`, available whenever
+    the conversion is deterministic); the reference is the same staircase of
+    a non-ideality-free twin configuration.  Stochastic configurations fall
+    back to a Monte-Carlo bisection estimate of each transition.
+    """
+    ideal_config = dataclasses.replace(
+        macro.adc, comparator_noise=0.0, comparator_offset=0.0,
+        capacitor_mismatch_sigma=0.0, subnormal_readout=False)
+    ideal_adc = FPADC(ideal_config)
+    ideal_lut = ideal_adc.conversion_lut()
+    ideal_bounds = ideal_adc.transition_charges()
+    if ideal_bounds is None:  # pragma: no cover - twin is deterministic
+        raise RuntimeError("ideal ADC twin has no conversion LUT")
+
+    adc = FPADC(macro.adc, channels=ideal_bounds.size,
+                rng=np.random.default_rng(options.seed))
+    notes: List[str] = []
+    measured = adc.transition_charges()
+    if measured is None:
+        measured = _estimated_transitions(adc, ideal_bounds,
+                                          ideal_lut.values, options)
+        notes.append("stochastic conversion: transitions estimated by "
+                     f"mean-value bisection over {options.mc_samples} samples")
+    if measured.size != ideal_bounds.size:
+        raise RuntimeError(
+            f"measured {measured.size} transitions but the ideal twin has "
+            f"{ideal_bounds.size}; the configs disagree on code count")
+
+    inl = staircase_inl(measured, ideal_bounds)
+    dnl = staircase_dnl(measured, ideal_bounds)
+    index = np.arange(ideal_bounds.size, dtype=np.float64)
+    rows = np.stack([index, ideal_bounds * 1e15, measured * 1e15, inl,
+                     np.concatenate([dnl, [0.0]])], axis=1)
+    return SweepResult(
+        name="adc_linearity",
+        scalars={
+            "adc_inl_max_lsb": worst_abs(inl),
+            "adc_dnl_max_lsb": worst_abs(dnl),
+            "adc_full_scale_current_ua": float(
+                macro.adc.full_scale_current * 1e6),
+        },
+        tables={"adc_transitions": _table(
+            ["transition", "ideal_fc", "measured_fc", "inl_lsb", "dnl_lsb"],
+            rows)},
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Noise floor vs conversion energy
+# ----------------------------------------------------------------------
+#: Unit-capacitor scale factors of the noise/energy trade-off curve.
+CAPACITANCE_SCALES = (0.5, 1.0, 2.0, 4.0)
+
+
+@register_sweep("noise_energy")
+def noise_energy(macro: MacroConfig, options: SweepOptions) -> SweepResult:
+    """Noise-floor vs conversion-energy curve over the unit capacitor.
+
+    Each operating point resizes the ADC's unit integration capacitor,
+    recomputes the input-referred noise budget (kT/C hold + comparator +
+    mantissa quantisation) and the macro's modelled per-conversion energy.
+    The headline scalars are the nominal (scale 1.0) operating point.
+    """
+    rows = []
+    nominal_noise_mv = nominal_energy_nj = 0.0
+    for scale in CAPACITANCE_SCALES:
+        cap = macro.adc.unit_capacitance * scale
+        budget = adc_noise_budget(
+            dataclasses.replace(macro.adc, unit_capacitance=cap))
+        noise_mv = budget.total_rms() * 1e3
+        energy_nj = energy_at_unit_capacitance(macro, cap) * 1e9
+        rows.append([scale, cap * 1e15, noise_mv, energy_nj])
+        if scale == 1.0:
+            nominal_noise_mv, nominal_energy_nj = noise_mv, energy_nj
+            dominant = budget.dominant()
+    return SweepResult(
+        name="noise_energy",
+        scalars={
+            "noise_floor_mv": nominal_noise_mv,
+            "conversion_energy_nj": nominal_energy_nj,
+        },
+        tables={"noise_energy_curve": _table(
+            ["cap_scale", "capacitance_ff", "noise_rms_mv", "energy_nj"],
+            np.asarray(rows))},
+        notes=[f"dominant noise contributor at nominal capacitance: {dominant}"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Transient settling
+# ----------------------------------------------------------------------
+#: Stimulus as a fraction of the ADC full-scale current; 0.32 reproduces the
+#: paper's Fig. 5(a) worked example (5.38 uA, two range adaptations) on the
+#: default E2M5 macro.
+SETTLING_STIMULUS_FRACTION = 0.32
+
+
+@register_sweep("settling")
+def settling(macro: MacroConfig, options: SweepOptions) -> SweepResult:
+    """Transient settling extraction from the time-domain ADC model.
+
+    Runs one fixed-step conversion at a mid-range stimulus and extracts how
+    much of the integration window remains after the last range adaptation
+    (``settle_margin`` — an adaptation firing at the sampling edge means the
+    exponent is racing the sample), how long the integrator output takes to
+    settle onto the held voltage, and whether the transient's decoded value
+    agrees with the fast functional model.
+    """
+    current = macro.adc.full_scale_current * SETTLING_STIMULUS_FRACTION
+    transient = FPADCTransient(macro.adc,
+                               rng=np.random.default_rng(options.seed))
+    result = transient.simulate(current)
+    meta = result.metadata
+    t_s = macro.adc.integration_time
+    adaptations = int(meta["num_adaptations"])
+    if adaptations:
+        last_adapt = meta[f"adaptation_time_{adaptations - 1}"]
+        settle_margin = (meta["sample_time"] - last_adapt) / t_s
+    else:
+        settle_margin = 1.0
+
+    wave = result["v_out"]
+    half_lsb = (macro.adc.v_threshold - macro.adc.v_reset) \
+        / 2.0 / macro.adc.mantissa_levels / 2.0
+    settle_time = wave.settling_time(meta["held_voltage"], half_lsb)
+    duration = result.duration
+    hold_settled_fraction = 1.0 - settle_time / duration if duration else 0.0
+
+    functional = FPADC(macro.adc, rng=np.random.default_rng(options.seed))
+    functional_value = float(functional.convert(np.array([current])).value[0])
+    return SweepResult(
+        name="settling",
+        scalars={
+            "settle_margin": float(settle_margin),
+            "transient_value_dev": abs(float(meta["value"]) - functional_value),
+            "hold_settled_fraction": float(hold_settled_fraction),
+            "range_adaptations": float(adaptations),
+        },
+        tables={"settling_point": _table(
+            ["current_ua", "exponent", "mantissa", "value", "held_voltage_v"],
+            np.asarray([[current * 1e6, meta["exponent_code"],
+                         meta["mantissa_code"], meta["value"],
+                         meta["held_voltage"]]]))},
+        notes=[f"stimulus {SETTLING_STIMULUS_FRACTION:.2f} x full scale, "
+               f"{adaptations} range adaptation(s)"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo RRAM corners
+# ----------------------------------------------------------------------
+#: Corner statistics scale factors are drawn uniformly from this band — a
+#: +-40 % spread around the nominal device card, the usual slow/fast window
+#: of a Monte-Carlo corner sweep.
+CORNER_SCALE_BAND = (0.6, 1.4)
+
+
+def _corner_workload(options: SweepOptions):
+    """A tiny fixed-seed trained CNN and its data, shared by every corner."""
+    from repro.nn import (DatasetConfig, SGD, Sequential,
+                          SyntheticImageDataset, Trainer)
+    from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, ReLU
+
+    dataset = SyntheticImageDataset(DatasetConfig(
+        num_classes=4, image_size=8, noise_sigma=0.3, seed=options.seed + 3))
+    x_train, y_train, x_test, _ = dataset.train_test_split(
+        options.train_samples, options.eval_samples)
+    model = Sequential(
+        Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(options.seed + 4)),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(4, 4, rng=np.random.default_rng(options.seed + 5)),
+    )
+    trainer = Trainer(model, SGD(model.parameters(), learning_rate=0.05),
+                      batch_size=32)
+    trainer.fit(x_train, y_train, epochs=2)
+    return model, x_train, x_test
+
+
+def _default_analog_forward(model: Model, context: ExecutionContext,
+                            images: np.ndarray) -> np.ndarray:
+    with BatchRunner(model, "analog", context=context) as runner:
+        return runner.forward(images)
+
+
+@register_sweep("rram_corners")
+def rram_corners(macro: MacroConfig, options: SweepOptions) -> SweepResult:
+    """Monte-Carlo device corners: programming, faults, drift, end-to-end.
+
+    Each corner scales the macro's device statistics by factors drawn from
+    :data:`CORNER_SCALE_BAND` and measures
+
+    * the relative RMS programming error over ``mc_samples`` writes of every
+      level (stuck-at faults disabled so the Gaussian write error is
+      isolated),
+    * the observed stuck-cell rate (programming error disabled, so any cell
+      not landing on its target was stuck; faults on cells already targeted
+      at the rail are invisible, an inherent limit of rate measurement),
+    * the retention-drift margin: the fraction of the ``drift_allowance``
+      conductance budget left after ``retention_seconds``, and
+    * the end-to-end logit RMS error of a small CNN run through the planned
+      analog backend at that corner, relative to the ideal digital backend.
+
+    Headline scalars are the worst corner of each figure.
+    """
+    rng = np.random.default_rng(options.seed)
+    model, x_train, x_eval = _corner_workload(options)
+    calibration = x_train[:32]
+    with BatchRunner(model, "ideal") as runner:
+        ideal_logits = runner.forward(x_eval)
+    ideal_rms = float(np.sqrt(np.mean(ideal_logits ** 2)))
+    forward = options.analog_forward or _default_analog_forward
+
+    targets = np.tile(macro.conductance.values, (options.mc_samples, 1))
+    base = macro.device_statistics
+    rows = []
+    worst = {"programming_sigma_rel": 0.0, "stuck_fault_rate": 0.0,
+             "drift_margin": float("inf"), "corner_logit_rms_worst": 0.0}
+    for corner in range(options.corners):
+        f_prog, f_noise, f_drift, f_stuck = rng.uniform(*CORNER_SCALE_BAND,
+                                                        size=4)
+        corner_seed = options.seed + 1000 + corner
+        stats = dataclasses.replace(
+            base,
+            programming_sigma=base.programming_sigma * f_prog,
+            read_noise_sigma=base.read_noise_sigma * f_noise,
+            drift_coefficient=base.drift_coefficient * f_drift,
+            stuck_at_lrs_probability=base.stuck_at_lrs_probability * f_stuck,
+            stuck_at_hrs_probability=base.stuck_at_hrs_probability * f_stuck,
+        )
+
+        write_device = RRAMDeviceModel(
+            macro.conductance,
+            dataclasses.replace(stats, stuck_at_lrs_probability=0.0,
+                                stuck_at_hrs_probability=0.0),
+            seed=corner_seed)
+        achieved = write_device.program(targets)
+        programming_sigma_rel = float(
+            np.sqrt(np.mean(((achieved - targets) / targets) ** 2)))
+
+        fault_device = RRAMDeviceModel(
+            macro.conductance,
+            dataclasses.replace(stats, programming_sigma=0.0),
+            seed=corner_seed + 1)
+        stuck_fault_rate = float(
+            np.mean(fault_device.program(targets) != targets))
+
+        drift_device = RRAMDeviceModel(macro.conductance, stats,
+                                       seed=corner_seed)
+        shift_rel_max = float(np.max(np.abs(
+            drift_device.drift_shift(options.retention_seconds))
+            / macro.conductance.values))
+        drift_margin = 1.0 - shift_rel_max / options.drift_allowance
+
+        corner_macro = dataclasses.replace(macro, device_statistics=stats,
+                                           seed=corner_seed)
+        context = ExecutionContext(calibration=calibration,
+                                   macro_config=corner_macro,
+                                   seed=corner_seed,
+                                   batch_size=max(options.eval_samples, 1))
+        logits = forward(model, context, x_eval)
+        logit_rms = float(np.sqrt(np.mean((logits - ideal_logits) ** 2))
+                          / max(ideal_rms, 1e-12))
+
+        rows.append([corner, f_prog, f_stuck, f_drift, programming_sigma_rel,
+                     stuck_fault_rate, drift_margin, logit_rms])
+        worst["programming_sigma_rel"] = max(worst["programming_sigma_rel"],
+                                             programming_sigma_rel)
+        worst["stuck_fault_rate"] = max(worst["stuck_fault_rate"],
+                                        stuck_fault_rate)
+        worst["drift_margin"] = min(worst["drift_margin"], drift_margin)
+        worst["corner_logit_rms_worst"] = max(worst["corner_logit_rms_worst"],
+                                              logit_rms)
+
+    return SweepResult(
+        name="rram_corners",
+        scalars=dict(worst, corners=float(options.corners),
+                     mc_samples=float(options.mc_samples)),
+        tables={"corners": _table(
+            ["corner", "f_prog", "f_stuck", "f_drift", "prog_sigma_rel",
+             "stuck_rate", "drift_margin", "logit_rms"],
+            np.asarray(rows))},
+        notes=[f"retention window {options.retention_seconds:.0f} s, "
+               f"drift allowance {options.drift_allowance:.2f} relative"],
+    )

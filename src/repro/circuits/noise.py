@@ -53,6 +53,26 @@ def quantization_noise_rms(lsb: float) -> float:
     return float(lsb / np.sqrt(12.0))
 
 
+def adc_noise_budget(config, include_quantization: bool = True) -> "NoiseBudget":
+    """Input-referred noise budget of one FP-ADC conversion.
+
+    Combines the fundamental contributors the functional model lumps
+    together: the kT/C hold noise of the unit integration capacitor (the
+    worst case — range 0, smallest connected capacitance), the configured
+    comparator noise, and (optionally) the quantisation noise of one
+    mantissa LSB.  ``config`` is an :class:`repro.core.config.ADCConfig`;
+    it is duck-typed here to keep this module import-light.
+    """
+    budget = NoiseBudget()
+    budget.add("ktc_hold", ktc_noise_rms(config.unit_capacitance))
+    if config.comparator_noise > 0:
+        budget.add("comparator", config.comparator_noise)
+    if include_quantization:
+        lsb = (config.v_threshold - config.v_reset) / 2.0 / config.mantissa_levels
+        budget.add("quantization", quantization_noise_rms(lsb))
+    return budget
+
+
 @dataclasses.dataclass
 class NoiseBudget:
     """RMS combination of independent noise contributors.

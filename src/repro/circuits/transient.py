@@ -73,6 +73,25 @@ class Waveform:
                 crossings.append(float(t0 + frac * (t1 - t0)))
         return crossings
 
+    def settling_time(self, final_value: float, tolerance: float) -> float:
+        """Time after which the signal stays within ``±tolerance`` of
+        ``final_value``.
+
+        Returns the time (relative to the first sample) of the last sample
+        that lies *outside* the band — after that instant the signal never
+        leaves it again — or ``0.0`` when every sample is already inside.
+        Raises on an empty waveform or a non-positive tolerance.
+        """
+        if len(self) == 0:
+            raise ValueError(f"waveform {self.name!r} is empty")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        outside = np.abs(self.values - final_value) > tolerance
+        idx = np.nonzero(outside)[0]
+        if idx.size == 0:
+            return 0.0
+        return float(self.times[idx[-1]] - self.times[0])
+
     def falling_steps(self, min_drop: float) -> List[float]:
         """Times of abrupt downward steps of at least ``min_drop`` volts.
 

@@ -436,6 +436,21 @@ class FPADC:
             underflow=underflow,
         )
 
+    def transition_charges(self) -> Optional[np.ndarray]:
+        """Exact charge at every output-code transition, ascending.
+
+        The first entry is the underflow edge (code 0 → value 1.0), the
+        following ones the mantissa and range-adaptation steps up to the
+        saturation point — precisely the staircase edges a linearity
+        (INL/DNL) characterization measures.  Only defined when the
+        conversion is deterministic and monotone (see
+        :meth:`conversion_lut`); returns ``None`` otherwise.
+        """
+        lut = self.conversion_lut()
+        if lut is None:
+            return None
+        return np.asarray(lut.indexer.bounds, dtype=np.float64).copy()
+
     def transfer_curve(self, num_points: int = 512) -> np.ndarray:
         """``(current, value)`` samples across the full input range."""
         currents = np.linspace(0.0, self.full_scale_current * 1.05, num_points)

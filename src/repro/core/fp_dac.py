@@ -265,6 +265,21 @@ class FPDAC:
         voltages = self.convert_fields(exponent, mantissa)
         return np.stack([codes.astype(np.float64), values, voltages], axis=1)
 
+    def ideal_transfer_table(self) -> np.ndarray:
+        """``(code, ideal_value, ideal_voltage)`` rows for every input code.
+
+        The mismatch-free twin of :meth:`transfer_table`: the voltage column
+        is the decoded code value scaled by :attr:`volts_per_unit`, which is
+        the reference a linearity (INL/DNL) characterization compares the
+        measured transfer against.
+        """
+        codes = np.arange(self.config.exponent_levels * self.config.mantissa_levels)
+        mantissa = codes & (self.config.mantissa_levels - 1)
+        exponent = codes >> self.config.mantissa_bits
+        values = (1.0 + mantissa / self.config.mantissa_levels) * 2.0 ** exponent
+        return np.stack([codes.astype(np.float64), values,
+                         values * self.volts_per_unit], axis=1)
+
     def linearity_error(self) -> float:
         """Worst-case relative deviation of the transfer curve from ideal."""
         table = self.transfer_table()

@@ -9,11 +9,31 @@ decorated class away.
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List, Mapping, Type, TypeVar
 
 from repro.exec.backend import ExecutionBackend
 
 _BACKENDS: Dict[str, Type[ExecutionBackend]] = {}
+
+_Registered = TypeVar("_Registered")
+
+
+def resolve_registered(registry: Mapping[str, _Registered], name: str,
+                       what: str) -> _Registered:
+    """Look ``name`` up in a name registry, failing self-documentingly.
+
+    The repo's registries (execution backends here, scheduling policies,
+    characterization sweeps) all share the same contract: an unknown name
+    raises a ``KeyError`` whose message lists every registered name, so a
+    typo on a CLI flag or in a config file is immediately actionable.
+    """
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown {what} {name!r}; "
+            f"registered {what}s: {', '.join(sorted(registry))}"
+        ) from None
 
 
 def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
@@ -42,13 +62,7 @@ def get_backend_class(name: str) -> Type[ExecutionBackend]:
         registered name so a typo on a CLI flag or a service config is
         immediately actionable.
     """
-    try:
-        return _BACKENDS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown execution backend {name!r}; "
-            f"registered backends: {', '.join(available_backends())}"
-        ) from None
+    return resolve_registered(_BACKENDS, name, "execution backend")
 
 
 def create_backend(name: str, **options) -> ExecutionBackend:

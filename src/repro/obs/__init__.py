@@ -17,6 +17,10 @@
   :class:`~repro.serve.metrics.MetricsSnapshot`.
 * :mod:`repro.obs.http` — the stdlib scrape server: ``/metrics``,
   ``/metrics.json``, ``/healthz`` (liveness), ``/readyz`` (readiness).
+* :mod:`repro.obs.health` — the hardware-health gauge registry the
+  characterization suite publishes headline scalars into; both exposition
+  renderings fold its entries in (``repro_serve_hw_*`` gauges /
+  ``hardware_health`` JSON section).
 """
 
 from .trace import (PlanTraceBuffer, RequestTrace, Span, SpanEvent, Tracer,
@@ -25,6 +29,8 @@ from .export import (REQUIRED_EVENT_KEYS, aggregate_profile, chrome_trace,
                      validate_chrome_trace, write_chrome_trace,
                      write_spans_jsonl)
 from .exposition import render_prometheus, snapshot_to_json
+from .health import (HARDWARE_HEALTH, HardwareHealthRegistry,
+                     publish_hardware_health)
 from .http import MetricsServer, ServiceProbe
 
 __all__ = [
@@ -44,6 +50,9 @@ __all__ = [
     "write_spans_jsonl",
     "render_prometheus",
     "snapshot_to_json",
+    "HARDWARE_HEALTH",
+    "HardwareHealthRegistry",
+    "publish_hardware_health",
     "MetricsServer",
     "ServiceProbe",
 ]

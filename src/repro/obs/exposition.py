@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.obs.health import HARDWARE_HEALTH
+
 NAMESPACE = "repro_serve"
 
 
@@ -200,6 +202,10 @@ def render_prometheus(snapshot, extra_gauges: Optional[Dict[str, float]] = None
                        stage.transport_s, stage_labels)
     for key, value in (extra_gauges or {}).items():
         out.sample(key, "gauge", "Live service gauge.", value)
+    for config, name, value in HARDWARE_HEALTH.entries():
+        out.sample(f"hw_{name}", "gauge",
+                   "Hardware characterization headline scalar.",
+                   value, {"config": config})
     return out.render()
 
 
@@ -276,4 +282,7 @@ def snapshot_to_json(snapshot,
     if extra_gauges:
         document["live"] = {key: _finite(value)
                             for key, value in extra_gauges.items()}
+    hardware = HARDWARE_HEALTH.as_dict()
+    if hardware:
+        document["hardware_health"] = hardware
     return document

@@ -1,0 +1,65 @@
+"""Hardware-health gauge registry: characterization scalars for scraping.
+
+The characterization suite (:mod:`repro.characterize`) distils each macro
+configuration into a handful of headline scalars — worst INL/DNL, noise
+floor, drift margin, spec verdict.  Those are exactly the numbers an
+operator wants on the same dashboard as the serving metrics, so this module
+holds a tiny process-wide registry the exposition layer folds into both
+renderings: ``repro_serve_hw_<scalar>{config="e2m5"}`` gauges in the
+Prometheus text and a ``hardware_health`` section in ``/metrics.json``.
+
+Publishing is explicit (``characterize`` publishes after a run; ``serve
+--hw-health`` publishes at startup) and last-write-wins per
+``(config, scalar)`` pair; the registry never expires entries — the values
+describe the substrate, not traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Tuple
+
+
+class HardwareHealthRegistry:
+    """Thread-safe ``(config, scalar) -> value`` store of headline gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[Tuple[str, str], float] = {}
+
+    def publish(self, config: str, scalars: Mapping[str, float]) -> None:
+        """Publish (or overwrite) headline scalars for one macro config."""
+        if not config:
+            raise ValueError("config name must be non-empty")
+        items = {(config, str(name)): float(value)
+                 for name, value in scalars.items()}
+        with self._lock:
+            self._values.update(items)
+
+    def entries(self) -> List[Tuple[str, str, float]]:
+        """Every published gauge as ``(config, scalar, value)``, sorted."""
+        with self._lock:
+            snapshot = dict(self._values)
+        return sorted((config, name, value)
+                      for (config, name), value in snapshot.items())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{config: {scalar: value}}`` rendering for JSON exposition."""
+        document: Dict[str, Dict[str, float]] = {}
+        for config, name, value in self.entries():
+            document.setdefault(config, {})[name] = value
+        return document
+
+    def clear(self) -> None:
+        """Drop every published gauge (tests and fresh runs)."""
+        with self._lock:
+            self._values.clear()
+
+
+#: The process-wide registry the exposition renderers read.
+HARDWARE_HEALTH = HardwareHealthRegistry()
+
+
+def publish_hardware_health(config: str, scalars: Mapping[str, float]) -> None:
+    """Publish headline scalars to the process-wide registry."""
+    HARDWARE_HEALTH.publish(config, scalars)

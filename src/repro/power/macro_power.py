@@ -188,6 +188,26 @@ class Int8ReferencePowerModel:
         return self.breakdown().energy_efficiency_tops_per_watt
 
 
+def energy_at_unit_capacitance(config: MacroConfig, unit_capacitance: float,
+                               sparsity: float = 0.0,
+                               calibration: PowerCalibration = DEFAULT_CALIBRATION
+                               ) -> float:
+    """Per-conversion energy (joules) with the ADC capacitor resized.
+
+    The noise-floor-vs-energy characterization sweeps the unit integration
+    capacitor: a larger capacitor lowers the kT/C floor but costs
+    proportionally more switching energy.  This evaluates one operating
+    point of that curve without mutating the caller's config.
+    """
+    if unit_capacitance <= 0:
+        raise ValueError("unit_capacitance must be positive")
+    scaled = dataclasses.replace(
+        config, adc=dataclasses.replace(config.adc,
+                                        unit_capacitance=unit_capacitance))
+    return MacroPowerModel(scaled, sparsity=sparsity,
+                           calibration=calibration).energy_per_conversion()
+
+
 def format_power_comparison(sparsity: float = 0.0,
                             calibration: PowerCalibration = DEFAULT_CALIBRATION
                             ) -> List[PowerBreakdown]:

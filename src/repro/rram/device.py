@@ -232,6 +232,17 @@ class RRAMDeviceModel:
         factor = elapsed_seconds ** (-nu)
         return np.clip(g * factor, self.levels.g_min * 0.5, None)
 
+    def drift_shift(self, elapsed_seconds: float) -> np.ndarray:
+        """Deterministic retention shift of every nominal level, in siemens.
+
+        ``drift_shift(t)[l]`` is how far level ``l``'s nominal conductance
+        moves after ``t`` seconds of retention (negative: toward HRS),
+        with no stochastic programming or read effects applied — the
+        systematic component a retention spec line budgets against.
+        """
+        nominal = self.levels.values
+        return self.drift(nominal, elapsed_seconds) - nominal
+
     # ------------------------------------------------------------------
     # Cell-level electrical behaviour
     # ------------------------------------------------------------------

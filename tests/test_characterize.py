@@ -1,0 +1,370 @@
+"""Tests for the hardware characterization suite (`repro.characterize`).
+
+Covers the INL/DNL math against analytically known staircases, the spec
+registry's verdict semantics (at-limit passes, missing scalars fail), the
+sweep-name registry contract, Monte-Carlo seed determinism (same seed ->
+bit-identical datasheet JSON), the hardware-health gauge plumbing into the
+Prometheus/JSON expositions, and the substrate helper methods this suite
+measures through.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.characterize import (
+    CharacterizeOptions,
+    MACRO_CONFIGS,
+    SpecLimit,
+    SpecRegistry,
+    available_sweeps,
+    characterize_macro,
+    get_macro_config,
+    get_sweep,
+    publish_datasheet_gauges,
+)
+from repro.characterize.linearity import (
+    local_lsb,
+    staircase_dnl,
+    staircase_inl,
+    worst_abs,
+)
+from repro.characterize.sweeps import SweepOptions
+from repro.circuits.noise import adc_noise_budget
+from repro.circuits.transient import Waveform
+from repro.core.config import e2m5_macro_config
+from repro.core.fp_adc import FPADC
+from repro.core.fp_dac import FPDAC
+from repro.obs.exposition import NAMESPACE, render_prometheus, snapshot_to_json
+from repro.obs.health import HARDWARE_HEALTH
+from repro.power.macro_power import energy_at_unit_capacitance
+from repro.rram.device import RRAMDeviceModel
+from repro.serve.metrics import ServiceMetrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_health_registry():
+    HARDWARE_HEALTH.clear()
+    yield
+    HARDWARE_HEALTH.clear()
+
+
+#: Reduced Monte-Carlo depth so every full characterization here stays fast.
+#: 32 samples is the floor at which the stuck-rate granularity (one cell in
+#: ``mc_samples * levels``) resolves below its 0.005 spec limit.
+FAST = CharacterizeOptions(configs=("e2m5",), corners=2, mc_samples=32)
+
+
+@pytest.fixture(scope="module")
+def e2m5_sheet():
+    return characterize_macro("e2m5", FAST)
+
+
+# ----------------------------------------------------------------------
+# Linearity math on analytically known staircases
+# ----------------------------------------------------------------------
+class TestLinearity:
+    #: An FP-style staircase: unit steps in the first binade, steps of two
+    #: in the second, so the local LSB changes mid-staircase.
+    IDEAL = np.array([0.0, 1.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_local_lsb_repeats_last_step(self):
+        assert local_lsb(self.IDEAL).tolist() == [1, 1, 2, 2, 2, 2]
+
+    def test_ideal_staircase_has_zero_inl_and_dnl(self):
+        assert staircase_inl(self.IDEAL, self.IDEAL).tolist() == [0.0] * 6
+        assert staircase_dnl(self.IDEAL, self.IDEAL).tolist() == [0.0] * 5
+
+    def test_single_code_offset_has_exact_inl_and_dnl(self):
+        # A +0.25 offset on code 2 (local LSB 2 there): INL[2] = 0.25/2,
+        # the step into code 2 widens by 0.25/1, the step out narrows by
+        # 0.25/2 — all exact in binary floating point.
+        measured = self.IDEAL.copy()
+        measured[2] += 0.25
+        inl = staircase_inl(measured, self.IDEAL)
+        dnl = staircase_dnl(measured, self.IDEAL)
+        assert inl.tolist() == [0.0, 0.0, 0.125, 0.0, 0.0, 0.0]
+        assert dnl.tolist() == [0.0, 0.25, -0.125, 0.0, 0.0]
+
+    def test_worst_abs_of_empty_is_zero(self):
+        assert worst_abs(np.array([])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            staircase_inl(self.IDEAL[:-1], self.IDEAL)
+
+
+# ----------------------------------------------------------------------
+# Spec registry semantics
+# ----------------------------------------------------------------------
+class TestSpecs:
+    def test_exactly_at_limit_passes_both_kinds(self):
+        top = SpecLimit(name="x", kind="max", limit=0.5)
+        floor = SpecLimit(name="y", kind="min", limit=0.2)
+        assert top.passes(0.5) and not top.passes(0.5 + 1e-12)
+        assert floor.passes(0.2) and not floor.passes(0.2 - 1e-12)
+        assert top.margin(0.5) == 0.0
+        assert floor.margin(0.2) == 0.0
+
+    def test_margin_is_normalised_headroom(self):
+        assert SpecLimit(name="x", kind="max", limit=2.0).margin(1.0) == 0.5
+        assert SpecLimit(name="y", kind="min", limit=2.0).margin(3.0) == 0.5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            SpecLimit(name="x", kind="target", limit=1.0)
+
+    def test_duplicate_limit_rejected(self):
+        limit = SpecLimit(name="x", kind="max", limit=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SpecRegistry([limit, limit])
+
+    def test_unknown_and_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            SpecRegistry.from_json(
+                '{"*": {"x": {"kind": "max", "limit": 1, "severity": 9}}}',
+                "e2m5")
+        with pytest.raises(ValueError, match="required"):
+            SpecRegistry.from_json('{"*": {"x": {"kind": "max"}}}', "e2m5")
+
+    def test_config_section_overrides_star(self):
+        registry = SpecRegistry.from_json(json.dumps({
+            "*": {"a": {"kind": "max", "limit": 1.0}},
+            "e2m5": {"a": {"kind": "max", "limit": 2.0},
+                     "b": {"kind": "min", "limit": 0.5}},
+        }), "e2m5")
+        assert registry.limits["a"].limit == 2.0
+        assert set(registry.limits) == {"a", "b"}
+        other = SpecRegistry.from_json(json.dumps({
+            "*": {"a": {"kind": "max", "limit": 1.0}},
+        }), "e3m4")
+        assert other.limits["a"].limit == 1.0
+
+    def test_missing_scalar_is_a_failing_line(self):
+        registry = SpecRegistry([SpecLimit(name="x", kind="max", limit=1.0)])
+        (line,) = registry.evaluate({})
+        assert line.verdict == "MISSING"
+        assert not line.passed
+        assert line.measured is None
+        assert line.margin == float("-inf")
+
+    def test_defaults_exist_for_every_registered_config(self):
+        for name in MACRO_CONFIGS:
+            registry = SpecRegistry.default_for(name)
+            assert "noise_floor_mv" in registry.limits
+            assert "adc_inl_max_lsb" in registry.limits
+
+
+# ----------------------------------------------------------------------
+# Name registries
+# ----------------------------------------------------------------------
+class TestRegistries:
+    def test_sweep_registry_lists_all_engines(self):
+        assert available_sweeps() == ["adc_linearity", "dac_linearity",
+                                      "noise_energy", "rram_corners",
+                                      "settling"]
+
+    def test_unknown_sweep_raises_keyerror_listing_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_sweep("dac_linearities")
+        message = str(excinfo.value)
+        assert "characterization sweep" in message
+        assert "dac_linearity" in message
+
+    def test_unknown_macro_config_raises_keyerror_listing_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_macro_config("e9m9")
+        assert "e2m5" in str(excinfo.value)
+
+    def test_bad_sweep_name_fails_before_any_sweep_runs(self):
+        options = dataclasses.replace(FAST, sweeps=("nope",))
+        with pytest.raises(KeyError):
+            characterize_macro("e2m5", options)
+
+
+# ----------------------------------------------------------------------
+# Datasheets: determinism, subsets, custom specs
+# ----------------------------------------------------------------------
+class TestDatasheet:
+    def test_same_seed_is_bit_identical(self, e2m5_sheet):
+        again = characterize_macro("e2m5", FAST)
+        assert e2m5_sheet.to_json() == again.to_json()
+
+    def test_different_seed_changes_the_monte_carlo(self, e2m5_sheet):
+        other = characterize_macro(
+            "e2m5", dataclasses.replace(FAST, seed=1))
+        assert (other.scalars["programming_sigma_rel"]
+                != e2m5_sheet.scalars["programming_sigma_rel"])
+
+    def test_full_run_evaluates_every_default_spec_line(self, e2m5_sheet):
+        expected = set(SpecRegistry.default_for("e2m5").limits)
+        assert {line.name for line in e2m5_sheet.spec_lines} == expected
+        assert all(line.measured is not None for line in e2m5_sheet.spec_lines)
+
+    def test_json_document_round_trips(self, e2m5_sheet):
+        document = json.loads(e2m5_sheet.to_json())
+        assert document["config_name"] == "e2m5"
+        assert document["passed"] == e2m5_sheet.passed
+        assert {sweep["name"] for sweep in document["sweeps"]} \
+            == set(available_sweeps())
+
+    def test_markdown_leads_with_spec_lines(self, e2m5_sheet):
+        rendered = e2m5_sheet.render_markdown()
+        assert rendered.index("## Spec lines") < rendered.index("## Configuration")
+        for line in e2m5_sheet.spec_lines:
+            assert line.name in rendered
+
+    def test_sweep_subset_restricts_the_spec_registry(self):
+        options = dataclasses.replace(
+            FAST, sweeps=("dac_linearity", "noise_energy"))
+        sheet = characterize_macro("e2m5", options)
+        names = {line.name for line in sheet.spec_lines}
+        assert names == {"dac_inl_max_lsb", "dac_dnl_max_lsb",
+                         "noise_floor_mv", "conversion_energy_nj"}
+        assert all(line.verdict != "MISSING" for line in sheet.spec_lines)
+
+    def test_custom_spec_json_can_fail_a_run(self):
+        spec_json = json.dumps({
+            "*": {"noise_floor_mv": {"kind": "max", "limit": 1e-6}}})
+        options = dataclasses.replace(
+            FAST, sweeps=("noise_energy",), spec_json=spec_json)
+        sheet = characterize_macro("e2m5", options)
+        assert not sheet.passed
+        (line,) = sheet.spec_lines
+        assert line.verdict == "FAIL"
+
+    def test_unmeasured_custom_limit_fails_a_full_run(self):
+        spec_json = json.dumps({
+            "*": {"made_up_scalar": {"kind": "max", "limit": 1.0}}})
+        sheet = characterize_macro(
+            "e2m5", dataclasses.replace(FAST, spec_json=spec_json))
+        assert not sheet.passed
+        (line,) = sheet.spec_lines
+        assert line.verdict == "MISSING"
+
+    def test_write_emits_json_and_markdown_twins(self, e2m5_sheet, tmp_path):
+        paths = e2m5_sheet.write(tmp_path)
+        assert json.loads(paths["json"].read_text())["config_name"] == "e2m5"
+        assert paths["markdown"].read_text().startswith("# AFPR-CIM")
+
+
+# ----------------------------------------------------------------------
+# Hardware-health gauges in the expositions
+# ----------------------------------------------------------------------
+class TestHealthGauges:
+    def test_publish_rejects_empty_config_name(self):
+        with pytest.raises(ValueError):
+            HARDWARE_HEALTH.publish("", {"x": 1.0})
+
+    def test_datasheet_gauges_reach_both_expositions(self, e2m5_sheet):
+        published = publish_datasheet_gauges(e2m5_sheet)
+        assert published["specs_pass"] == 1.0
+        assert "noise_floor_mv" in published
+
+        text = render_prometheus(ServiceMetrics().snapshot())
+        assert f'{NAMESPACE}_hw_specs_pass{{config="e2m5"}} 1' in text
+        assert f'{NAMESPACE}_hw_noise_floor_mv{{config="e2m5"}}' in text
+
+        document = snapshot_to_json(ServiceMetrics().snapshot())
+        health = document["hardware_health"]["e2m5"]
+        assert health["specs_pass"] == 1.0
+        assert health["noise_floor_mv"] == pytest.approx(
+            e2m5_sheet.scalars["noise_floor_mv"])
+
+    def test_expositions_omit_the_section_when_nothing_published(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert "hardware_health" not in snapshot_to_json(snapshot)
+        assert "_hw_" not in render_prometheus(snapshot)
+
+
+# ----------------------------------------------------------------------
+# Substrate helpers the sweeps measure through
+# ----------------------------------------------------------------------
+class TestSubstrateHelpers:
+    def test_adc_transition_charges_are_the_lut_edges(self):
+        adc = FPADC(e2m5_macro_config().adc)
+        bounds = adc.transition_charges()
+        assert bounds is not None
+        assert np.all(np.diff(bounds) >= 0)
+        lut = adc.conversion_lut()
+        # Just above each transition the decoded value takes the upper
+        # bucket's value; the edges really are the code transitions.
+        probe_adc = FPADC(adc.config, channels=bounds.size)
+        probe = (bounds + 1e-21) / adc.config.integration_time
+        decoded = probe_adc.convert(probe[None, :]).value[0]
+        assert decoded.tolist() == lut.values[1:].tolist()
+
+    def test_stochastic_adc_has_no_exact_transitions(self):
+        config = dataclasses.replace(e2m5_macro_config().adc,
+                                     comparator_noise=1e-3)
+        assert FPADC(config, rng=np.random.default_rng(0)) \
+            .transition_charges() is None
+
+    def test_dac_ideal_transfer_is_the_exact_fp_staircase(self):
+        config = e2m5_macro_config().dac
+        dac = FPDAC(config, rng=np.random.default_rng(0))
+        ideal = dac.ideal_transfer_table()
+        measured = dac.transfer_table()
+        assert ideal.shape == measured.shape
+        # Same codes and decoded FP values; the ideal voltage is exactly
+        # value * volts_per_unit, which the real ladder (its taps carry
+        # architectural quantisation even with zero mismatch) only
+        # approximates — that residual is precisely what the linearity
+        # sweep measures.
+        np.testing.assert_array_equal(ideal[:, :2], measured[:, :2])
+        np.testing.assert_array_equal(ideal[:, 2],
+                                      ideal[:, 1] * dac.volts_per_unit)
+        np.testing.assert_allclose(ideal[:, 2], measured[:, 2], rtol=1e-3)
+
+    def test_waveform_settling_time(self):
+        times = np.linspace(0.0, 1.0, 11)
+        values = np.where(times < 0.45, 0.0, 1.0)
+        wave = Waveform("v", times, values)
+        assert wave.settling_time(1.0, 0.1) == pytest.approx(0.4)
+        assert wave.settling_time(0.0, 10.0) == 0.0
+        with pytest.raises(ValueError):
+            wave.settling_time(1.0, 0.0)
+
+    def test_drift_shift_is_deterministic_and_grows(self):
+        macro = e2m5_macro_config()
+        device = RRAMDeviceModel(macro.conductance, macro.device_statistics,
+                                 seed=3)
+        short = np.abs(device.drift_shift(10.0))
+        long = np.abs(device.drift_shift(1e5))
+        assert short.shape == macro.conductance.values.shape
+        assert np.all(long >= short)
+        again = RRAMDeviceModel(macro.conductance, macro.device_statistics,
+                                seed=4)
+        np.testing.assert_array_equal(device.drift_shift(1e3),
+                                      again.drift_shift(1e3))
+
+    def test_noise_budget_shrinks_with_larger_capacitor(self):
+        adc = e2m5_macro_config().adc
+        small = adc_noise_budget(adc).total_rms()
+        big = adc_noise_budget(dataclasses.replace(
+            adc, unit_capacitance=adc.unit_capacitance * 4)).total_rms()
+        assert 0 < big < small
+
+    def test_conversion_energy_grows_with_capacitor(self):
+        macro = e2m5_macro_config()
+        nominal = energy_at_unit_capacitance(macro, macro.adc.unit_capacitance)
+        doubled = energy_at_unit_capacitance(
+            macro, macro.adc.unit_capacitance * 2)
+        assert 0 < nominal < doubled
+        with pytest.raises(ValueError):
+            energy_at_unit_capacitance(macro, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Sweep options validation
+# ----------------------------------------------------------------------
+class TestSweepOptions:
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepOptions(corners=0)
+        with pytest.raises(ValueError):
+            SweepOptions(mc_samples=0)
+        with pytest.raises(ValueError):
+            SweepOptions(drift_allowance=0.0)

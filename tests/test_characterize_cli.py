@@ -1,0 +1,64 @@
+"""Tests for ``python -m repro characterize`` (CLI surface and routing)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as repro_main
+from repro.characterize.cli import build_parser, main
+from repro.characterize.sweeps import available_sweeps
+
+
+def test_list_sweeps_prints_the_registry(capsys):
+    assert main(["--list-sweeps"]) == 0
+    printed = capsys.readouterr().out.splitlines()
+    assert printed == available_sweeps()
+
+
+def test_unknown_config_is_a_parse_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--config", "e9m9"])
+    assert excinfo.value.code == 2
+
+
+def test_unknown_sweep_raises_keyerror_listing_names():
+    with pytest.raises(KeyError) as excinfo:
+        main(["--sweep", "dac_linearities", "--config", "e2m5"])
+    assert "dac_linearity" in str(excinfo.value)
+
+
+def test_subset_run_passes_and_writes_datasheets(tmp_path, capsys):
+    code = main(["--config", "e2m5", "--sweep", "dac_linearity",
+                 "--sweep", "noise_energy", "--out", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== e2m5" in out and "PASS" in out
+    document = json.loads((tmp_path / "e2m5.datasheet.json").read_text())
+    assert document["passed"] is True
+    assert (tmp_path / "e2m5.datasheet.md").exists()
+
+
+def test_failing_spec_file_sets_exit_code(tmp_path, capsys):
+    specs = tmp_path / "impossible.json"
+    specs.write_text(json.dumps({
+        "*": {"noise_floor_mv": {"kind": "max", "limit": 1e-9}}}))
+    code = main(["--config", "e2m5", "--sweep", "noise_energy",
+                 "--specs", str(specs)])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_smoke_env_reduces_depth_and_announces_it(tmp_path, monkeypatch,
+                                                  capsys):
+    monkeypatch.setenv("CHARACTERIZE_SMOKE", "1")
+    code = main(["--config", "e2m5", "--out", str(tmp_path)])
+    assert code == 0
+    assert "smoke mode" in capsys.readouterr().out
+    document = json.loads((tmp_path / "e2m5.datasheet.json").read_text())
+    assert document["scalars"]["corners"] == 3.0
+    assert document["scalars"]["mc_samples"] == 32.0
+
+
+def test_repro_cli_routes_characterize(capsys):
+    assert repro_main(["characterize", "--list-sweeps"]) == 0
+    assert capsys.readouterr().out.splitlines() == available_sweeps()
